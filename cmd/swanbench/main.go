@@ -1,0 +1,157 @@
+// Command swanbench regenerates every table and figure of the paper's
+// evaluation on a synthetic Barton-shaped workload.
+//
+// Usage:
+//
+//	swanbench [flags] <experiment>
+//
+// Experiments:
+//
+//	table1   data set details
+//	fig1     cumulative frequency distributions
+//	table2   query-space coverage
+//	table4   C-Store repetition on machines A and B (cold/hot, real/user)
+//	table5   data read from disk and rows returned per query
+//	fig5     I/O read history for q3 and q5
+//	table6   full grid, cold runs
+//	table7   full grid, hot runs
+//	fig6     execution time vs number of aggregated properties
+//	fig7     scale-up experiment (property splitting, 222 → 1000)
+//	sql      generated SQL for both schemes, with union/join counts
+//	gen      write the generated data set as N-Triples to stdout
+//	all      every experiment in paper order
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"blackswan/internal/bench"
+	"blackswan/internal/core"
+	"blackswan/internal/datagen"
+	"blackswan/internal/rdf"
+)
+
+func main() {
+	var (
+		triples     = flag.Int("triples", 1_000_000, "number of triples to generate (Barton is 50,255,599)")
+		props       = flag.Int("props", 222, "number of distinct properties")
+		interesting = flag.Int("interesting", 28, "size of the interesting-property selection")
+		seed        = flag.Int64("seed", 42, "generator seed")
+		fig7Max     = flag.Int("fig7-max", 1000, "maximum property count for fig7")
+		fig7Steps   = flag.Int("fig7-steps", 9, "measurement points for fig7")
+		fig6Steps   = flag.Int("fig6-steps", 8, "measurement points for fig6")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: swanbench [flags] <experiment>\nexperiments: table1 fig1 table2 table4 table5 fig5 table6 table7 fig6 fig7 sql gen all\nflags:\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	cfg := datagen.Config{Triples: *triples, Properties: *props, Interesting: *interesting, Seed: *seed}
+
+	if flag.Arg(0) == "gen" {
+		ds, err := datagen.Generate(cfg)
+		fail(err)
+		fail(rdf.WriteNTriples(os.Stdout, ds.Graph))
+		return
+	}
+
+	fmt.Fprintf(os.Stderr, "generating %d triples over %d properties (seed %d)...\n", cfg.Triples, cfg.Properties, cfg.Seed)
+	w, err := bench.NewWorkload(cfg)
+	fail(err)
+
+	run := func(name string) {
+		switch name {
+		case "table1":
+			section("Table 1: data set details")
+			fmt.Print(bench.Table1(w))
+		case "fig1":
+			section("Figure 1: cumulative frequency distributions")
+			fmt.Print(bench.FormatFig1(bench.Fig1(w, 20)))
+		case "table2":
+			section("Table 2: coverage of the query space")
+			fmt.Print(bench.Table2(w))
+		case "table4":
+			section("Table 4: repetition results (C-Store, machines A and B)")
+			rows, err := bench.Table4(w)
+			fail(err)
+			fmt.Print(bench.FormatTable4(rows))
+		case "table5":
+			section("Table 5: data relevant to a query")
+			rows, err := bench.Table5(w)
+			fail(err)
+			fmt.Print(bench.FormatTable5(rows))
+		case "fig5":
+			section("Figure 5: I/O read history for q3 and q5")
+			series, err := bench.Fig5(w, 20)
+			fail(err)
+			fmt.Print(bench.FormatFig5(series))
+		case "table6":
+			section("Table 6: experimental results for cold runs")
+			systems, err := bench.FullGrid(w)
+			fail(err)
+			res, err := bench.RunGrid(systems, bench.Cold)
+			fail(err)
+			fmt.Print(bench.FormatGrid(res))
+		case "table7":
+			section("Table 7: experimental results for hot runs")
+			systems, err := bench.FullGrid(w)
+			fail(err)
+			res, err := bench.RunGrid(systems, bench.Hot)
+			fail(err)
+			fmt.Print(bench.FormatGrid(res))
+		case "fig6":
+			section("Figure 6: execution time vs number of properties")
+			pts, err := bench.Fig6(w, *fig6Steps)
+			fail(err)
+			fmt.Print(bench.FormatFig6(pts))
+		case "fig7":
+			section("Figure 7: scalability experiment (property splitting)")
+			pts, err := bench.Fig7(w, *fig7Max, *fig7Steps, *seed+1)
+			fail(err)
+			fmt.Print(bench.FormatFig7(pts))
+		case "sql":
+			section("Generated SQL (triple-store, then vertically-partitioned)")
+			names := make([]string, 0, len(w.Cat.AllProps))
+			for _, p := range w.Cat.AllProps {
+				names = append(names, fmt.Sprintf("prop_%d", p))
+			}
+			for _, q := range core.BenchmarkQueries() {
+				ts, err := core.TripleSQL(q)
+				fail(err)
+				fmt.Printf("-- %v (triple-store)\n%s\n\n", q, ts)
+				_, st, err := core.VertSQL(q, names)
+				fail(err)
+				fmt.Printf("-- %v (vertically-partitioned): %d unions, %d joins, %d table refs, %d bytes of SQL\n\n",
+					q, st.Unions, st.Joins, st.Tables, st.Bytes)
+			}
+		default:
+			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", name)
+			os.Exit(2)
+		}
+	}
+
+	if flag.Arg(0) == "all" {
+		for _, name := range []string{"table1", "fig1", "table2", "table4", "table5", "fig5", "table6", "table7", "fig6", "fig7"} {
+			run(name)
+		}
+		return
+	}
+	run(flag.Arg(0))
+}
+
+func section(title string) {
+	fmt.Printf("\n=== %s ===\n\n", title)
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "swanbench:", err)
+		os.Exit(1)
+	}
+}

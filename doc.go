@@ -1,0 +1,22 @@
+// Package blackswan is a self-contained Go reproduction of "Column-Store
+// Support for RDF Data Management: not all swans are white" (Sidirourgos,
+// Goncalves, Kersten, Nes, Manegold — VLDB 2008), the independent
+// re-evaluation of Abadi et al.'s vertically-partitioned RDF storage.
+//
+// The library lives under internal/: the RDF data model (internal/rdf), the
+// Barton-shaped data generator (internal/datagen), the simulated storage
+// environment (internal/simio), the two engines (internal/rowstore with
+// internal/btree, and internal/colstore), the storage schemes and benchmark
+// queries (internal/core), and the experiment harness (internal/bench).
+//
+// The root package holds the benchmark suite: one testing.B benchmark per
+// table and figure of the paper (bench_test.go) plus ablation benchmarks for
+// the load-bearing design choices (ablation_bench_test.go). Run
+//
+//	go test -bench=. -benchmem
+//
+// to regenerate every experiment, or use cmd/swanbench for formatted,
+// full-scale output. DESIGN.md documents the system inventory and the
+// substitutions for non-redistributable resources; EXPERIMENTS.md records
+// paper-vs-measured results for every table and figure.
+package blackswan

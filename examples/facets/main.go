@@ -1,0 +1,78 @@
+// Facets: the Longwell-style faceted browsing scenario that motivates the
+// paper's benchmark. A library catalog UI shows, for the current selection,
+// how many items each class and each property has — exactly the shapes of
+// queries q1 ("count per type") and q2 ("count per property for Text
+// items"). The example runs both facets on the triple-store and the
+// vertically-partitioned scheme and compares the simulated cold-run cost.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"blackswan/internal/bench"
+	"blackswan/internal/core"
+	"blackswan/internal/datagen"
+	"blackswan/internal/rdf"
+	"blackswan/internal/simio"
+)
+
+func main() {
+	w, err := bench.NewWorkload(datagen.Config{
+		Triples: 200_000, Properties: 222, Interesting: 28, Seed: 7,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	dict := w.DS.Graph.Dict
+
+	triple, err := bench.NewMonetTriple(w, rdf.PSO, simio.MachineB())
+	if err != nil {
+		log.Fatal(err)
+	}
+	vert, err := bench.NewMonetVert(w, simio.MachineB())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Facet 1: item counts per class (query q1).
+	t, res, err := vert.Measure(core.Query{ID: core.Q1}, bench.Cold)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Class facet (top 8):")
+	shown := 0
+	// Results are sorted by class id; show the biggest counts instead.
+	best := map[uint64]uint64{}
+	for i := 0; i < res.Len(); i++ {
+		best[res.Row(i)[0]] = res.Row(i)[1]
+	}
+	for shown < 8 && len(best) > 0 {
+		var maxK, maxV uint64
+		for k, v := range best {
+			if v > maxV {
+				maxK, maxV = k, v
+			}
+		}
+		delete(best, maxK)
+		fmt.Printf("  %-28s %7d items\n", dict.Term(rdf.ID(maxK)).Value, maxV)
+		shown++
+	}
+	fmt.Printf("  (vertically-partitioned, cold: real %.3fs)\n\n", t.Real.Seconds())
+
+	// Facet 2: property counts over Text items (query q2), on both schemes.
+	for _, sys := range []*bench.System{triple, vert} {
+		t, res, err := sys.Measure(core.Query{ID: core.Q2}, bench.Cold)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("Property facet for Text items on %s (cold real %.3fs, %d facets):\n",
+			sys.Name, t.Real.Seconds(), res.Len())
+		for i := 0; i < res.Len() && i < 6; i++ {
+			row := res.Row(i)
+			fmt.Printf("  %-28s %7d\n", dict.Term(rdf.ID(row[0])).Value, row[1])
+		}
+		fmt.Println()
+	}
+	fmt.Println("Both schemes return identical facets; the cold-run cost differs with the scheme.")
+}

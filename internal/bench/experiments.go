@@ -1,0 +1,512 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"blackswan/internal/core"
+	"blackswan/internal/datagen"
+	"blackswan/internal/rdf"
+	"blackswan/internal/simio"
+)
+
+// ---------------------------------------------------------------- Table 1
+
+// Table1 reproduces the data set details table.
+func Table1(w *Workload) string {
+	return w.DS.Stats().FormatTable1()
+}
+
+// ---------------------------------------------------------------- Figure 1
+
+// Fig1Series is one cumulative frequency distribution curve.
+type Fig1Series struct {
+	Name   string
+	Points []rdf.CFDPoint
+}
+
+// Fig1 reproduces the cumulative frequency distributions of properties,
+// subjects and objects over the triple population.
+func Fig1(w *Workload, steps int) []Fig1Series {
+	st := w.DS.Stats()
+	return []Fig1Series{
+		{Name: "properties", Points: rdf.CFD(st.PropFreq, st.Triples, steps)},
+		{Name: "subjects", Points: rdf.CFD(st.SubjFreq, st.Triples, steps)},
+		{Name: "objects", Points: rdf.CFD(st.ObjFreq, st.Triples, steps)},
+	}
+}
+
+// FormatFig1 renders the curves as aligned columns.
+func FormatFig1(series []Fig1Series) string {
+	var b strings.Builder
+	b.WriteString("% of total *     ")
+	for _, s := range series {
+		fmt.Fprintf(&b, "%14s", s.Name)
+	}
+	b.WriteString("\n")
+	if len(series) == 0 || len(series[0].Points) == 0 {
+		return b.String()
+	}
+	for i := range series[0].Points {
+		fmt.Fprintf(&b, "%15.1f  ", series[0].Points[i].PctItems)
+		for _, s := range series {
+			fmt.Fprintf(&b, "%13.1f%%", s.Points[i].PctTriples)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// ---------------------------------------------------------------- Table 2
+
+// Table2 renders the query-space coverage of the benchmark.
+func Table2(w *Workload) string {
+	var b strings.Builder
+	b.WriteString("Query  Triple Patterns  Join Patterns\n")
+	for _, cov := range core.Table2(w.Cat.Consts) {
+		pats := make([]string, 0, len(cov.Patterns))
+		for _, p := range cov.Patterns {
+			pats = append(pats, fmt.Sprintf("p%d", p))
+		}
+		joins := make([]string, 0, len(cov.Joins))
+		for _, j := range cov.Joins {
+			joins = append(joins, string(j))
+		}
+		js := strings.Join(joins, ", ")
+		if js == "" {
+			js = "-"
+		}
+		fmt.Fprintf(&b, "q%-6d %-16s %s\n", cov.Query, strings.Join(pats, ","), js)
+	}
+	return b.String()
+}
+
+// ---------------------------------------------------------------- Table 4
+
+// Table4Row is one row of the C-Store repetition experiment: a machine,
+// mode and time kind, with per-query seconds and the geometric mean.
+type Table4Row struct {
+	Machine string
+	Mode    Mode
+	Kind    string // "real" or "user"
+	Times   []float64
+	Geo     float64
+}
+
+// Table4 re-runs the original experiment (C-Store, queries q1–q7) on the
+// machine A and B profiles, cold and hot.
+func Table4(w *Workload) ([]Table4Row, error) {
+	var rows []Table4Row
+	for _, m := range []simio.Machine{simio.MachineA(), simio.MachineB()} {
+		sys, err := NewCStore(w, m)
+		if err != nil {
+			return nil, err
+		}
+		for _, mode := range []Mode{Cold, Hot} {
+			real := make([]float64, 0, 7)
+			user := make([]float64, 0, 7)
+			for _, q := range core.OriginalQueries() {
+				t, _, err := sys.Measure(q, mode)
+				if err != nil {
+					return nil, err
+				}
+				r, u := t.Seconds()
+				real = append(real, r)
+				user = append(user, u)
+			}
+			rows = append(rows,
+				Table4Row{Machine: m.Name, Mode: mode, Kind: "real", Times: real, Geo: GeoMean(real)},
+				Table4Row{Machine: m.Name, Mode: mode, Kind: "user", Times: user, Geo: GeoMean(user)})
+		}
+	}
+	return rows, nil
+}
+
+// FormatTable4 renders the repetition table in the paper's layout.
+func FormatTable4(rows []Table4Row) string {
+	var b strings.Builder
+	b.WriteString("machine mode  time ")
+	for _, q := range core.OriginalQueries() {
+		fmt.Fprintf(&b, "%9s", q)
+	}
+	fmt.Fprintf(&b, "%9s\n", "G")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-7s %-5s %-4s", r.Machine, r.Mode, r.Kind)
+		for _, t := range r.Times {
+			fmt.Fprintf(&b, "%9.3f", t)
+		}
+		fmt.Fprintf(&b, "%9.3f\n", r.Geo)
+	}
+	return b.String()
+}
+
+// ---------------------------------------------------------------- Table 5
+
+// Table5Row reports the data volume a query moves from disk and the rows it
+// returns, on the C-Store configuration.
+type Table5Row struct {
+	Query     core.Query
+	BytesRead int64
+	RowsOut   int
+}
+
+// Table5 measures cold-run I/O volume per query.
+func Table5(w *Workload) ([]Table5Row, error) {
+	sys, err := NewCStore(w, simio.MachineA())
+	if err != nil {
+		return nil, err
+	}
+	var rows []Table5Row
+	for _, q := range core.OriginalQueries() {
+		sys.Store.DropCaches()
+		sys.Store.ResetStats()
+		sys.Store.Clock().Reset()
+		res, err := sys.DB.Run(q)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Table5Row{Query: q, BytesRead: sys.Store.Stats().BytesRead, RowsOut: res.Len()})
+	}
+	return rows, nil
+}
+
+// FormatTable5 renders the table.
+func FormatTable5(rows []Table5Row) string {
+	var b strings.Builder
+	b.WriteString("query  data read (MB)  rows returned\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-6s %15.2f %14d\n", r.Query, float64(r.BytesRead)/1e6, r.RowsOut)
+	}
+	return b.String()
+}
+
+// ---------------------------------------------------------------- Figure 5
+
+// Fig5Series is the cumulative I/O read history of one query on one machine.
+type Fig5Series struct {
+	Machine string
+	Query   core.Query
+	Points  []simio.TraceEvent
+}
+
+// Fig5 records the I/O read history for the I/O-dominant queries q3 and q5
+// on machines A and B, cold.
+func Fig5(w *Workload, samples int) ([]Fig5Series, error) {
+	var out []Fig5Series
+	for _, m := range []simio.Machine{simio.MachineA(), simio.MachineB()} {
+		sys, err := NewCStore(w, m)
+		if err != nil {
+			return nil, err
+		}
+		for _, q := range []core.Query{{ID: core.Q3}, {ID: core.Q5}} {
+			sys.Store.DropCaches()
+			sys.Store.Clock().Reset()
+			sys.Store.Trace().Reset()
+			if _, err := sys.DB.Run(q); err != nil {
+				return nil, err
+			}
+			out = append(out, Fig5Series{
+				Machine: m.Name, Query: q,
+				Points: sys.Store.Trace().Cumulative(samples),
+			})
+		}
+	}
+	return out, nil
+}
+
+// FormatFig5 renders the series as (time, cumulative MB) columns.
+func FormatFig5(series []Fig5Series) string {
+	var b strings.Builder
+	for _, s := range series {
+		fmt.Fprintf(&b, "# machine %s, query %s\n", s.Machine, s.Query)
+		fmt.Fprintf(&b, "%12s %16s\n", "time (s)", "data read (MB)")
+		for _, p := range s.Points {
+			fmt.Fprintf(&b, "%12.4f %16.3f\n", p.At.Seconds(), float64(p.Bytes)/1e6)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// -------------------------------------------------------- Tables 6 and 7
+
+// GridResult is one system's row of Table 6 (cold) or Table 7 (hot).
+type GridResult struct {
+	System string
+	// Times maps query name → timing; missing entries mean the system
+	// does not implement the query (C-Store's star versions and q8).
+	Times map[string]Timing
+	// Geometric means in seconds: G over the original 7 queries, GStar
+	// over all 12 (zero when incomplete).
+	GReal, GUser         float64
+	GStarReal, GStarUser float64
+}
+
+// FullGrid builds the complete system roster of Tables 6 and 7 on machine B.
+func FullGrid(w *Workload) ([]*System, error) {
+	builders := []func() (*System, error){
+		func() (*System, error) { return NewDBXTriple(w, rdf.SPO, simio.MachineB()) },
+		func() (*System, error) { return NewDBXTriple(w, rdf.PSO, simio.MachineB()) },
+		func() (*System, error) { return NewDBXVert(w, simio.MachineB()) },
+		func() (*System, error) { return NewMonetTriple(w, rdf.SPO, simio.MachineB()) },
+		func() (*System, error) { return NewMonetTriple(w, rdf.PSO, simio.MachineB()) },
+		func() (*System, error) { return NewMonetVert(w, simio.MachineB()) },
+		func() (*System, error) { return NewCStore(w, simio.MachineB()) },
+	}
+	systems := make([]*System, 0, len(builders))
+	for _, build := range builders {
+		s, err := build()
+		if err != nil {
+			return nil, err
+		}
+		systems = append(systems, s)
+	}
+	return systems, nil
+}
+
+// RunGrid measures every system over the full query set under one mode —
+// the body of Table 6 (Cold) and Table 7 (Hot).
+func RunGrid(systems []*System, mode Mode) ([]GridResult, error) {
+	var out []GridResult
+	for _, sys := range systems {
+		res := GridResult{System: sys.Name, Times: make(map[string]Timing)}
+		var g7r, g7u, g12r, g12u []float64
+		complete := true
+		for _, q := range core.BenchmarkQueries() {
+			if !sys.Supports(q) {
+				complete = false
+				continue
+			}
+			t, _, err := sys.Measure(q, mode)
+			if err != nil {
+				return nil, err
+			}
+			res.Times[q.String()] = t
+			r, u := t.Seconds()
+			g12r = append(g12r, r)
+			g12u = append(g12u, u)
+			if !q.Star && q.ID != core.Q8 {
+				g7r = append(g7r, r)
+				g7u = append(g7u, u)
+			}
+		}
+		res.GReal, res.GUser = GeoMean(g7r), GeoMean(g7u)
+		if complete {
+			res.GStarReal, res.GStarUser = GeoMean(g12r), GeoMean(g12u)
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// FormatGrid renders results in the paper's Table 6/7 layout: one real row
+// and one user row per system, with G, G* and G*/G columns.
+func FormatGrid(results []GridResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-22s %-4s", "store", "time")
+	for _, q := range core.BenchmarkQueries() {
+		fmt.Fprintf(&b, "%9s", q)
+	}
+	fmt.Fprintf(&b, "%9s%9s%8s\n", "G", "G*", "G*/G")
+	for _, r := range results {
+		for _, kind := range []string{"real", "user"} {
+			fmt.Fprintf(&b, "%-22s %-4s", r.System, kind)
+			for _, q := range core.BenchmarkQueries() {
+				t, ok := r.Times[q.String()]
+				if !ok {
+					fmt.Fprintf(&b, "%9s", "-")
+					continue
+				}
+				real, user := t.Seconds()
+				v := real
+				if kind == "user" {
+					v = user
+				}
+				fmt.Fprintf(&b, "%9.3f", v)
+			}
+			g, gs := r.GReal, r.GStarReal
+			if kind == "user" {
+				g, gs = r.GUser, r.GStarUser
+			}
+			if gs > 0 {
+				fmt.Fprintf(&b, "%9.3f%9.3f%8.2f\n", g, gs, gs/g)
+			} else {
+				fmt.Fprintf(&b, "%9.3f%9s%8s\n", g, "-", "-")
+			}
+		}
+	}
+	return b.String()
+}
+
+// ---------------------------------------------------------------- Figure 6
+
+// Fig6Point is one measurement of the property-count sweep.
+type Fig6Point struct {
+	Query      core.Query
+	Properties int
+	TripleSec  float64
+	VertSec    float64
+}
+
+// Fig6 sweeps the size of the interesting-property list from 28 up to the
+// full roster, re-running the restricted queries q2/q3/q4/q6 on the
+// column-store triple-store (PSO) and vertical partitioning, cold.
+func Fig6(w *Workload, steps int) ([]Fig6Point, error) {
+	total := len(w.Cat.AllProps)
+	base := w.Cat.Interesting
+	if steps < 2 {
+		steps = 2
+	}
+	var out []Fig6Point
+	for s := 0; s < steps; s++ {
+		k := len(base) + (total-len(base))*s/(steps-1)
+		// Extend the interesting list to k properties, by rank.
+		seen := make(map[rdf.ID]bool, k)
+		ext := make([]rdf.ID, 0, k)
+		for _, p := range base {
+			seen[p] = true
+			ext = append(ext, p)
+		}
+		for _, p := range w.DS.PropsByRank {
+			if len(ext) >= k {
+				break
+			}
+			if !seen[p] {
+				seen[p] = true
+				ext = append(ext, p)
+			}
+		}
+		cat := w.Cat
+		cat.Interesting = ext
+		wk := &Workload{DS: w.DS, Cat: cat}
+		triple, err := NewMonetTriple(wk, rdf.PSO, simio.MachineB())
+		if err != nil {
+			return nil, err
+		}
+		vert, err := NewMonetVert(wk, simio.MachineB())
+		if err != nil {
+			return nil, err
+		}
+		for _, q := range []core.Query{{ID: core.Q2}, {ID: core.Q3}, {ID: core.Q4}, {ID: core.Q6}} {
+			tt, _, err := triple.Measure(q, Cold)
+			if err != nil {
+				return nil, err
+			}
+			vt, _, err := vert.Measure(q, Cold)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, Fig6Point{
+				Query: q, Properties: len(ext),
+				TripleSec: tt.Real.Seconds(), VertSec: vt.Real.Seconds(),
+			})
+		}
+	}
+	return out, nil
+}
+
+// FormatFig6 renders the sweep grouped by query.
+func FormatFig6(points []Fig6Point) string {
+	var b strings.Builder
+	byQuery := map[string][]Fig6Point{}
+	var order []string
+	for _, p := range points {
+		k := p.Query.String()
+		if _, ok := byQuery[k]; !ok {
+			order = append(order, k)
+		}
+		byQuery[k] = append(byQuery[k], p)
+	}
+	for _, q := range order {
+		fmt.Fprintf(&b, "# query %s\n%12s %12s %12s\n", q, "#properties", "triple (s)", "vert (s)")
+		for _, p := range byQuery[q] {
+			fmt.Fprintf(&b, "%12d %12.3f %12.3f\n", p.Properties, p.TripleSec, p.VertSec)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// ---------------------------------------------------------------- Figure 7
+
+// Fig7Point is one measurement of the property-splitting scale-up.
+type Fig7Point struct {
+	Query      core.Query
+	Properties int
+	TripleSec  float64
+	VertSec    float64
+}
+
+// Fig7 runs the Section 4.4 scale-up: the same triples re-partitioned over
+// an increasing number of properties (222 → maxProps), re-running the
+// full-scale queries q2*/q3*/q4*/q6* on the column-store systems, cold.
+func Fig7(w *Workload, maxProps, steps int, seed int64) ([]Fig7Point, error) {
+	start := len(w.Cat.AllProps)
+	if maxProps <= start {
+		return nil, fmt.Errorf("bench: maxProps %d not above current %d", maxProps, start)
+	}
+	if steps < 2 {
+		steps = 2
+	}
+	var out []Fig7Point
+	for s := 0; s < steps; s++ {
+		target := start + (maxProps-start)*s/(steps-1)
+		ds, err := datagen.SplitProperties(w.DS, target, seed)
+		if err != nil {
+			return nil, err
+		}
+		cat, err := CatalogOf(ds)
+		if err != nil {
+			return nil, err
+		}
+		wk := &Workload{DS: ds, Cat: cat}
+		triple, err := NewMonetTriple(wk, rdf.PSO, simio.MachineB())
+		if err != nil {
+			return nil, err
+		}
+		vert, err := NewMonetVert(wk, simio.MachineB())
+		if err != nil {
+			return nil, err
+		}
+		for _, q := range []core.Query{
+			{ID: core.Q2, Star: true}, {ID: core.Q3, Star: true},
+			{ID: core.Q4, Star: true}, {ID: core.Q6, Star: true},
+		} {
+			tt, _, err := triple.Measure(q, Cold)
+			if err != nil {
+				return nil, err
+			}
+			vt, _, err := vert.Measure(q, Cold)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, Fig7Point{
+				Query: q, Properties: len(cat.AllProps),
+				TripleSec: tt.Real.Seconds(), VertSec: vt.Real.Seconds(),
+			})
+		}
+	}
+	return out, nil
+}
+
+// FormatFig7 renders the scale-up series grouped by query.
+func FormatFig7(points []Fig7Point) string {
+	var b strings.Builder
+	byQuery := map[string][]Fig7Point{}
+	var order []string
+	for _, p := range points {
+		k := p.Query.String()
+		if _, ok := byQuery[k]; !ok {
+			order = append(order, k)
+		}
+		byQuery[k] = append(byQuery[k], p)
+	}
+	for _, q := range order {
+		fmt.Fprintf(&b, "# query %s\n%12s %12s %12s\n", q, "#properties", "triple (s)", "vert (s)")
+		for _, p := range byQuery[q] {
+			fmt.Fprintf(&b, "%12d %12.3f %12.3f\n", p.Properties, p.TripleSec, p.VertSec)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}

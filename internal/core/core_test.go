@@ -1,0 +1,332 @@
+package core
+
+import (
+	"testing"
+
+	"blackswan/internal/colstore"
+	"blackswan/internal/datagen"
+	"blackswan/internal/rdf"
+	"blackswan/internal/rel"
+	"blackswan/internal/rowstore"
+	"blackswan/internal/simio"
+)
+
+// craftedFixture is a tiny graph with hand-computed answers for all twelve
+// benchmark queries.
+type craftedFixture struct {
+	g      *rdf.Graph
+	cat    Catalog
+	ids    map[string]uint64
+	expect map[string]*rel.Rel
+}
+
+func newCrafted(t *testing.T) *craftedFixture {
+	t.Helper()
+	g := rdf.NewGraph()
+	iri := rdf.NewIRI
+	lit := rdf.NewLiteral
+
+	add := func(s, p string, o rdf.Term) {
+		g.Add(iri(s), iri(p), o)
+	}
+	add("s1", "type", iri("Text"))
+	add("s2", "type", iri("Text"))
+	add("s3", "type", iri("Date"))
+	add("s4", "type", iri("Date"))
+	add("s1", "language", iri("fre"))
+	add("s2", "language", iri("fre"))
+	add("s1", "title", lit("A"))
+	add("s2", "title", lit("A"))
+	add("s2", "title", lit("B"))
+	add("s1", "origin", iri("DLC"))
+	add("s1", "records", iri("s3"))
+	add("s2", "records", iri("s1"))
+	add("s3", "Point", lit("end"))
+	add("s3", "encoding", lit("enc1"))
+	add("conferences", "topic", lit("A"))
+	add("s2", "topic", lit("C"))
+	g.Normalize()
+
+	d := g.Dict
+	id := func(t rdf.Term) uint64 {
+		v, ok := d.Lookup(t)
+		if !ok {
+			panic("missing term " + t.String())
+		}
+		return uint64(v)
+	}
+	ids := map[string]uint64{
+		"type": id(iri("type")), "records": id(iri("records")), "origin": id(iri("origin")),
+		"language": id(iri("language")), "Point": id(iri("Point")), "encoding": id(iri("encoding")),
+		"title": id(iri("title")), "topic": id(iri("topic")),
+		"Text": id(iri("Text")), "Date": id(iri("Date")), "DLC": id(iri("DLC")),
+		"fre": id(iri("fre")), "end": id(lit("end")), "conferences": id(iri("conferences")),
+		"s1": id(iri("s1")), "s2": id(iri("s2")), "s3": id(iri("s3")), "s4": id(iri("s4")),
+		"A": id(lit("A")), "B": id(lit("B")), "C": id(lit("C")), "enc1": id(lit("enc1")),
+	}
+
+	consts := Constants{
+		Type: rdf.ID(ids["type"]), Records: rdf.ID(ids["records"]), Origin: rdf.ID(ids["origin"]),
+		Language: rdf.ID(ids["language"]), Point: rdf.ID(ids["Point"]), Encoding: rdf.ID(ids["encoding"]),
+		Text: rdf.ID(ids["Text"]), DLC: rdf.ID(ids["DLC"]), French: rdf.ID(ids["fre"]),
+		End: rdf.ID(ids["end"]), Conferences: rdf.ID(ids["conferences"]),
+	}
+	interesting := []rdf.ID{
+		consts.Type, consts.Records, consts.Origin, consts.Language,
+		consts.Point, consts.Encoding, rdf.ID(ids["title"]),
+	}
+	cat, err := CatalogFromGraph(g, consts, interesting)
+	if err != nil {
+		t.Fatalf("CatalogFromGraph: %v", err)
+	}
+
+	mk := func(w int, vals ...uint64) *rel.Rel {
+		r := rel.New(w)
+		for i := 0; i < len(vals); i += w {
+			r.Append(vals[i : i+w]...)
+		}
+		return r
+	}
+	expect := map[string]*rel.Rel{
+		"q1": mk(2, ids["Text"], 2, ids["Date"], 2),
+		"q2": mk(2,
+			ids["type"], 2, ids["language"], 2, ids["title"], 3,
+			ids["origin"], 1, ids["records"], 2),
+		"q2*": mk(2,
+			ids["type"], 2, ids["language"], 2, ids["title"], 3,
+			ids["origin"], 1, ids["records"], 2, ids["topic"], 1),
+		"q3":  mk(3, ids["type"], ids["Text"], 2, ids["title"], ids["A"], 2, ids["language"], ids["fre"], 2),
+		"q3*": mk(3, ids["type"], ids["Text"], 2, ids["title"], ids["A"], 2, ids["language"], ids["fre"], 2),
+		"q4":  mk(3, ids["type"], ids["Text"], 2, ids["title"], ids["A"], 2, ids["language"], ids["fre"], 2),
+		"q4*": mk(3, ids["type"], ids["Text"], 2, ids["title"], ids["A"], 2, ids["language"], ids["fre"], 2),
+		"q5":  mk(2, ids["s1"], ids["Date"]),
+		"q6": mk(2,
+			ids["type"], 2, ids["language"], 2, ids["title"], 3,
+			ids["origin"], 1, ids["records"], 2),
+		"q6*": mk(2,
+			ids["type"], 2, ids["language"], 2, ids["title"], 3,
+			ids["origin"], 1, ids["records"], 2, ids["topic"], 1),
+		"q7": mk(3, ids["s3"], ids["enc1"], ids["Date"]),
+		"q8": mk(1, ids["s1"], ids["s2"]),
+	}
+	return &craftedFixture{g: g, cat: cat, ids: ids, expect: expect}
+}
+
+func newStore() *simio.Store {
+	return simio.NewStore(simio.Config{Machine: simio.MachineB(), PoolBytes: 1 << 30})
+}
+
+// allDatabases loads every engine × scheme × clustering combination.
+func allDatabases(t *testing.T, g *rdf.Graph, cat Catalog) []Database {
+	t.Helper()
+	var dbs []Database
+
+	for _, cl := range []rdf.Order{rdf.SPO, rdf.PSO} {
+		eng := rowstore.NewEngine(newStore())
+		db, err := LoadRowTriple(eng, g, cat, cl, rdf.AllOrders())
+		if err != nil {
+			t.Fatalf("LoadRowTriple(%v): %v", cl, err)
+		}
+		dbs = append(dbs, db)
+	}
+	{
+		eng := rowstore.NewEngine(newStore())
+		db, err := LoadRowVert(eng, g, cat)
+		if err != nil {
+			t.Fatalf("LoadRowVert: %v", err)
+		}
+		dbs = append(dbs, db)
+	}
+	for _, cl := range []rdf.Order{rdf.SPO, rdf.PSO} {
+		eng := colstore.NewEngine(newStore())
+		db, err := LoadColTriple(eng, g, cat, cl)
+		if err != nil {
+			t.Fatalf("LoadColTriple(%v): %v", cl, err)
+		}
+		dbs = append(dbs, db)
+	}
+	{
+		eng := colstore.NewEngine(newStore())
+		db, err := LoadColVert(eng, g, cat)
+		if err != nil {
+			t.Fatalf("LoadColVert: %v", err)
+		}
+		dbs = append(dbs, db)
+	}
+	return dbs
+}
+
+func TestCraftedGraphAllImplementations(t *testing.T) {
+	fx := newCrafted(t)
+	for _, db := range allDatabases(t, fx.g, fx.cat) {
+		for _, q := range BenchmarkQueries() {
+			got, err := db.Run(q)
+			if err != nil {
+				t.Fatalf("%s %v: %v", db.Label(), q, err)
+			}
+			want := fx.expect[q.String()]
+			if !rel.Equal(got, want) {
+				t.Errorf("%s %v:\n got  %v\n want %v", db.Label(), q, got, want)
+			}
+			if got.W != q.ResultWidth() {
+				t.Errorf("%s %v: width %d, want %d", db.Label(), q, got.W, q.ResultWidth())
+			}
+		}
+	}
+}
+
+// generatedCatalog builds a Catalog from a datagen Dataset.
+func generatedCatalog(t *testing.T, ds *datagen.Dataset) Catalog {
+	t.Helper()
+	v := ds.Vocab
+	consts := Constants{
+		Type: v.Type, Records: v.Records, Origin: v.Origin, Language: v.Language,
+		Point: v.Point, Encoding: v.Encoding, Text: v.Text, DLC: v.DLC,
+		French: v.French, End: v.End, Conferences: v.Conferences,
+	}
+	cat, err := CatalogFromGraph(ds.Graph, consts, ds.Interesting)
+	if err != nil {
+		t.Fatalf("catalog: %v", err)
+	}
+	return cat
+}
+
+func TestGeneratedDataAllImplementationsAgree(t *testing.T) {
+	ds, err := datagen.Generate(datagen.Config{Triples: 30_000, Properties: 60, Interesting: 28, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat := generatedCatalog(t, ds)
+	dbs := allDatabases(t, ds.Graph, cat)
+	ref := dbs[0]
+	for _, q := range BenchmarkQueries() {
+		want, err := ref.Run(q)
+		if err != nil {
+			t.Fatalf("%s %v: %v", ref.Label(), q, err)
+		}
+		if want.Len() == 0 {
+			t.Errorf("%v returned no rows on generated data — benchmark would be trivial", q)
+		}
+		for _, db := range dbs[1:] {
+			got, err := db.Run(q)
+			if err != nil {
+				t.Fatalf("%s %v: %v", db.Label(), q, err)
+			}
+			if !rel.Equal(got, want) {
+				t.Errorf("%s %v: %d rows, reference %s has %d (or content differs)",
+					db.Label(), q, got.Len(), ref.Label(), want.Len())
+			}
+		}
+	}
+}
+
+func TestRestrictedColVertRejectsUnloadedProperties(t *testing.T) {
+	fx := newCrafted(t)
+	eng := colstore.NewEngine(newStore())
+	db, err := LoadColVertRestricted(eng, fx.g, fx.cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Restricted queries work.
+	for _, q := range []Query{{ID: Q1}, {ID: Q2}, {ID: Q7}} {
+		if _, err := db.Run(q); err != nil {
+			t.Errorf("%v on restricted load: %v", q, err)
+		}
+	}
+	// Star queries and q8 need all properties.
+	for _, q := range []Query{{ID: Q2, Star: true}, {ID: Q8}} {
+		if _, err := db.Run(q); err == nil {
+			t.Errorf("%v on restricted load should fail", q)
+		}
+	}
+}
+
+func TestQueryValidity(t *testing.T) {
+	valid := []Query{{ID: Q1}, {ID: Q2, Star: true}, {ID: Q6, Star: true}, {ID: Q8}}
+	for _, q := range valid {
+		if !q.Valid() {
+			t.Errorf("%v should be valid", q)
+		}
+	}
+	invalid := []Query{{ID: 0}, {ID: 9}, {ID: Q1, Star: true}, {ID: Q5, Star: true}, {ID: Q8, Star: true}}
+	for _, q := range invalid {
+		if q.Valid() {
+			t.Errorf("%v should be invalid", q)
+		}
+	}
+	if len(BenchmarkQueries()) != 12 {
+		t.Fatalf("BenchmarkQueries: %d", len(BenchmarkQueries()))
+	}
+	for _, q := range BenchmarkQueries() {
+		if !q.Valid() {
+			t.Errorf("benchmark query %v invalid", q)
+		}
+	}
+	if len(OriginalQueries()) != 7 {
+		t.Fatal("OriginalQueries != 7")
+	}
+	if (Query{ID: Q2, Star: true}).String() != "q2*" || (Query{ID: Q5}).String() != "q5" {
+		t.Fatal("query naming wrong")
+	}
+	if (Query{ID: Q2}).Restricted() != true || (Query{ID: Q2, Star: true}).Restricted() != false ||
+		(Query{ID: Q5}).Restricted() != false {
+		t.Fatal("Restricted wrong")
+	}
+}
+
+func TestInvalidQueriesRejected(t *testing.T) {
+	fx := newCrafted(t)
+	for _, db := range allDatabases(t, fx.g, fx.cat) {
+		if _, err := db.Run(Query{ID: 42}); err == nil {
+			t.Errorf("%s accepted invalid query", db.Label())
+		}
+		if _, err := db.Run(Query{ID: Q5, Star: true}); err == nil {
+			t.Errorf("%s accepted q5*", db.Label())
+		}
+	}
+}
+
+func TestCatalogValidation(t *testing.T) {
+	fx := newCrafted(t)
+	good := fx.cat
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := good
+	bad.Interesting = append([]rdf.ID(nil), good.Interesting...)
+	bad.Interesting[0] = 9999
+	if err := bad.Validate(); err == nil {
+		t.Fatal("foreign interesting property accepted")
+	}
+	bad2 := good
+	bad2.Consts.Type = rdf.NoID
+	if err := bad2.Validate(); err == nil {
+		t.Fatal("unset constant accepted")
+	}
+	bad3 := good
+	bad3.AllProps = nil
+	if err := bad3.Validate(); err == nil {
+		t.Fatal("empty property roster accepted")
+	}
+	// Interesting missing a special property.
+	bad4 := good
+	bad4.Interesting = bad4.Interesting[:2]
+	if err := bad4.Validate(); err == nil {
+		t.Fatal("interesting list without specials accepted")
+	}
+}
+
+func TestOrderPermRoundTrip(t *testing.T) {
+	tr := rdf.Triple{S: 11, P: 22, O: 33}
+	row := []uint64{11, 22, 33} // s, p, o columns
+	for _, o := range rdf.AllOrders() {
+		p := OrderPerm(o)
+		a, b, c := o.Key(tr)
+		want := []uint64{uint64(a), uint64(b), uint64(c)}
+		for j := 0; j < 3; j++ {
+			if row[p[j]] != want[j] {
+				t.Fatalf("%v: key field %d = %d, want %d", o, j, row[p[j]], want[j])
+			}
+		}
+	}
+}

@@ -1,0 +1,297 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"blackswan/internal/colstore"
+	"blackswan/internal/rdf"
+	"blackswan/internal/rel"
+	"blackswan/internal/rowstore"
+)
+
+func TestPatternClasses(t *testing.T) {
+	s, p, o := C(1), C(2), C(3)
+	vs, vp, vo := V("s"), V("p"), V("o")
+	cases := []struct {
+		tp   TriplePattern
+		want int
+	}{
+		{Pat(s, p, o), 1},
+		{Pat(vs, p, o), 2},
+		{Pat(s, vp, o), 3},
+		{Pat(s, p, vo), 4},
+		{Pat(vs, vp, o), 5},
+		{Pat(s, vp, vo), 6},
+		{Pat(vs, p, vo), 7},
+		{Pat(vs, vp, vo), 8},
+	}
+	for _, c := range cases {
+		if got := c.tp.Class(); got != c.want {
+			t.Errorf("Class(%+v) = p%d, want p%d", c.tp, got, c.want)
+		}
+	}
+}
+
+func TestJoinClasses(t *testing.T) {
+	a := Pat(V("x"), C(1), V("y"))
+	b := Pat(V("x"), C(2), V("z"))
+	if js := Joins(a, b); len(js) != 1 || js[0] != JoinA {
+		t.Fatalf("subject join = %v", js)
+	}
+	c := Pat(V("u"), C(2), V("y"))
+	if js := Joins(a, c); len(js) != 1 || js[0] != JoinB {
+		t.Fatalf("object join = %v", js)
+	}
+	d := Pat(V("y"), C(2), V("w"))
+	if js := Joins(a, d); len(js) != 1 || js[0] != JoinC {
+		t.Fatalf("object-subject join = %v", js)
+	}
+	e := Pat(V("q"), C(2), V("r"))
+	if js := Joins(a, e); len(js) != 0 {
+		t.Fatalf("disjoint patterns join = %v", js)
+	}
+}
+
+// TestTable2MatchesPaper checks the computed coverage against the paper's
+// Table 2 row by row.
+func TestTable2MatchesPaper(t *testing.T) {
+	consts := Constants{
+		Type: 1, Records: 2, Origin: 3, Language: 4, Point: 5, Encoding: 6,
+		Text: 7, DLC: 8, French: 9, End: 10, Conferences: 11,
+	}
+	want := map[QueryID]struct {
+		pats  []int
+		joins string
+	}{
+		Q1: {[]int{7}, ""},
+		Q2: {[]int{2, 8}, "A"},
+		Q3: {[]int{2, 8}, "A"},
+		Q4: {[]int{2, 8}, "A"},
+		Q5: {[]int{2, 7}, "AC"},
+		Q6: {[]int{2, 7, 8}, "AC"},
+		Q7: {[]int{2, 7}, "A"},
+		Q8: {[]int{6, 8}, "B"},
+	}
+	for _, cov := range Table2(consts) {
+		w := want[cov.Query]
+		if fmt.Sprint(cov.Patterns) != fmt.Sprint(w.pats) {
+			t.Errorf("q%d patterns = %v, want %v", cov.Query, cov.Patterns, w.pats)
+		}
+		got := ""
+		for _, j := range cov.Joins {
+			got += string(j)
+		}
+		if got != w.joins {
+			t.Errorf("q%d joins = %q, want %q", cov.Query, got, w.joins)
+		}
+	}
+}
+
+func TestEvalBGPOnAllSchemes(t *testing.T) {
+	fx := newCrafted(t)
+	c := fx.cat.Consts
+	ids := fx.ids
+
+	// Sources over every scheme.
+	var sources []TripleSource
+	var labels []string
+	{
+		eng := rowstore.NewEngine(newStore())
+		db, err := LoadRowTriple(eng, fx.g, fx.cat, rdf.PSO, rdf.AllOrders())
+		if err != nil {
+			t.Fatal(err)
+		}
+		sources = append(sources, db)
+		labels = append(labels, db.Label())
+	}
+	{
+		eng := rowstore.NewEngine(newStore())
+		db, err := LoadRowVert(eng, fx.g, fx.cat)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sources = append(sources, db)
+		labels = append(labels, db.Label())
+	}
+	{
+		eng := colstore.NewEngine(newStore())
+		db, err := LoadColTriple(eng, fx.g, fx.cat, rdf.PSO)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sources = append(sources, db)
+		labels = append(labels, db.Label())
+	}
+	{
+		eng := colstore.NewEngine(newStore())
+		db, err := LoadColVert(eng, fx.g, fx.cat)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sources = append(sources, db)
+		labels = append(labels, db.Label())
+	}
+
+	// q5's pattern graph: DLC-origin subjects, their records, the record
+	// targets' types. One solution: s1 records s3, s3 typed Date.
+	patterns := []TriplePattern{
+		Pat(V("s"), C(c.Origin), C(c.DLC)),
+		Pat(V("s"), C(c.Records), V("x")),
+		Pat(V("x"), C(c.Type), V("t")),
+	}
+	want := rel.New(3)
+	want.Append(ids["s1"], ids["s3"], ids["Date"])
+
+	for i, src := range sources {
+		got, vars := EvalBGP(src, patterns)
+		if fmt.Sprint(vars) != "[s x t]" {
+			t.Fatalf("%s: vars = %v", labels[i], vars)
+		}
+		if !rel.Equal(got, want) {
+			t.Errorf("%s: EvalBGP = %v, want %v", labels[i], got, want)
+		}
+	}
+
+	// A point query (pattern p1): all constants, satisfiable.
+	exist, vars := EvalBGP(sources[0], []TriplePattern{
+		Pat(C(rdf.ID(ids["s1"])), C(c.Type), C(c.Text)),
+	})
+	if len(vars) != 0 || exist.Len() != 1 {
+		t.Fatalf("existence check: vars=%v rows=%d", vars, exist.Len())
+	}
+	absent, _ := EvalBGP(sources[0], []TriplePattern{
+		Pat(C(rdf.ID(ids["s1"])), C(c.Type), C(rdf.ID(ids["Date"]))),
+	})
+	if absent.Len() != 0 {
+		t.Fatal("absent triple reported present")
+	}
+}
+
+func TestEvalBGPUnboundProperty(t *testing.T) {
+	// Pattern p6 (s, ?p, ?o): on the vertical scheme this visits every
+	// property table.
+	fx := newCrafted(t)
+	eng := rowstore.NewEngine(newStore())
+	db, err := LoadRowVert(eng, fx.g, fx.cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, vars := EvalBGP(db, []TriplePattern{
+		Pat(C(rdf.ID(fx.ids["s1"])), V("p"), V("o")),
+	})
+	if len(vars) != 2 {
+		t.Fatalf("vars = %v", vars)
+	}
+	// s1 has: type, language, title, origin, records = 5 triples.
+	if got.Len() != 5 {
+		t.Fatalf("s1 has %d property values, want 5", got.Len())
+	}
+}
+
+func TestEvalBGPRepeatedVariable(t *testing.T) {
+	// (?x, records, ?x) — nobody records themselves in the fixture.
+	fx := newCrafted(t)
+	eng := rowstore.NewEngine(newStore())
+	db, err := LoadRowTriple(eng, fx.g, fx.cat, rdf.PSO, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := EvalBGP(db, []TriplePattern{
+		Pat(V("x"), C(fx.cat.Consts.Records), V("x")),
+	})
+	if got.Len() != 0 {
+		t.Fatalf("self-records = %v", got)
+	}
+}
+
+func TestEvalBGPEmpty(t *testing.T) {
+	fx := newCrafted(t)
+	eng := rowstore.NewEngine(newStore())
+	db, err := LoadRowTriple(eng, fx.g, fx.cat, rdf.PSO, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, vars := EvalBGP(db, nil)
+	if got.Len() != 0 || vars != nil {
+		t.Fatal("empty BGP should be empty")
+	}
+}
+
+func TestTripleSQLRendersAppendix(t *testing.T) {
+	for _, q := range BenchmarkQueries() {
+		sql, err := TripleSQL(q)
+		if err != nil {
+			t.Fatalf("%v: %v", q, err)
+		}
+		if !strings.HasPrefix(sql, "SELECT") {
+			t.Errorf("%v: SQL does not start with SELECT", q)
+		}
+		if q.Restricted() && !strings.Contains(sql, "properties P") {
+			t.Errorf("%v: restricted query lacks properties join", q)
+		}
+		if !q.Restricted() && strings.Contains(sql, "properties P") {
+			t.Errorf("%v: unrestricted query has properties join", q)
+		}
+	}
+	if _, err := TripleSQL(Query{ID: 42}); err == nil {
+		t.Fatal("invalid query accepted")
+	}
+}
+
+func TestVertSQLScalesWithProperties(t *testing.T) {
+	names := make([]string, 222)
+	for i := range names {
+		names[i] = fmt.Sprintf("prop%d", i)
+	}
+	sql, st, err := VertSQL(Query{ID: Q2, Star: true}, names)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// "Each query contains more than two hundred unions and joins."
+	if st.Unions < 200 {
+		t.Fatalf("q2* unions = %d, want > 200", st.Unions)
+	}
+	if st.Joins < 200 {
+		t.Fatalf("q2* joins = %d, want > 200", st.Joins)
+	}
+	if st.Bytes != len(sql) {
+		t.Fatal("Bytes mismatch")
+	}
+	// Restricted q2 over 28 properties is far smaller.
+	_, st28, err := VertSQL(Query{ID: Q2}, names[:28])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st28.Unions*4 > st.Unions {
+		t.Fatalf("restricted unions %d vs full %d", st28.Unions, st.Unions)
+	}
+	// q8 iterates the property list twice (both phases).
+	_, st8, err := VertSQL(Query{ID: Q8}, names)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st8.Tables < 2*len(names) {
+		t.Fatalf("q8 tables = %d, want >= %d", st8.Tables, 2*len(names))
+	}
+	// Single-table queries stay simple regardless of schema size.
+	_, st1, err := VertSQL(Query{ID: Q1}, names)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st1.Unions != 0 || st1.Tables != 1 {
+		t.Fatalf("q1 stats = %+v", st1)
+	}
+	for _, q := range BenchmarkQueries() {
+		if _, _, err := VertSQL(q, names); err != nil {
+			t.Errorf("VertSQL(%v): %v", q, err)
+		}
+	}
+	if _, _, err := VertSQL(Query{ID: Q2}, nil); err == nil {
+		t.Fatal("empty property list accepted")
+	}
+	if _, _, err := VertSQL(Query{ID: 42}, names); err == nil {
+		t.Fatal("invalid query accepted")
+	}
+}

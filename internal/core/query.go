@@ -1,0 +1,104 @@
+// Package core implements the study itself: the two RDF storage schemes
+// (triple-store with a chosen clustering, and the vertically-partitioned
+// scheme) instantiated over both the row-store and the column-store engine,
+// the twelve benchmark queries (q1–q8 plus the full-scale * variants of
+// q2/q3/q4/q6), the RDF query-space model of Section 2.2 (triple patterns
+// p1–p8 and join patterns A/B/C, with the Table 2 coverage analysis), and
+// the SQL text generator that plays the role of the authors' Perl script.
+package core
+
+import "fmt"
+
+// QueryID names one of the eight benchmark queries.
+type QueryID int
+
+const (
+	Q1 QueryID = 1 + iota
+	Q2
+	Q3
+	Q4
+	Q5
+	Q6
+	Q7
+	Q8
+)
+
+// Query identifies one benchmark run unit: a query plus the full-scale flag.
+// Star (the paper's asterisk versions) drops the 28-property restriction and
+// aggregates over every property in the data set; it exists only for q2, q3,
+// q4 and q6.
+type Query struct {
+	ID   QueryID
+	Star bool
+}
+
+// String renders "q5" or "q4*".
+func (q Query) String() string {
+	if q.Star {
+		return fmt.Sprintf("q%d*", q.ID)
+	}
+	return fmt.Sprintf("q%d", q.ID)
+}
+
+// Valid reports whether the combination exists in the benchmark.
+func (q Query) Valid() bool {
+	if q.ID < Q1 || q.ID > Q8 {
+		return false
+	}
+	if q.Star {
+		switch q.ID {
+		case Q2, Q3, Q4, Q6:
+			return true
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// Restricted reports whether the query filters properties through the
+// 28-entry "interesting properties" list.
+func (q Query) Restricted() bool {
+	if q.Star {
+		return false
+	}
+	switch q.ID {
+	case Q2, Q3, Q4, Q6:
+		return true
+	default:
+		return false
+	}
+}
+
+// BenchmarkQueries returns the paper's full 12-query set in table order:
+// q1 q2 q2* q3 q3* q4 q4* q5 q6 q6* q7 q8.
+func BenchmarkQueries() []Query {
+	return []Query{
+		{ID: Q1}, {ID: Q2}, {ID: Q2, Star: true},
+		{ID: Q3}, {ID: Q3, Star: true},
+		{ID: Q4}, {ID: Q4, Star: true},
+		{ID: Q5},
+		{ID: Q6}, {ID: Q6, Star: true},
+		{ID: Q7}, {ID: Q8},
+	}
+}
+
+// OriginalQueries returns the 7 queries of the original Abadi et al.
+// benchmark (the set C-Store implements, used for the G geometric mean).
+func OriginalQueries() []Query {
+	return []Query{{ID: Q1}, {ID: Q2}, {ID: Q3}, {ID: Q4}, {ID: Q5}, {ID: Q6}, {ID: Q7}}
+}
+
+// ResultWidth returns the column count of the query's result relation.
+func (q Query) ResultWidth() int {
+	switch q.ID {
+	case Q1, Q2, Q5, Q6:
+		return 2
+	case Q3, Q4, Q7:
+		return 3
+	case Q8:
+		return 1
+	default:
+		panic(fmt.Sprintf("core: invalid query %v", q))
+	}
+}

@@ -1,0 +1,234 @@
+package core
+
+import (
+	"fmt"
+
+	"blackswan/internal/rdf"
+	"blackswan/internal/rel"
+	"blackswan/internal/rowstore"
+)
+
+// Vertical-table column positions (subject, object).
+const (
+	vcS = 0
+	vcO = 1
+)
+
+// RowVert is the vertically-partitioned scheme on the row-store engine: one
+// two-column table per property, clustered on SO with an unclustered OS
+// index — the "DBX vert SO" rows of Tables 6 and 7.
+type RowVert struct {
+	eng    *rowstore.Engine
+	cat    Catalog
+	tables map[rdf.ID]*rowstore.Table
+}
+
+// LoadRowVert partitions the graph by property and loads one table each.
+func LoadRowVert(eng *rowstore.Engine, g *rdf.Graph, cat Catalog) (*RowVert, error) {
+	if err := cat.Validate(); err != nil {
+		return nil, err
+	}
+	parts := partitionByProperty(g)
+	d := &RowVert{eng: eng, cat: cat, tables: make(map[rdf.ID]*rowstore.Table, len(parts))}
+	for _, p := range cat.AllProps {
+		rows, ok := parts[p]
+		if !ok {
+			return nil, fmt.Errorf("core: catalog property %d has no triples", p)
+		}
+		t, err := eng.CreateTable(rowstore.TableSpec{
+			Name: fmt.Sprintf("prop_%d", p), Width: 2,
+			Clustered:      rowstore.Perm{vcS, vcO},
+			Secondary:      []rowstore.Perm{{vcO, vcS}},
+			PrefixCompress: true,
+		}, rows)
+		if err != nil {
+			return nil, err
+		}
+		d.tables[p] = t
+	}
+	return d, nil
+}
+
+// partitionByProperty splits the graph into per-property (s, o) relations.
+func partitionByProperty(g *rdf.Graph) map[rdf.ID]*rel.Rel {
+	parts := make(map[rdf.ID]*rel.Rel)
+	for _, t := range g.Triples {
+		r, ok := parts[t.P]
+		if !ok {
+			r = rel.New(2)
+			parts[t.P] = r
+		}
+		r.Data = append(r.Data, uint64(t.S), uint64(t.O))
+	}
+	return parts
+}
+
+// Label implements Database.
+func (d *RowVert) Label() string { return "DBX/vert-SO" }
+
+// table returns the partition for p; every catalog property is loaded, so a
+// miss is a programming error.
+func (d *RowVert) table(p rdf.ID) *rowstore.Table {
+	t, ok := d.tables[p]
+	if !ok {
+		panic(fmt.Sprintf("core: no vertical table for property %d", p))
+	}
+	return t
+}
+
+// Run implements Database.
+func (d *RowVert) Run(q Query) (*rel.Rel, error) {
+	if !q.Valid() {
+		return nil, fmt.Errorf("core: invalid query %v", q)
+	}
+	switch q.ID {
+	case Q1:
+		return d.q1(), nil
+	case Q2:
+		return d.q2(q), nil
+	case Q3:
+		return d.q3(q), nil
+	case Q4:
+		return d.q4(q), nil
+	case Q5:
+		return d.q5(), nil
+	case Q6:
+		return d.q6(q), nil
+	case Q7:
+		return d.q7(), nil
+	case Q8:
+		return d.q8(), nil
+	default:
+		return nil, fmt.Errorf("core: unreachable query %v", q)
+	}
+}
+
+// textSubjects returns the width-1 subjects typed <Text>, via the OS index
+// of the type table.
+func (d *RowVert) textSubjects() *rel.Rel {
+	c := d.cat.Consts
+	return d.eng.ScanEq(d.table(c.Type), map[int]uint64{vcO: uint64(c.Text)}).Project(vcS)
+}
+
+func (d *RowVert) q1() *rel.Rel {
+	rows := d.eng.ScanAll(d.table(d.cat.Consts.Type))
+	return d.eng.GroupCount(rows, vcO)
+}
+
+func (d *RowVert) q2(q Query) *rel.Rel {
+	a := d.textSubjects()
+	out := rel.New(2)
+	for _, p := range d.cat.props(q) {
+		j := d.eng.SemiJoinIn(d.eng.ScanAll(d.table(p)), vcS, a, 0)
+		if n := j.Len(); n > 0 {
+			out.Append(uint64(p), uint64(n))
+		}
+	}
+	out.Sort()
+	return out
+}
+
+func (d *RowVert) q3(q Query) *rel.Rel {
+	a := d.textSubjects()
+	out := rel.New(3)
+	for _, p := range d.cat.props(q) {
+		j := d.eng.SemiJoinIn(d.eng.ScanAll(d.table(p)), vcS, a, 0)
+		if j.Len() == 0 {
+			continue
+		}
+		g := d.eng.GroupCount(j, vcO) // (o, count)
+		g = d.eng.HavingGT(g, 1, 1)
+		for i := 0; i < g.Len(); i++ {
+			row := g.Row(i)
+			out.Append(uint64(p), row[0], row[1])
+		}
+	}
+	out.Sort()
+	return out
+}
+
+func (d *RowVert) q4(q Query) *rel.Rel {
+	c := d.cat.Consts
+	a := d.textSubjects()
+	french := d.eng.ScanEq(d.table(c.Language), map[int]uint64{vcO: uint64(c.French)}).Project(vcS)
+	out := rel.New(3)
+	for _, p := range d.cat.props(q) {
+		j := d.eng.SemiJoinIn(d.eng.ScanAll(d.table(p)), vcS, a, 0)
+		if j.Len() == 0 {
+			continue
+		}
+		// Join (not semijoin) against the French subjects: SQL's bag
+		// semantics multiply counts by the number of matching C rows.
+		jf := d.eng.HashJoin(j, french, vcS, 0) // (s, o, C.s)
+		if jf.Len() == 0 {
+			continue
+		}
+		g := d.eng.GroupCount(jf, 1) // (o, count)
+		g = d.eng.HavingGT(g, 1, 1)
+		for i := 0; i < g.Len(); i++ {
+			row := g.Row(i)
+			out.Append(uint64(p), row[0], row[1])
+		}
+	}
+	out.Sort()
+	return out
+}
+
+func (d *RowVert) q5() *rel.Rel {
+	c := d.cat.Consts
+	a := d.eng.ScanEq(d.table(c.Origin), map[int]uint64{vcO: uint64(c.DLC)}).Project(vcS)
+	b := d.eng.SemiJoinIn(d.eng.ScanAll(d.table(c.Records)), vcS, a, 0)
+	typ := d.eng.FilterNe(d.eng.ScanAll(d.table(c.Type)), vcO, uint64(c.Text))
+	j := d.eng.HashJoin(b, typ, vcO, vcS) // 0=B.s 1=B.o 2=C.s 3=C.o
+	return j.Project(0, 3)
+}
+
+func (d *RowVert) q6(q Query) *rel.Rel {
+	c := d.cat.Consts
+	u1 := d.textSubjects()
+	recs := d.eng.ScanAll(d.table(c.Records))
+	u2 := d.eng.SemiJoinIn(recs, vcO, u1, 0).Project(vcS)
+	u := d.eng.Distinct(d.eng.Union(u1, u2))
+	out := rel.New(2)
+	for _, p := range d.cat.props(q) {
+		j := d.eng.SemiJoinIn(d.eng.ScanAll(d.table(p)), vcS, u, 0)
+		if n := j.Len(); n > 0 {
+			out.Append(uint64(p), uint64(n))
+		}
+	}
+	out.Sort()
+	return out
+}
+
+func (d *RowVert) q7() *rel.Rel {
+	c := d.cat.Consts
+	// SO-clustered property tables are subject-sorted, so the
+	// subject-subject joins run as linear merge joins — the "fewer unions
+	// and fast joins" property the paper quotes.
+	a := d.eng.ScanEq(d.table(c.Point), map[int]uint64{vcO: uint64(c.End)}).Project(vcS)
+	enc := d.eng.ScanAll(d.table(c.Encoding))
+	ab := d.eng.MergeJoin(a, enc, 0, vcS) // 0=A.s 1=B.s 2=B.o
+	typ := d.eng.ScanAll(d.table(c.Type))
+	j := d.eng.MergeJoin(ab, typ, 0, vcS) // + 3=C.s 4=C.o
+	return j.Project(0, 2, 4)
+}
+
+func (d *RowVert) q8() *rel.Rel {
+	c := d.cat.Consts
+	// Phase 1: visit every property table, collect the objects of
+	// <conferences>; union them into the temporary table t of Section 4.2.
+	objs := rel.New(1)
+	for _, p := range d.cat.AllProps {
+		sel := d.eng.ScanEq(d.table(p), map[int]uint64{vcS: uint64(c.Conferences)})
+		objs = d.eng.Union(objs, sel.Project(vcO))
+	}
+	// Phase 2: join t back against every property table, filtering out the
+	// <conferences> subject itself.
+	out := rel.New(1)
+	for _, p := range d.cat.AllProps {
+		b := d.eng.FilterNe(d.eng.ScanAll(d.table(p)), vcS, uint64(c.Conferences))
+		j := d.eng.HashJoin(objs, b, 0, vcO) // 0=t.o 1=B.s 2=B.o
+		out = d.eng.Union(out, j.Project(1))
+	}
+	return out
+}

@@ -1,0 +1,212 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// SQLStats summarizes the structural complexity of a generated SQL
+// statement — the quantities behind the paper's observation that full-scale
+// vertically-partitioned queries "contain more than two hundred unions and
+// joins" and "seriously challenge the optimizer of DBX".
+type SQLStats struct {
+	Unions int
+	Joins  int
+	Tables int // table references in FROM clauses
+	Bytes  int // statement size
+}
+
+// TripleSQL returns the triple-store SQL of the paper's appendix for q,
+// with the dictionary-encoded constants rendered as the paper's tokens.
+func TripleSQL(q Query) (string, error) {
+	if !q.Valid() {
+		return "", fmt.Errorf("core: invalid query %v", q)
+	}
+	propJoin := func(alias string) (from, where string) {
+		if !q.Restricted() {
+			return "", ""
+		}
+		return ", properties P", fmt.Sprintf("\n  AND P.prop = %s.prop", alias)
+	}
+	switch q.ID {
+	case Q1:
+		return `SELECT A.obj, count(*)
+FROM triples AS A
+WHERE A.prop = '<type>'
+GROUP BY A.obj;`, nil
+	case Q2:
+		f, w := propJoin("B")
+		return fmt.Sprintf(`SELECT B.prop, count(*)
+FROM triples AS A, triples AS B%s
+WHERE A.subj = B.subj
+  AND A.prop = '<type>'
+  AND A.obj = '<Text>'%s
+GROUP BY B.prop;`, f, w), nil
+	case Q3:
+		f, w := propJoin("B")
+		return fmt.Sprintf(`SELECT B.prop, B.obj, count(*)
+FROM triples AS A, triples AS B%s
+WHERE A.subj = B.subj
+  AND A.prop = '<type>'
+  AND A.obj = '<Text>'%s
+GROUP BY B.prop, B.obj
+HAVING count(*) > 1;`, f, w), nil
+	case Q4:
+		f, w := propJoin("B")
+		return fmt.Sprintf(`SELECT B.prop, B.obj, count(*)
+FROM triples AS A, triples AS B, triples AS C%s
+WHERE A.subj = B.subj
+  AND A.prop = '<type>'
+  AND A.obj = '<Text>'%s
+  AND C.subj = B.subj
+  AND C.prop = '<language>'
+  AND C.obj = '<language/iso639-2b/fre>'
+GROUP BY B.prop, B.obj
+HAVING count(*) > 1;`, f, w), nil
+	case Q5:
+		return `SELECT B.subj, C.obj
+FROM triples AS A, triples AS B, triples AS C
+WHERE A.subj = B.subj
+  AND A.prop = '<origin>'
+  AND A.obj = '<info:marcorg/DLC>'
+  AND B.prop = '<records>'
+  AND B.obj = C.subj
+  AND C.prop = '<type>'
+  AND C.obj != '<Text>';`, nil
+	case Q6:
+		f, w := propJoin("A")
+		return fmt.Sprintf(`SELECT A.prop, count(*)
+FROM triples AS A%s,
+  ((SELECT B.subj FROM triples AS B
+    WHERE B.prop = '<type>' AND B.obj = '<Text>')
+   UNION
+   (SELECT C.subj FROM triples AS C, triples AS D
+    WHERE C.prop = '<records>' AND C.obj = D.subj
+      AND D.prop = '<type>' AND D.obj = '<Text>')) AS uniontable
+WHERE A.subj = uniontable.subj%s
+GROUP BY A.prop;`, f, w), nil
+	case Q7:
+		return `SELECT A.subj, B.obj, C.obj
+FROM triples AS A, triples AS B, triples AS C
+WHERE A.prop = '<Point>'
+  AND A.obj = '"end"'
+  AND A.subj = B.subj
+  AND B.prop = '<Encoding>'
+  AND A.subj = C.subj
+  AND C.prop = '<type>';`, nil
+	case Q8:
+		return `SELECT B.subj
+FROM triples AS A, triples AS B
+WHERE A.subj = 'conferences'
+  AND B.subj != 'conferences'
+  AND A.obj = B.obj;`, nil
+	default:
+		return "", fmt.Errorf("core: no SQL for %v", q)
+	}
+}
+
+// VertSQL generates the vertically-partitioned SQL for q over the given
+// property table names, playing the role of the authors' Perl script ("SQL
+// does not provide a mechanism to iterate over the tables in the FROM
+// clause", so a front-end must emit one branch per property). It returns
+// the statement and its structural statistics.
+func VertSQL(q Query, propNames []string) (string, SQLStats, error) {
+	if !q.Valid() {
+		return "", SQLStats{}, fmt.Errorf("core: invalid query %v", q)
+	}
+	if len(propNames) == 0 {
+		return "", SQLStats{}, fmt.Errorf("core: no property tables")
+	}
+	var b strings.Builder
+	st := SQLStats{}
+	union := func(i int) {
+		if i > 0 {
+			b.WriteString("\nUNION ALL\n")
+			st.Unions++
+		}
+	}
+	switch q.ID {
+	case Q1:
+		b.WriteString("SELECT obj, count(*) FROM type GROUP BY obj;")
+		st.Tables = 1
+	case Q2, Q6:
+		// WITH textsubj AS (...) SELECT per property.
+		b.WriteString("WITH textsubj AS (SELECT subj FROM type WHERE obj = '<Text>')\n")
+		st.Tables++
+		if q.ID == Q6 {
+			b.WriteString(",recsubj AS (SELECT r.subj FROM records r, textsubj t WHERE r.obj = t.subj)\n")
+			b.WriteString(",usubj AS (SELECT subj FROM textsubj UNION SELECT subj FROM recsubj)\n")
+			st.Tables += 2
+			st.Joins++
+			st.Unions++
+		}
+		src := "textsubj"
+		if q.ID == Q6 {
+			src = "usubj"
+		}
+		for i, p := range propNames {
+			union(i)
+			fmt.Fprintf(&b, "SELECT '%s' AS prop, count(*) FROM %s p, %s t WHERE p.subj = t.subj", p, p, src)
+			st.Tables += 2
+			st.Joins++
+		}
+		b.WriteString(";")
+	case Q3, Q4:
+		b.WriteString("WITH textsubj AS (SELECT subj FROM type WHERE obj = '<Text>')\n")
+		st.Tables++
+		extra := ""
+		if q.ID == Q4 {
+			b.WriteString(",fresubj AS (SELECT subj FROM language WHERE obj = '<language/iso639-2b/fre>')\n")
+			st.Tables++
+			extra = ", fresubj f"
+		}
+		for i, p := range propNames {
+			union(i)
+			fmt.Fprintf(&b, "SELECT '%s' AS prop, p.obj, count(*) FROM %s p, textsubj t%s WHERE p.subj = t.subj",
+				p, p, extra)
+			st.Tables += 2
+			st.Joins++
+			if q.ID == Q4 {
+				b.WriteString(" AND p.subj = f.subj")
+				st.Tables++
+				st.Joins++
+			}
+			b.WriteString(" GROUP BY p.obj HAVING count(*) > 1")
+		}
+		b.WriteString(";")
+	case Q5:
+		b.WriteString(`WITH dlcsubj AS (SELECT subj FROM origin WHERE obj = '<info:marcorg/DLC>')
+SELECT r.subj, t.obj
+FROM records r, dlcsubj d, type t
+WHERE r.subj = d.subj AND r.obj = t.subj AND t.obj != '<Text>';`)
+		st.Tables = 3
+		st.Joins = 2
+	case Q7:
+		b.WriteString(`SELECT p.subj, e.obj, t.obj
+FROM Point p, Encoding e, type t
+WHERE p.obj = '"end"' AND p.subj = e.subj AND p.subj = t.subj;`)
+		st.Tables = 3
+		st.Joins = 2
+	case Q8:
+		// Phase 1: the temporary table t of Section 4.2.
+		b.WriteString("WITH t AS (\n")
+		for i, p := range propNames {
+			union(i)
+			fmt.Fprintf(&b, "SELECT obj FROM %s WHERE subj = 'conferences'", p)
+			st.Tables++
+		}
+		b.WriteString(")\n")
+		for i, p := range propNames {
+			union(i)
+			fmt.Fprintf(&b, "SELECT p.subj FROM %s p, t WHERE p.obj = t.obj AND p.subj != 'conferences'", p)
+			st.Tables += 2
+			st.Joins++
+		}
+		b.WriteString(";")
+	default:
+		return "", SQLStats{}, fmt.Errorf("core: no SQL for %v", q)
+	}
+	sql := b.String()
+	st.Bytes = len(sql)
+	return sql, st, nil
+}

@@ -1,0 +1,334 @@
+package datagen
+
+import (
+	"math/rand"
+	"testing"
+
+	"blackswan/internal/rdf"
+)
+
+func testConfig() Config {
+	return Config{Triples: 60_000, Properties: 222, Interesting: 28, Seed: 7}
+}
+
+func mustGenerate(t *testing.T, cfg Config) *Dataset {
+	t.Helper()
+	ds, err := Generate(cfg)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	return ds
+}
+
+func TestGenerateValidates(t *testing.T) {
+	ds := mustGenerate(t, testConfig())
+	if err := ds.Graph.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !rdf.SPO.IsSorted(ds.Graph.Triples) {
+		t.Fatal("graph not normalized")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := mustGenerate(t, testConfig())
+	b := mustGenerate(t, testConfig())
+	if a.Graph.Len() != b.Graph.Len() {
+		t.Fatalf("lengths differ: %d vs %d", a.Graph.Len(), b.Graph.Len())
+	}
+	for i := range a.Graph.Triples {
+		if a.Graph.Triples[i] != b.Graph.Triples[i] {
+			t.Fatalf("triple %d differs", i)
+		}
+	}
+	c := mustGenerate(t, Config{Triples: 60_000, Properties: 222, Interesting: 28, Seed: 8})
+	if c.Graph.Len() == a.Graph.Len() {
+		same := true
+		for i := range c.Graph.Triples {
+			if c.Graph.Triples[i] != a.Graph.Triples[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatal("different seeds produced identical data")
+		}
+	}
+}
+
+func TestGenerateRejectsBadConfig(t *testing.T) {
+	bad := []Config{
+		{Triples: 10, Properties: 222, Interesting: 28},
+		{Triples: 60000, Properties: 5, Interesting: 4},
+		{Triples: 60000, Properties: 222, Interesting: 4},
+		{Triples: 60000, Properties: 222, Interesting: 500},
+	}
+	for _, cfg := range bad {
+		if _, err := Generate(cfg); err == nil {
+			t.Errorf("config %+v accepted", cfg)
+		}
+	}
+}
+
+func TestTable1Shape(t *testing.T) {
+	ds := mustGenerate(t, testConfig())
+	st := ds.Stats()
+
+	if st.DistinctProperties < 200 || st.DistinctProperties > 222 {
+		t.Fatalf("DistinctProperties = %d, want ≈222", st.DistinctProperties)
+	}
+	// Subjects ≈ triples/4 (Barton: 12.3M of 50.2M).
+	subjRatio := float64(st.DistinctSubjects) / float64(st.Triples)
+	if subjRatio < 0.15 || subjRatio > 0.35 {
+		t.Fatalf("subject ratio = %.2f, want ≈0.25", subjRatio)
+	}
+	// Large subject/object overlap (Barton: 9.65M of 12.3M subjects ≈ 78%).
+	overlap := float64(st.SubjectObjectOverlap) / float64(st.DistinctSubjects)
+	if overlap < 0.5 {
+		t.Fatalf("subject/object overlap = %.2f, want > 0.5", overlap)
+	}
+}
+
+func TestPropertySkewMatchesFigure1(t *testing.T) {
+	ds := mustGenerate(t, testConfig())
+	st := ds.Stats()
+
+	// <type> is the most frequent property at ≈24.5% of all triples.
+	typeShare := float64(st.PropFreq[ds.Vocab.Type]) / float64(st.Triples)
+	if typeShare < 0.15 || typeShare > 0.35 {
+		t.Fatalf("<type> share = %.2f, want ≈0.25", typeShare)
+	}
+	if ds.PropsByRank[0] != ds.Vocab.Type {
+		t.Fatal("<type> is not the top-ranked property")
+	}
+
+	// Top 13% of properties account for the vast bulk of triples (99% in
+	// Barton; our synthetic head is slightly flatter).
+	k := st.DistinctProperties * 13 / 100
+	var covered int
+	for _, p := range ds.PropsByRank[:k] {
+		covered += st.PropFreq[p]
+	}
+	share := float64(covered) / float64(st.Triples)
+	if share < 0.80 {
+		t.Fatalf("top 13%% of properties cover %.3f of triples, want ≥0.80", share)
+	}
+
+	// The interesting-28 selection covers roughly a third of the data (in
+	// the original study C-Store's 28-property load was 270MB of 1253MB),
+	// NOT the whole head of the distribution.
+	var interesting int
+	for _, p := range ds.Interesting {
+		interesting += st.PropFreq[p]
+	}
+	is := float64(interesting) / float64(st.Triples)
+	if is < 0.20 || is > 0.60 {
+		t.Fatalf("interesting-28 covers %.2f of triples, want ≈0.37", is)
+	}
+
+	// Long tail: many properties with very few rows.
+	tiny := 0
+	for _, n := range st.PropFreq {
+		if n < 10 {
+			tiny++
+		}
+	}
+	if tiny < st.DistinctProperties/4 {
+		t.Fatalf("only %d of %d properties have <10 rows", tiny, st.DistinctProperties)
+	}
+
+	// Subjects are near-uniform: the most frequent subject is tiny
+	// relative to the total (Barton: 3794 of 50M).
+	top := rdf.TopK(st.SubjFreq, 1)
+	if share := float64(st.SubjFreq[top[0]]) / float64(st.Triples); share > 0.01 {
+		t.Fatalf("most frequent subject holds %.4f of triples", share)
+	}
+}
+
+func TestQueryConstantsPresent(t *testing.T) {
+	ds := mustGenerate(t, testConfig())
+	st := ds.Stats()
+	v := ds.Vocab
+
+	for name, p := range map[string]rdf.ID{
+		"type": v.Type, "records": v.Records, "origin": v.Origin,
+		"language": v.Language, "Point": v.Point, "Encoding": v.Encoding,
+	} {
+		if st.PropFreq[p] == 0 {
+			t.Errorf("property %s has no triples", name)
+		}
+	}
+	for name, o := range map[string]rdf.ID{
+		"Text": v.Text, "Date": v.Date, "DLC": v.DLC, "fre": v.French, "end": v.End,
+	} {
+		if st.ObjFreq[o] == 0 {
+			t.Errorf("object %s never appears", name)
+		}
+	}
+	// The q8 subject exists and shares objects with other subjects.
+	confTriples := 0
+	shared := false
+	objs := map[rdf.ID]bool{}
+	for _, tr := range ds.Graph.Triples {
+		if tr.S == v.Conferences {
+			confTriples++
+			objs[tr.O] = true
+		}
+	}
+	for _, tr := range ds.Graph.Triples {
+		if tr.S != v.Conferences && objs[tr.O] {
+			shared = true
+			break
+		}
+	}
+	if confTriples == 0 {
+		t.Fatal("no <conferences> triples")
+	}
+	if !shared {
+		t.Fatal("<conferences> shares no objects — q8 would be empty")
+	}
+}
+
+func TestInterestingList(t *testing.T) {
+	ds := mustGenerate(t, testConfig())
+	if len(ds.Interesting) != 28 {
+		t.Fatalf("interesting list has %d entries", len(ds.Interesting))
+	}
+	seen := map[rdf.ID]bool{}
+	for _, p := range ds.Interesting {
+		if seen[p] {
+			t.Fatal("duplicate in interesting list")
+		}
+		seen[p] = true
+	}
+	v := ds.Vocab
+	for _, p := range []rdf.ID{v.Type, v.Records, v.Origin, v.Language, v.Point, v.Encoding} {
+		if !seen[p] {
+			t.Fatalf("special property %d missing from interesting list", p)
+		}
+	}
+}
+
+func TestEverySubjectTyped(t *testing.T) {
+	ds := mustGenerate(t, testConfig())
+	typed := map[rdf.ID]bool{}
+	subjects := map[rdf.ID]bool{}
+	for _, tr := range ds.Graph.Triples {
+		if tr.S == ds.Vocab.Conferences {
+			continue
+		}
+		subjects[tr.S] = true
+		if tr.P == ds.Vocab.Type {
+			typed[tr.S] = true
+		}
+	}
+	untyped := 0
+	for s := range subjects {
+		if !typed[s] {
+			untyped++
+		}
+	}
+	if frac := float64(untyped) / float64(len(subjects)); frac > 0.01 {
+		t.Fatalf("%.2f%% of subjects untyped", 100*frac)
+	}
+}
+
+func TestSplitPropertiesReachesTarget(t *testing.T) {
+	ds := mustGenerate(t, testConfig())
+	for _, target := range []int{300, 500, 1000} {
+		out, err := SplitProperties(ds, target, 11)
+		if err != nil {
+			t.Fatalf("SplitProperties(%d): %v", target, err)
+		}
+		st := out.Stats()
+		if st.DistinctProperties != target {
+			t.Fatalf("got %d properties, want %d", st.DistinctProperties, target)
+		}
+		// The triple population is preserved (modulo dedup collisions).
+		if delta := ds.Graph.Len() - out.Graph.Len(); delta < 0 || delta > ds.Graph.Len()/100 {
+			t.Fatalf("split changed triple count: %d -> %d", ds.Graph.Len(), out.Graph.Len())
+		}
+	}
+}
+
+func TestSplitPreservesSpecials(t *testing.T) {
+	ds := mustGenerate(t, testConfig())
+	before := ds.Stats()
+	out, err := SplitProperties(ds, 800, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := out.Stats()
+	v := ds.Vocab
+	for name, p := range map[string]rdf.ID{
+		"type": v.Type, "records": v.Records, "origin": v.Origin,
+		"language": v.Language, "Point": v.Point, "Encoding": v.Encoding,
+	} {
+		if after.PropFreq[p] != before.PropFreq[p] {
+			t.Errorf("special %s changed: %d -> %d", name, before.PropFreq[p], after.PropFreq[p])
+		}
+	}
+}
+
+func TestSplitNoOpAndErrors(t *testing.T) {
+	ds := mustGenerate(t, testConfig())
+	cur := ds.Stats().DistinctProperties
+	same, err := SplitProperties(ds, cur, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if same.Stats().DistinctProperties != cur {
+		t.Fatal("no-op split changed property count")
+	}
+	if _, err := SplitProperties(ds, cur-10, 3); err == nil {
+		t.Fatal("shrinking target accepted")
+	}
+}
+
+func TestSplitDoesNotMutateOriginal(t *testing.T) {
+	ds := mustGenerate(t, testConfig())
+	snapshot := append([]rdf.Triple(nil), ds.Graph.Triples...)
+	if _, err := SplitProperties(ds, 600, 5); err != nil {
+		t.Fatal(err)
+	}
+	for i := range snapshot {
+		if ds.Graph.Triples[i] != snapshot[i] {
+			t.Fatal("SplitProperties mutated its input")
+		}
+	}
+}
+
+func TestZipfSampler(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	z := newZipf(rng, 100, 1.1)
+	counts := make([]int, 100)
+	const draws = 200_000
+	for i := 0; i < draws; i++ {
+		counts[z.Draw()]++
+	}
+	if counts[0] <= counts[10] || counts[10] <= counts[60] {
+		t.Fatalf("Zipf not decreasing: c0=%d c10=%d c60=%d", counts[0], counts[10], counts[60])
+	}
+	// Empirical rank-0 share should approximate the analytic share.
+	want := z.Share(0)
+	got := float64(counts[0]) / draws
+	if got < want*0.9 || got > want*1.1 {
+		t.Fatalf("rank-0 share %.4f, want ≈%.4f", got, want)
+	}
+	total := 0.0
+	for i := 0; i < 100; i++ {
+		total += z.Share(i)
+	}
+	if total < 0.999 || total > 1.001 {
+		t.Fatalf("shares sum to %f", total)
+	}
+}
+
+func TestZipfPanicsOnZeroRanks(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	newZipf(rand.New(rand.NewSource(1)), 0, 1)
+}

@@ -1,0 +1,117 @@
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"blackswan/internal/rdf"
+)
+
+// SplitProperties implements the paper's Section 4.4 scale-up transform:
+// keep the triple population fixed but increase the number of distinct
+// properties by "splitting in each round an arbitrary number of properties
+// into n sub-properties", reassigning each affected triple to one of the
+// sub-properties uniformly at random.
+//
+// The special properties bound as constants by the benchmark queries
+// (<type>, <records>, <origin>, <language>, <Point>, <Encoding>) are never
+// split, so all queries remain well-defined on the transformed data. The
+// receiver is not modified; a new Dataset sharing the dictionary is
+// returned.
+func SplitProperties(ds *Dataset, targetProps int, seed int64) (*Dataset, error) {
+	st := ds.Stats()
+	cur := st.DistinctProperties
+	if targetProps < cur {
+		return nil, fmt.Errorf("datagen: target %d below current %d properties", targetProps, cur)
+	}
+	rng := rand.New(rand.NewSource(seed))
+
+	out := &Dataset{
+		Graph:       &rdf.Graph{Dict: ds.Graph.Dict, Triples: append([]rdf.Triple(nil), ds.Graph.Triples...)},
+		Vocab:       ds.Vocab,
+		Interesting: append([]rdf.ID(nil), ds.Interesting...),
+		Config:      ds.Config,
+	}
+	if targetProps == cur {
+		out.rankProperties()
+		return out, nil
+	}
+
+	protected := map[rdf.ID]bool{
+		ds.Vocab.Type: true, ds.Vocab.Records: true, ds.Vocab.Origin: true,
+		ds.Vocab.Language: true, ds.Vocab.Point: true, ds.Vocab.Encoding: true,
+	}
+
+	// Rebuild frequency map as splits proceed.
+	freq := make(map[rdf.ID]int, len(st.PropFreq))
+	for p, n := range st.PropFreq {
+		freq[p] = n
+	}
+
+	// Index triples by property for in-place reassignment.
+	byProp := make(map[rdf.ID][]int)
+	for i, t := range out.Graph.Triples {
+		byProp[t.P] = append(byProp[t.P], i)
+	}
+
+	splitSeq := 0
+	for cur < targetProps {
+		// Pick the splittable property with the most triples: splitting
+		// dense properties first matches the paper's intent (the
+		// redistribution stays uniform and sub-properties stay non-empty).
+		var pick rdf.ID
+		best := -1
+		for p, n := range freq {
+			if protected[p] || n < 2 {
+				continue
+			}
+			if n > best || (n == best && p < pick) {
+				best, pick = n, p
+			}
+		}
+		if best < 0 {
+			return nil, fmt.Errorf("datagen: no splittable property left at %d properties", cur)
+		}
+		// Split into n sub-properties, n ∈ 2..10 (the paper's n=1..9 new
+		// parts), capped by the remaining deficit and the row count.
+		parts := 2 + rng.Intn(9)
+		if max := targetProps - cur + 1; parts > max {
+			parts = max
+		}
+		if parts > best {
+			parts = best
+		}
+		subs := make([]rdf.ID, parts)
+		subs[0] = pick // the original id remains as the first sub-property
+		base := out.Graph.Dict.Term(pick).Value
+		for i := 1; i < parts; i++ {
+			splitSeq++
+			subs[i] = out.Graph.Dict.InternIRI(fmt.Sprintf("%s/split/%d", base, splitSeq))
+		}
+		idxs := byProp[pick]
+		newIdx := make(map[rdf.ID][]int, parts)
+		for k, i := range idxs {
+			p := subs[rng.Intn(parts)]
+			if k == 0 {
+				// The original id must keep at least one triple so catalog
+				// references (e.g. a split interesting property) stay valid.
+				p = pick
+			}
+			out.Graph.Triples[i].P = p
+			newIdx[p] = append(newIdx[p], i)
+		}
+		delete(byProp, pick)
+		delete(freq, pick)
+		for p, l := range newIdx {
+			byProp[p] = l
+			freq[p] = len(l)
+		}
+		// Some sub-properties may have drawn zero triples; only count the
+		// non-empty ones as distinct properties of the data set.
+		cur += len(newIdx) - 1
+	}
+
+	out.Graph.Normalize()
+	out.rankProperties()
+	return out, nil
+}

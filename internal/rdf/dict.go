@@ -1,0 +1,130 @@
+package rdf
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Dictionary interns RDF terms to dense identifiers starting at 1, and maps
+// identifiers back to terms. It corresponds to the "strings in dictionary"
+// structure of the paper's Table 1: every distinct lexical form occupies one
+// slot regardless of how many triples reference it.
+//
+// A Dictionary is safe for concurrent use. Lookups by ID are wait-free after
+// the corresponding Intern call has returned.
+type Dictionary struct {
+	mu    sync.RWMutex
+	byKey map[string]ID
+	terms []Term // terms[i] has ID i+1
+	bytes int64  // total bytes of interned lexical forms
+}
+
+// NewDictionary returns an empty dictionary.
+func NewDictionary() *Dictionary {
+	return &Dictionary{byKey: make(map[string]ID)}
+}
+
+// dictKey builds the interning key. Kind participates in the key so an IRI
+// and a literal with identical lexical forms intern separately, as required
+// by RDF semantics.
+func dictKey(t Term) string {
+	// One byte of kind prefix keeps keys unambiguous without re-rendering
+	// full N-Triples syntax.
+	return string([]byte{byte(t.Kind)}) + t.Value
+}
+
+// Intern returns the identifier for t, assigning a fresh one on first use.
+func (d *Dictionary) Intern(t Term) ID {
+	k := dictKey(t)
+	d.mu.RLock()
+	id, ok := d.byKey[k]
+	d.mu.RUnlock()
+	if ok {
+		return id
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if id, ok = d.byKey[k]; ok {
+		return id
+	}
+	d.terms = append(d.terms, t)
+	id = ID(len(d.terms))
+	d.byKey[k] = id
+	d.bytes += int64(len(t.Value)) + 1
+	return id
+}
+
+// InternIRI is shorthand for Intern(NewIRI(v)).
+func (d *Dictionary) InternIRI(v string) ID { return d.Intern(NewIRI(v)) }
+
+// InternLiteral is shorthand for Intern(NewLiteral(v)).
+func (d *Dictionary) InternLiteral(v string) ID { return d.Intern(NewLiteral(v)) }
+
+// Lookup returns the identifier for t without interning. The second result
+// reports whether t is present.
+func (d *Dictionary) Lookup(t Term) (ID, bool) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	id, ok := d.byKey[dictKey(t)]
+	return id, ok
+}
+
+// LookupIRI returns the identifier of the IRI v, or NoID if absent.
+func (d *Dictionary) LookupIRI(v string) ID {
+	id, ok := d.Lookup(NewIRI(v))
+	if !ok {
+		return NoID
+	}
+	return id
+}
+
+// LookupLiteral returns the identifier of the literal v, or NoID if absent.
+func (d *Dictionary) LookupLiteral(v string) ID {
+	id, ok := d.Lookup(NewLiteral(v))
+	if !ok {
+		return NoID
+	}
+	return id
+}
+
+// Term returns the term for id. It panics on identifiers the dictionary
+// never issued, which always indicates a programming error in a caller.
+func (d *Dictionary) Term(id ID) Term {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if id == NoID || int(id) > len(d.terms) {
+		panic(fmt.Sprintf("rdf: dictionary lookup of invalid id %d (size %d)", id, len(d.terms)))
+	}
+	return d.terms[id-1]
+}
+
+// Len returns the number of distinct terms interned so far.
+func (d *Dictionary) Len() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return len(d.terms)
+}
+
+// Bytes returns the total size in bytes of all interned lexical forms,
+// the "data set size" contribution of the dictionary in Table 1.
+func (d *Dictionary) Bytes() int64 {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.bytes
+}
+
+// IDs returns all identifiers whose term satisfies pred, in ascending order.
+// It is used by test code and by the benchmark's property-list setup.
+func (d *Dictionary) IDs(pred func(Term) bool) []ID {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	var out []ID
+	for i, t := range d.terms {
+		if pred(t) {
+			out = append(out, ID(i+1))
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

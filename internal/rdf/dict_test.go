@@ -1,0 +1,115 @@
+package rdf
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestDictionaryInternStable(t *testing.T) {
+	d := NewDictionary()
+	a := d.InternIRI("a")
+	b := d.InternIRI("b")
+	if a == b {
+		t.Fatal("distinct terms share an id")
+	}
+	if got := d.InternIRI("a"); got != a {
+		t.Fatalf("re-intern changed id: %d vs %d", got, a)
+	}
+	if d.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", d.Len())
+	}
+}
+
+func TestDictionaryKindsDistinct(t *testing.T) {
+	d := NewDictionary()
+	iri := d.InternIRI("same")
+	lit := d.InternLiteral("same")
+	if iri == lit {
+		t.Fatal("IRI and literal with equal value interned to same id")
+	}
+	if d.Term(iri).Kind != IRI || d.Term(lit).Kind != Literal {
+		t.Fatal("kinds lost")
+	}
+}
+
+func TestDictionaryLookup(t *testing.T) {
+	d := NewDictionary()
+	id := d.InternLiteral("end")
+	if got := d.LookupLiteral("end"); got != id {
+		t.Fatalf("LookupLiteral = %d, want %d", got, id)
+	}
+	if got := d.LookupLiteral("missing"); got != NoID {
+		t.Fatalf("missing literal returned %d", got)
+	}
+	if got := d.LookupIRI("missing"); got != NoID {
+		t.Fatalf("missing IRI returned %d", got)
+	}
+}
+
+func TestDictionaryTermPanicsOnInvalid(t *testing.T) {
+	d := NewDictionary()
+	d.InternIRI("x")
+	for _, id := range []ID{NoID, 99} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Term(%d) did not panic", id)
+				}
+			}()
+			d.Term(id)
+		}()
+	}
+}
+
+func TestDictionaryBytes(t *testing.T) {
+	d := NewDictionary()
+	d.InternIRI("abcd") // 4 + 1
+	d.InternLiteral("xy")
+	if got := d.Bytes(); got != 5+3 {
+		t.Fatalf("Bytes = %d, want 8", got)
+	}
+}
+
+func TestDictionaryConcurrent(t *testing.T) {
+	d := NewDictionary()
+	const goroutines = 8
+	const n = 500
+	var wg sync.WaitGroup
+	ids := make([][]ID, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			ids[g] = make([]ID, n)
+			for i := 0; i < n; i++ {
+				ids[g][i] = d.InternIRI(fmt.Sprintf("term-%d", i))
+			}
+		}(g)
+	}
+	wg.Wait()
+	if d.Len() != n {
+		t.Fatalf("Len = %d, want %d", d.Len(), n)
+	}
+	for g := 1; g < goroutines; g++ {
+		for i := 0; i < n; i++ {
+			if ids[g][i] != ids[0][i] {
+				t.Fatalf("goroutine %d interned term-%d as %d, goroutine 0 as %d", g, i, ids[g][i], ids[0][i])
+			}
+		}
+	}
+}
+
+func TestDictionaryIDs(t *testing.T) {
+	d := NewDictionary()
+	d.InternIRI("keep-1")
+	d.InternIRI("drop")
+	d.InternIRI("keep-2")
+	got := d.IDs(func(tm Term) bool { return len(tm.Value) > 4 })
+	if len(got) != 2 {
+		t.Fatalf("IDs returned %v", got)
+	}
+	if d.Term(got[0]).Value != "keep-1" || d.Term(got[1]).Value != "keep-2" {
+		t.Fatalf("IDs returned wrong terms: %v", got)
+	}
+}

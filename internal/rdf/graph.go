@@ -1,0 +1,70 @@
+package rdf
+
+import (
+	"fmt"
+)
+
+// Graph is an in-memory dictionary-encoded RDF data set: the unit handed to
+// storage engines for loading. The triple slice is not required to be sorted
+// or duplicate-free until Normalize is called; loaders call Normalize.
+type Graph struct {
+	Dict    *Dictionary
+	Triples []Triple
+}
+
+// NewGraph returns an empty graph with a fresh dictionary.
+func NewGraph() *Graph {
+	return &Graph{Dict: NewDictionary()}
+}
+
+// Add encodes and appends one statement.
+func (g *Graph) Add(s, p, o Term) {
+	g.Triples = append(g.Triples, Triple{
+		S: g.Dict.Intern(s),
+		P: g.Dict.Intern(p),
+		O: g.Dict.Intern(o),
+	})
+}
+
+// AddIDs appends one pre-encoded statement. Callers are responsible for the
+// identifiers having been issued by g.Dict.
+func (g *Graph) AddIDs(s, p, o ID) {
+	g.Triples = append(g.Triples, Triple{S: s, P: p, O: o})
+}
+
+// Normalize sorts the triples in SPO order and removes duplicates, turning
+// the bag of statements into a set. It returns the number of duplicates
+// removed.
+func (g *Graph) Normalize() int {
+	before := len(g.Triples)
+	SPO.Sort(g.Triples)
+	g.Triples = Dedup(g.Triples)
+	return before - len(g.Triples)
+}
+
+// Len returns the number of triples currently in the graph.
+func (g *Graph) Len() int { return len(g.Triples) }
+
+// Decode returns the three terms of t.
+func (g *Graph) Decode(t Triple) (s, p, o Term) {
+	return g.Dict.Term(t.S), g.Dict.Term(t.P), g.Dict.Term(t.O)
+}
+
+// Validate checks internal consistency: every identifier referenced by a
+// triple must have been issued by the dictionary. It is used by tests and by
+// the loader after parsing untrusted input.
+func (g *Graph) Validate() error {
+	n := ID(g.Dict.Len())
+	for i, t := range g.Triples {
+		if t.S == NoID || t.S > n {
+			return fmt.Errorf("rdf: triple %d has invalid subject id %d", i, t.S)
+		}
+		if t.P == NoID || t.P > n {
+			return fmt.Errorf("rdf: triple %d has invalid property id %d", i, t.P)
+		}
+		if t.O == NoID || t.O > n {
+			return fmt.Errorf("rdf: triple %d has invalid object id %d", i, t.O)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,126 @@
+package rdf
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// ReadNTriples parses a subset of the N-Triples format from r into a new
+// graph: one statement per line, terms separated by whitespace, a trailing
+// '.', '#' comment lines, and blank lines. Literal datatype/language tags
+// are accepted and discarded (the benchmark never queries them).
+func ReadNTriples(r io.Reader) (*Graph, error) {
+	g := NewGraph()
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		s, p, o, err := parseStatement(line)
+		if err != nil {
+			return nil, fmt.Errorf("rdf: line %d: %w", lineNo, err)
+		}
+		g.Add(s, p, o)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("rdf: read: %w", err)
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// parseStatement splits one N-Triples line into its three terms.
+func parseStatement(line string) (s, p, o Term, err error) {
+	line = strings.TrimSpace(strings.TrimSuffix(strings.TrimSpace(line), "."))
+	toks, err := splitTerms(line)
+	if err != nil {
+		return s, p, o, err
+	}
+	if len(toks) != 3 {
+		return s, p, o, fmt.Errorf("expected 3 terms, found %d in %q", len(toks), line)
+	}
+	if s, err = ParseTerm(toks[0]); err != nil {
+		return s, p, o, err
+	}
+	if p, err = ParseTerm(toks[1]); err != nil {
+		return s, p, o, err
+	}
+	if o, err = ParseTerm(toks[2]); err != nil {
+		return s, p, o, err
+	}
+	return s, p, o, nil
+}
+
+// splitTerms tokenizes a statement body, respecting quoted literals that may
+// contain whitespace and escaped quotes.
+func splitTerms(line string) ([]string, error) {
+	var toks []string
+	i := 0
+	n := len(line)
+	for i < n {
+		for i < n && (line[i] == ' ' || line[i] == '\t') {
+			i++
+		}
+		if i >= n {
+			break
+		}
+		start := i
+		switch line[i] {
+		case '<':
+			for i < n && line[i] != '>' {
+				i++
+			}
+			if i >= n {
+				return nil, fmt.Errorf("unterminated IRI in %q", line)
+			}
+			i++ // include '>'
+		case '"':
+			i++
+			for i < n {
+				if line[i] == '\\' {
+					i += 2
+					continue
+				}
+				if line[i] == '"' {
+					break
+				}
+				i++
+			}
+			if i >= n {
+				return nil, fmt.Errorf("unterminated literal in %q", line)
+			}
+			i++ // include closing quote
+			// Swallow datatype/language suffix, e.g. ^^<...> or @en.
+			for i < n && line[i] != ' ' && line[i] != '\t' {
+				i++
+			}
+		default:
+			for i < n && line[i] != ' ' && line[i] != '\t' {
+				i++
+			}
+		}
+		toks = append(toks, line[start:i])
+	}
+	return toks, nil
+}
+
+// WriteNTriples serializes the graph to w in N-Triples syntax, one statement
+// per line in the graph's current triple order.
+func WriteNTriples(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	for _, t := range g.Triples {
+		s, p, o := g.Decode(t)
+		if _, err := fmt.Fprintf(bw, "%s %s %s .\n", s, p, o); err != nil {
+			return fmt.Errorf("rdf: write: %w", err)
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,88 @@
+package rdf
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+const sampleNT = `# a comment
+<http://x/s1> <http://x/type> <http://x/Text> .
+<http://x/s1> <http://x/title> "hello world" .
+
+<http://x/s2> <http://x/type> <http://x/Date> .
+_:b1 <http://x/points> "end"@en .
+`
+
+func TestReadNTriples(t *testing.T) {
+	g, err := ReadNTriples(strings.NewReader(sampleNT))
+	if err != nil {
+		t.Fatalf("ReadNTriples: %v", err)
+	}
+	if g.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", g.Len())
+	}
+	s, p, o := g.Decode(g.Triples[1])
+	if s.Value != "http://x/s1" || p.Value != "http://x/title" || o.Value != "hello world" {
+		t.Fatalf("triple 1 decoded wrong: %v %v %v", s, p, o)
+	}
+	if o.Kind != Literal {
+		t.Fatal("literal kind lost")
+	}
+	// Language tag must be discarded, not kept in the value.
+	_, _, o = g.Decode(g.Triples[3])
+	if o.Value != "end" {
+		t.Fatalf("language-tagged literal parsed as %q", o.Value)
+	}
+}
+
+func TestReadNTriplesErrors(t *testing.T) {
+	bad := []string{
+		"<http://x/s> <http://x/p> .\n",                      // two terms
+		"<http://x/s <http://x/p> <http://x/o> .\n",          // unterminated IRI
+		`<http://x/s> <http://x/p> "unterminated .` + "\n",   // unterminated literal
+		"<http://x/s> <http://x/p> <http://x/o> <extra> .\n", // four terms
+	}
+	for _, in := range bad {
+		if _, err := ReadNTriples(strings.NewReader(in)); err == nil {
+			t.Errorf("accepted malformed input %q", in)
+		}
+	}
+}
+
+func TestNTriplesRoundTrip(t *testing.T) {
+	g, err := ReadNTriples(strings.NewReader(sampleNT))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteNTriples(&buf, g); err != nil {
+		t.Fatalf("WriteNTriples: %v", err)
+	}
+	g2, err := ReadNTriples(&buf)
+	if err != nil {
+		t.Fatalf("re-read: %v", err)
+	}
+	if g2.Len() != g.Len() {
+		t.Fatalf("round trip changed count: %d vs %d", g2.Len(), g.Len())
+	}
+	for i := range g.Triples {
+		s1, p1, o1 := g.Decode(g.Triples[i])
+		s2, p2, o2 := g2.Decode(g2.Triples[i])
+		if s1 != s2 || p1 != p2 || o1 != o2 {
+			t.Fatalf("triple %d changed: (%v %v %v) vs (%v %v %v)", i, s1, p1, o1, s2, p2, o2)
+		}
+	}
+}
+
+func TestLiteralWithSpacesAndQuotes(t *testing.T) {
+	in := `<http://x/s> <http://x/p> "a \"quoted\" value with spaces" .` + "\n"
+	g, err := ReadNTriples(strings.NewReader(in))
+	if err != nil {
+		t.Fatalf("ReadNTriples: %v", err)
+	}
+	_, _, o := g.Decode(g.Triples[0])
+	if o.Value != `a "quoted" value with spaces` {
+		t.Fatalf("got %q", o.Value)
+	}
+}

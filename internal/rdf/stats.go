@@ -1,0 +1,139 @@
+package rdf
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Stats summarizes a data set along the axes of the paper's Table 1.
+type Stats struct {
+	// Triples is the total number of statements.
+	Triples int
+	// DistinctProperties, DistinctSubjects, DistinctObjects count distinct
+	// identifiers per role.
+	DistinctProperties int
+	DistinctSubjects   int
+	DistinctObjects    int
+	// SubjectObjectOverlap counts identifiers that occur both as a subject
+	// and as an object ("distinct subjects that appear also as objects, and
+	// vice versa").
+	SubjectObjectOverlap int
+	// DictionaryStrings is the number of distinct lexical forms interned.
+	DictionaryStrings int
+	// DataSetBytes approximates the on-disk footprint: dictionary strings
+	// plus 3×8 bytes per encoded triple.
+	DataSetBytes int64
+
+	// PropFreq, SubjFreq, ObjFreq map identifier → number of triples in
+	// which it plays the respective role. They feed the Figure 1 CFDs and
+	// the data generator validation tests.
+	PropFreq map[ID]int
+	SubjFreq map[ID]int
+	ObjFreq  map[ID]int
+}
+
+// ComputeStats scans the graph once and derives all Table 1 quantities.
+func ComputeStats(g *Graph) *Stats {
+	st := &Stats{
+		Triples:  len(g.Triples),
+		PropFreq: make(map[ID]int),
+		SubjFreq: make(map[ID]int),
+		ObjFreq:  make(map[ID]int),
+	}
+	for _, t := range g.Triples {
+		st.SubjFreq[t.S]++
+		st.PropFreq[t.P]++
+		st.ObjFreq[t.O]++
+	}
+	st.DistinctProperties = len(st.PropFreq)
+	st.DistinctSubjects = len(st.SubjFreq)
+	st.DistinctObjects = len(st.ObjFreq)
+	for s := range st.SubjFreq {
+		if _, ok := st.ObjFreq[s]; ok {
+			st.SubjectObjectOverlap++
+		}
+	}
+	st.DictionaryStrings = g.Dict.Len()
+	st.DataSetBytes = g.Dict.Bytes() + int64(len(g.Triples))*24
+	return st
+}
+
+// TopK returns the k most frequent identifiers in freq, most frequent first.
+// Ties break by identifier for determinism.
+func TopK(freq map[ID]int, k int) []ID {
+	ids := make([]ID, 0, len(freq))
+	for id := range freq {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		if freq[ids[i]] != freq[ids[j]] {
+			return freq[ids[i]] > freq[ids[j]]
+		}
+		return ids[i] < ids[j]
+	})
+	if k > len(ids) {
+		k = len(ids)
+	}
+	return ids[:k]
+}
+
+// CFDPoint is one point of a cumulative frequency distribution: the top
+// PctItems percent of items (by descending frequency) account for PctTriples
+// percent of all triples.
+type CFDPoint struct {
+	PctItems   float64
+	PctTriples float64
+}
+
+// CFD computes the cumulative frequency distribution of freq over total
+// triples, sampled at steps evenly spaced item-percentiles (plus the 100%
+// point). It reproduces one curve of the paper's Figure 1.
+func CFD(freq map[ID]int, total int, steps int) []CFDPoint {
+	if steps < 1 {
+		steps = 1
+	}
+	counts := make([]int, 0, len(freq))
+	for _, c := range freq {
+		counts = append(counts, c)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(counts)))
+	n := len(counts)
+	if n == 0 || total == 0 {
+		return nil
+	}
+	// Prefix sums for O(1) cumulative lookups.
+	prefix := make([]int, n+1)
+	for i, c := range counts {
+		prefix[i+1] = prefix[i] + c
+	}
+	pts := make([]CFDPoint, 0, steps+1)
+	for s := 1; s <= steps; s++ {
+		frac := float64(s) / float64(steps)
+		k := int(frac * float64(n))
+		if k < 1 {
+			k = 1
+		}
+		pts = append(pts, CFDPoint{
+			PctItems:   100 * float64(k) / float64(n),
+			PctTriples: 100 * float64(prefix[k]) / float64(total),
+		})
+	}
+	return pts
+}
+
+// FormatTable1 renders the stats in the layout of the paper's Table 1.
+func (st *Stats) FormatTable1() string {
+	var b strings.Builder
+	row := func(label string, v interface{}) {
+		fmt.Fprintf(&b, "%-52s %14v\n", label, v)
+	}
+	row("total triples", st.Triples)
+	row("distinct properties", st.DistinctProperties)
+	row("distinct subjects", st.DistinctSubjects)
+	row("distinct objects", st.DistinctObjects)
+	row("distinct subjects that appear also as objects", st.SubjectObjectOverlap)
+	row("strings in dictionary", st.DictionaryStrings)
+	row("data set size (bytes)", st.DataSetBytes)
+	return b.String()
+}

@@ -1,0 +1,107 @@
+package rdf
+
+import (
+	"strings"
+	"testing"
+)
+
+func statGraph() *Graph {
+	g := NewGraph()
+	typ := NewIRI("type")
+	text := NewIRI("Text")
+	// s1 and s2 are typed; s1 also links to s2, so s2 is both subject and object.
+	g.Add(NewIRI("s1"), typ, text)
+	g.Add(NewIRI("s2"), typ, text)
+	g.Add(NewIRI("s1"), NewIRI("records"), NewIRI("s2"))
+	g.Add(NewIRI("s1"), NewIRI("title"), NewLiteral("a title"))
+	return g
+}
+
+func TestComputeStats(t *testing.T) {
+	g := statGraph()
+	st := ComputeStats(g)
+	if st.Triples != 4 {
+		t.Fatalf("Triples = %d", st.Triples)
+	}
+	if st.DistinctProperties != 3 {
+		t.Fatalf("DistinctProperties = %d", st.DistinctProperties)
+	}
+	if st.DistinctSubjects != 2 {
+		t.Fatalf("DistinctSubjects = %d", st.DistinctSubjects)
+	}
+	if st.DistinctObjects != 3 { // Text, s2, "a title"
+		t.Fatalf("DistinctObjects = %d", st.DistinctObjects)
+	}
+	if st.SubjectObjectOverlap != 1 { // only s2
+		t.Fatalf("SubjectObjectOverlap = %d", st.SubjectObjectOverlap)
+	}
+	if st.DictionaryStrings != g.Dict.Len() {
+		t.Fatal("DictionaryStrings mismatch")
+	}
+	if st.DataSetBytes <= 0 {
+		t.Fatal("DataSetBytes not positive")
+	}
+}
+
+func TestTopK(t *testing.T) {
+	freq := map[ID]int{1: 5, 2: 9, 3: 9, 4: 1}
+	got := TopK(freq, 3)
+	if len(got) != 3 || got[0] != 2 || got[1] != 3 || got[2] != 1 {
+		t.Fatalf("TopK = %v", got)
+	}
+	if got := TopK(freq, 99); len(got) != 4 {
+		t.Fatalf("TopK overflow = %v", got)
+	}
+}
+
+func TestCFDMonotone(t *testing.T) {
+	freq := map[ID]int{}
+	total := 0
+	for i := 1; i <= 100; i++ {
+		freq[ID(i)] = 1000 / i // Zipf-ish
+		total += 1000 / i
+	}
+	pts := CFD(freq, total, 20)
+	if len(pts) != 20 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].PctTriples < pts[i-1].PctTriples {
+			t.Fatalf("CFD not monotone at %d: %v < %v", i, pts[i], pts[i-1])
+		}
+		if pts[i].PctItems < pts[i-1].PctItems {
+			t.Fatalf("item pct not monotone at %d", i)
+		}
+	}
+	last := pts[len(pts)-1]
+	if last.PctItems != 100 || last.PctTriples < 99.999 {
+		t.Fatalf("CFD does not end at (100,100): %+v", last)
+	}
+}
+
+func TestCFDSkewVisible(t *testing.T) {
+	// One item holds 90% of mass; the top decile must reflect that.
+	freq := map[ID]int{1: 900}
+	for i := 2; i <= 100; i++ {
+		freq[ID(i)] = 1
+	}
+	pts := CFD(freq, 999, 10)
+	if pts[0].PctTriples < 90 {
+		t.Fatalf("top 10%% covers only %.1f%%", pts[0].PctTriples)
+	}
+}
+
+func TestCFDEmpty(t *testing.T) {
+	if pts := CFD(map[ID]int{}, 0, 10); pts != nil {
+		t.Fatalf("empty CFD = %v", pts)
+	}
+}
+
+func TestFormatTable1(t *testing.T) {
+	out := ComputeStats(statGraph()).FormatTable1()
+	for _, want := range []string{"total triples", "distinct properties", "strings in dictionary"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("FormatTable1 missing %q:\n%s", want, out)
+		}
+	}
+}

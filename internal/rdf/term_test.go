@@ -1,0 +1,88 @@
+package rdf
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestParseTermIRI(t *testing.T) {
+	tm, err := ParseTerm("<http://example.org/type>")
+	if err != nil {
+		t.Fatalf("ParseTerm: %v", err)
+	}
+	if tm.Kind != IRI || tm.Value != "http://example.org/type" {
+		t.Fatalf("got %+v", tm)
+	}
+}
+
+func TestParseTermLiteral(t *testing.T) {
+	tm, err := ParseTerm(`"end"`)
+	if err != nil {
+		t.Fatalf("ParseTerm: %v", err)
+	}
+	if tm.Kind != Literal || tm.Value != "end" {
+		t.Fatalf("got %+v", tm)
+	}
+}
+
+func TestParseTermLiteralWithDatatype(t *testing.T) {
+	tm, err := ParseTerm(`"42"^^<http://www.w3.org/2001/XMLSchema#int>`)
+	if err != nil {
+		t.Fatalf("ParseTerm: %v", err)
+	}
+	if tm.Kind != Literal || tm.Value != "42" {
+		t.Fatalf("got %+v", tm)
+	}
+}
+
+func TestParseTermBlank(t *testing.T) {
+	tm, err := ParseTerm("_:b42")
+	if err != nil {
+		t.Fatalf("ParseTerm: %v", err)
+	}
+	if tm.Kind != Blank || tm.Value != "b42" {
+		t.Fatalf("got %+v", tm)
+	}
+}
+
+func TestParseTermErrors(t *testing.T) {
+	for _, tok := range []string{"", "<unterminated", `"`, "_:", "plain"} {
+		if _, err := ParseTerm(tok); err == nil {
+			t.Errorf("ParseTerm(%q): expected error", tok)
+		}
+	}
+}
+
+func TestTermRoundTrip(t *testing.T) {
+	terms := []Term{
+		NewIRI("http://x/y"),
+		NewLiteral("plain"),
+		NewLiteral(`quote " and \ slash`),
+		NewLiteral("tab\tnewline\n"),
+		NewBlank("node1"),
+	}
+	for _, tm := range terms {
+		got, err := ParseTerm(tm.String())
+		if err != nil {
+			t.Fatalf("round trip %v: %v", tm, err)
+		}
+		if got != tm {
+			t.Errorf("round trip %v: got %v", tm, got)
+		}
+	}
+}
+
+func TestEscapeUnescapeProperty(t *testing.T) {
+	f := func(s string) bool {
+		return unescapeLiteral(escapeLiteral(s)) == s
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTermKindString(t *testing.T) {
+	if IRI.String() != "iri" || Literal.String() != "literal" || Blank.String() != "blank" {
+		t.Fatal("kind names wrong")
+	}
+}

@@ -1,0 +1,375 @@
+package rowstore
+
+import (
+	"math/rand"
+	"testing"
+
+	"blackswan/internal/rel"
+	"blackswan/internal/simio"
+)
+
+func newEngine() *Engine {
+	store := simio.NewStore(simio.Config{Machine: simio.MachineB(), PoolBytes: 1 << 30, PageSize: 4096})
+	return NewEngine(store)
+}
+
+// tripleRows builds a deterministic triples relation.
+func tripleRows(n int, seed int64) *rel.Rel {
+	rng := rand.New(rand.NewSource(seed))
+	r := rel.NewCap(3, n)
+	for i := 0; i < n; i++ {
+		r.Append(uint64(rng.Intn(200)+1), uint64(rng.Intn(20)+1), uint64(rng.Intn(100)+1))
+	}
+	return r
+}
+
+func loadTriples(t *testing.T, e *Engine, rows *rel.Rel, clustered Perm, secondary ...Perm) *Table {
+	t.Helper()
+	tb, err := e.CreateTable(TableSpec{
+		Name: "triples", Width: 3, Clustered: clustered, Secondary: secondary, PrefixCompress: true,
+	}, rows)
+	if err != nil {
+		t.Fatalf("CreateTable: %v", err)
+	}
+	return tb
+}
+
+func TestCreateTableValidation(t *testing.T) {
+	e := newEngine()
+	rows := tripleRows(10, 1)
+	if _, err := e.CreateTable(TableSpec{Name: "t", Width: 3, Clustered: Perm{0, 1}}, rows); err == nil {
+		t.Fatal("short permutation accepted")
+	}
+	if _, err := e.CreateTable(TableSpec{Name: "t", Width: 3, Clustered: Perm{0, 0, 1}}, rows); err == nil {
+		t.Fatal("repeated column accepted")
+	}
+	if _, err := e.CreateTable(TableSpec{Name: "t", Width: 2, Clustered: Perm{0, 1}}, rows); err == nil {
+		t.Fatal("width mismatch accepted")
+	}
+	if _, err := e.CreateTable(TableSpec{Name: "t", Width: 3, Clustered: Perm{0, 1, 2}}, rows); err != nil {
+		t.Fatalf("valid spec rejected: %v", err)
+	}
+	if _, err := e.CreateTable(TableSpec{Name: "t", Width: 3, Clustered: Perm{0, 1, 2}}, rows); err == nil {
+		t.Fatal("duplicate table accepted")
+	}
+	if _, err := e.Table("missing"); err == nil {
+		t.Fatal("missing table lookup succeeded")
+	}
+	if !e.HasTable("t") || e.Tables() != 1 {
+		t.Fatal("catalog wrong")
+	}
+}
+
+func TestScanAllReturnsEverything(t *testing.T) {
+	e := newEngine()
+	rows := tripleRows(5000, 2)
+	tb := loadTriples(t, e, rows, Perm{1, 0, 2}) // PSO
+	got := e.ScanAll(tb)
+	if !rel.Equal(got, rows) {
+		t.Fatalf("ScanAll returned %d rows, want %d (or content differs)", got.Len(), rows.Len())
+	}
+}
+
+func TestScanEqMatchesLinearFilter(t *testing.T) {
+	e := newEngine()
+	rows := tripleRows(5000, 3)
+	tb := loadTriples(t, e, rows, Perm{1, 0, 2}, Perm{0, 1, 2}, Perm{2, 0, 1})
+	cases := []map[int]uint64{
+		{1: 5},          // property bound — matches PSO prefix
+		{0: 17},         // subject bound — matches SPO secondary
+		{2: 40},         // object bound — matches OSP secondary
+		{1: 5, 0: 17},   // property+subject
+		{0: 17, 2: 40},  // subject+object
+		{1: 5, 2: 1000}, // no matches
+	}
+	for _, bound := range cases {
+		want := rel.New(3)
+		for i := 0; i < rows.Len(); i++ {
+			row := rows.Row(i)
+			ok := true
+			for c, v := range bound {
+				if row[c] != v {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				want.Data = append(want.Data, row...)
+			}
+		}
+		got := e.ScanEq(tb, bound)
+		if !rel.Equal(got, want) {
+			t.Fatalf("ScanEq(%v): got %d rows, want %d", bound, got.Len(), want.Len())
+		}
+	}
+}
+
+func TestPickIndexPrefersLongestPrefix(t *testing.T) {
+	e := newEngine()
+	rows := tripleRows(20_000, 4) // large enough for leaf-level estimates
+	tb := loadTriples(t, e, rows, Perm{1, 0, 2}, Perm{2, 1, 0})
+	// (o,p) bound: the OPS secondary covers both fields and the range is
+	// selective (~1/2000 of the data), so it wins over the clustered PSO.
+	ix, plen := pickIndex(tb, map[int]uint64{2: 1, 1: 1})
+	if ix.Perm.String() != "210" || plen != 2 {
+		t.Fatalf("picked %v plen %d, want 210 plen 2", ix.Perm, plen)
+	}
+	// Property-only binding: PSO clustered covers 1 field.
+	ix, plen = pickIndex(tb, map[int]uint64{1: 1})
+	if ix.Perm.String() != "102" || plen != 1 {
+		t.Fatalf("picked %v plen %d, want 102 plen 1", ix.Perm, plen)
+	}
+	// Nothing bound: clustered full scan.
+	ix, plen = pickIndex(tb, nil)
+	if !ix.Clustered || plen != 0 {
+		t.Fatal("unbound scan should use clustered index")
+	}
+}
+
+func TestPickIndexDemotesWideSecondaryRanges(t *testing.T) {
+	// An SPO-clustered table with a POS secondary: a property covering 50%
+	// of the rows must NOT use the unclustered index (the optimizer's
+	// selectivity rule), while a rare property may.
+	e := newEngine()
+	rows := rel.NewCap(3, 40_000)
+	for i := 0; i < 40_000; i++ {
+		p := uint64(1) // the dominant property
+		if i%2 == 0 {
+			p = uint64(i%50) + 2
+		}
+		rows.Append(uint64(i), p, uint64(i%97))
+	}
+	tb, err := e.CreateTable(TableSpec{
+		Name: "t", Width: 3, Clustered: Perm{0, 1, 2},
+		Secondary: []Perm{{1, 2, 0}}, PrefixCompress: true,
+	}, rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, _ := pickIndex(tb, map[int]uint64{1: 1})
+	if !ix.Clustered {
+		t.Fatal("wide range should fall back to the clustered index")
+	}
+	ix, plen := pickIndex(tb, map[int]uint64{1: 17})
+	if ix.Clustered || plen != 1 {
+		t.Fatalf("selective range should use the POS secondary, got %v", ix.Perm)
+	}
+}
+
+func TestClusteringAffectsIO(t *testing.T) {
+	// A property-bound scan must read far less through a PSO clustering
+	// than through an SPO clustering with no helpful secondary index.
+	rows := tripleRows(200_000, 5)
+
+	ePSO := newEngine()
+	tPSO := loadTriples(t, ePSO, rows, Perm{1, 0, 2})
+	ePSO.Store.DropCaches()
+	ePSO.Store.ResetStats()
+	resPSO := ePSO.ScanEq(tPSO, map[int]uint64{1: 7})
+	bytesPSO := ePSO.Store.Stats().BytesRead
+
+	eSPO := newEngine()
+	tSPO := loadTriples(t, eSPO, rows, Perm{0, 1, 2})
+	eSPO.Store.DropCaches()
+	eSPO.Store.ResetStats()
+	resSPO := eSPO.ScanEq(tSPO, map[int]uint64{1: 7})
+	bytesSPO := eSPO.Store.Stats().BytesRead
+
+	if !rel.Equal(resPSO, resSPO) {
+		t.Fatal("clusterings disagree on results")
+	}
+	if bytesPSO*5 > bytesSPO {
+		t.Fatalf("PSO read %d bytes, SPO %d — want ≥5x advantage", bytesPSO, bytesSPO)
+	}
+}
+
+func TestExists(t *testing.T) {
+	e := newEngine()
+	r := rel.New(3)
+	r.Append(1, 2, 3)
+	r.Append(4, 5, 6)
+	tb := loadTriples(t, e, r, Perm{0, 1, 2})
+	if !e.Exists(tb, map[int]uint64{0: 1, 1: 2, 2: 3}) {
+		t.Fatal("present row not found")
+	}
+	if e.Exists(tb, map[int]uint64{0: 1, 1: 2, 2: 4}) {
+		t.Fatal("absent row found")
+	}
+}
+
+func TestFilters(t *testing.T) {
+	e := newEngine()
+	r := rel.New(2)
+	r.Append(1, 10)
+	r.Append(2, 20)
+	r.Append(3, 10)
+	if got := e.FilterEq(r, 1, 10); got.Len() != 2 {
+		t.Fatalf("FilterEq: %d rows", got.Len())
+	}
+	if got := e.FilterNe(r, 0, 2); got.Len() != 2 {
+		t.Fatalf("FilterNe: %d rows", got.Len())
+	}
+	if got := e.FilterIn(r, 0, map[uint64]bool{1: true, 3: true}); got.Len() != 2 {
+		t.Fatalf("FilterIn: %d rows", got.Len())
+	}
+}
+
+func TestHashJoinCorrect(t *testing.T) {
+	e := newEngine()
+	l := rel.New(2)
+	l.Append(1, 100)
+	l.Append(2, 200)
+	l.Append(2, 201)
+	r := rel.New(2)
+	r.Append(2, 900)
+	r.Append(3, 901)
+	r.Append(2, 902)
+	got := e.HashJoin(l, r, 0, 0)
+	want := rel.New(4)
+	want.Append(2, 200, 2, 900)
+	want.Append(2, 200, 2, 902)
+	want.Append(2, 201, 2, 900)
+	want.Append(2, 201, 2, 902)
+	if !rel.Equal(got, want) {
+		t.Fatalf("HashJoin = %v", got)
+	}
+	// Column order is preserved when the build side swaps.
+	big := rel.New(2)
+	for i := 0; i < 100; i++ {
+		big.Append(2, uint64(i))
+	}
+	got2 := e.HashJoin(big, r.Project(0, 1), 0, 0)
+	if got2.W != 4 || got2.Len() != 200 {
+		t.Fatalf("swapped join shape: w=%d n=%d", got2.W, got2.Len())
+	}
+	if row := got2.Row(0); row[0] != 2 {
+		t.Fatalf("swapped join column order broken: %v", row)
+	}
+}
+
+func TestMergeJoinMatchesHashJoin(t *testing.T) {
+	e := newEngine()
+	rng := rand.New(rand.NewSource(6))
+	l := rel.New(2)
+	r := rel.New(2)
+	for i := 0; i < 500; i++ {
+		l.Append(uint64(rng.Intn(50)), uint64(i))
+		r.Append(uint64(rng.Intn(50)), uint64(i+1000))
+	}
+	l.Sort()
+	r.Sort()
+	mj := e.MergeJoin(l, r, 0, 0)
+	hj := e.HashJoin(l, r, 0, 0)
+	if !rel.Equal(mj, hj) {
+		t.Fatalf("merge join disagrees with hash join: %d vs %d rows", mj.Len(), hj.Len())
+	}
+}
+
+func TestSemiJoinIn(t *testing.T) {
+	e := newEngine()
+	r := rel.New(2)
+	r.Append(1, 1)
+	r.Append(2, 2)
+	r.Append(3, 3)
+	keys := rel.New(1)
+	keys.Append(1)
+	keys.Append(3)
+	got := e.SemiJoinIn(r, 0, keys, 0)
+	if got.Len() != 2 {
+		t.Fatalf("SemiJoinIn: %d rows", got.Len())
+	}
+}
+
+func TestGroupCountAndHaving(t *testing.T) {
+	e := newEngine()
+	r := rel.New(2)
+	r.Append(1, 7)
+	r.Append(1, 8)
+	r.Append(2, 7)
+	g1 := e.GroupCount(r, 0)
+	want1 := rel.New(2)
+	want1.Append(1, 2)
+	want1.Append(2, 1)
+	if !rel.Equal(g1, want1) {
+		t.Fatalf("GroupCount(0) = %v", g1)
+	}
+	g2 := e.GroupCount(r, 0, 1)
+	if g2.Len() != 3 || g2.W != 3 {
+		t.Fatalf("GroupCount(0,1) shape: %v", g2)
+	}
+	h := e.HavingGT(g1, 1, 1)
+	if h.Len() != 1 || h.Row(0)[0] != 1 {
+		t.Fatalf("HavingGT = %v", h)
+	}
+}
+
+func TestGroupCountPanicsOnBadKeys(t *testing.T) {
+	e := newEngine()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	e.GroupCount(rel.New(2))
+}
+
+func TestUnionDistinct(t *testing.T) {
+	e := newEngine()
+	a := rel.New(1)
+	a.Append(1)
+	a.Append(2)
+	b := rel.New(1)
+	b.Append(2)
+	b.Append(3)
+	u := e.Union(a, b)
+	if u.Len() != 4 {
+		t.Fatalf("Union len = %d", u.Len())
+	}
+	d := e.Distinct(u)
+	if d.Len() != 3 {
+		t.Fatalf("Distinct len = %d", d.Len())
+	}
+}
+
+func TestUnionPanicsOnWidthMismatch(t *testing.T) {
+	e := newEngine()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	e.Union(rel.New(1), rel.New(2))
+}
+
+func TestOperatorsChargeCPU(t *testing.T) {
+	e := newEngine()
+	rows := tripleRows(10_000, 7)
+	tb := loadTriples(t, e, rows, Perm{1, 0, 2})
+	e.Store.Clock().Reset()
+	all := e.ScanAll(tb)
+	if e.Store.Clock().User() == 0 {
+		t.Fatal("scan charged no CPU")
+	}
+	before := e.Store.Clock().User()
+	e.GroupCount(all, 1)
+	if e.Store.Clock().User() <= before {
+		t.Fatal("group charged no CPU")
+	}
+}
+
+func TestPrefixCompressionReducesFootprint(t *testing.T) {
+	rows := tripleRows(100_000, 8)
+	e1 := newEngine()
+	t1, err := e1.CreateTable(TableSpec{Name: "c", Width: 3, Clustered: Perm{1, 0, 2}, PrefixCompress: true}, rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2 := newEngine()
+	t2, err := e2.CreateTable(TableSpec{Name: "p", Width: 3, Clustered: Perm{1, 0, 2}}, rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t1.SizeBytes() >= t2.SizeBytes() {
+		t.Fatalf("compressed %d >= plain %d", t1.SizeBytes(), t2.SizeBytes())
+	}
+}

@@ -1,0 +1,62 @@
+package simio
+
+import "time"
+
+// TraceEvent records one physical read: at simulated time At (real time at
+// the moment the transfer completes), Bytes were moved from disk to memory.
+type TraceEvent struct {
+	At    time.Duration
+	Bytes int64
+}
+
+// Trace accumulates the I/O read history of a run. Figure 5 of the paper
+// ("I/O Read history for q3 and q5") is the cumulative curve of these
+// events.
+type Trace struct {
+	Events []TraceEvent
+	total  int64
+}
+
+// NewTrace returns an empty trace.
+func NewTrace() *Trace { return &Trace{} }
+
+// Record appends one event.
+func (t *Trace) Record(at time.Duration, bytes int64) {
+	t.Events = append(t.Events, TraceEvent{At: at, Bytes: bytes})
+	t.total += bytes
+}
+
+// TotalBytes returns the sum of all recorded transfers — the "data read from
+// disk" column of the paper's Table 5.
+func (t *Trace) TotalBytes() int64 { return t.total }
+
+// Reset clears the trace; the harness calls it between queries.
+func (t *Trace) Reset() {
+	t.Events = t.Events[:0]
+	t.total = 0
+}
+
+// Cumulative resamples the trace into n evenly spaced points over the run's
+// duration, returning (time, cumulative bytes) pairs — the series plotted in
+// Figure 5. A nil result means no I/O happened.
+func (t *Trace) Cumulative(n int) []TraceEvent {
+	if len(t.Events) == 0 || n < 1 {
+		return nil
+	}
+	end := t.Events[len(t.Events)-1].At
+	if end == 0 {
+		return []TraceEvent{{At: 0, Bytes: t.total}}
+	}
+	out := make([]TraceEvent, 0, n)
+	var cum int64
+	j := 0
+	for i := 1; i <= n; i++ {
+		at := time.Duration(int64(end) * int64(i) / int64(n))
+		for j < len(t.Events) && t.Events[j].At <= at {
+			cum += t.Events[j].Bytes
+			j++
+		}
+		out = append(out, TraceEvent{At: at, Bytes: cum})
+	}
+	return out
+}
