@@ -17,6 +17,7 @@
 //	table7   full grid, hot runs
 //	fig6     execution time vs number of aggregated properties
 //	fig7     scale-up experiment (property splitting, 222 → 1000)
+//	parallel host-time speedup of the worker-pool execution mode
 //	sql      generated SQL for both schemes, with union/join counts
 //	gen      write the generated data set as N-Triples to stdout
 //	all      every experiment in paper order
@@ -26,6 +27,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"blackswan/internal/bench"
 	"blackswan/internal/core"
@@ -42,9 +44,10 @@ func main() {
 		fig7Max     = flag.Int("fig7-max", 1000, "maximum property count for fig7")
 		fig7Steps   = flag.Int("fig7-steps", 9, "measurement points for fig7")
 		fig6Steps   = flag.Int("fig6-steps", 8, "measurement points for fig6")
+		parallel    = flag.Int("parallel", 0, "worker count for the parallel experiment (defaults to NumCPU); the measured tables always run sequentially so their simulated timings stay deterministic")
 	)
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: swanbench [flags] <experiment>\nexperiments: table1 fig1 table2 table4 table5 fig5 table6 table7 fig6 fig7 sql gen all\nflags:\n")
+		fmt.Fprintf(os.Stderr, "usage: swanbench [flags] <experiment>\nexperiments: table1 fig1 table2 table4 table5 fig5 table6 table7 fig6 fig7 parallel sql gen all\nflags:\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -115,6 +118,15 @@ func main() {
 			pts, err := bench.Fig7(w, *fig7Max, *fig7Steps, *seed+1)
 			fail(err)
 			fmt.Print(bench.FormatFig7(pts))
+		case "parallel":
+			workers := *parallel
+			if workers <= 1 {
+				workers = runtime.NumCPU()
+			}
+			section(fmt.Sprintf("Parallel execution: star queries, %d workers", workers))
+			pts, err := bench.ParallelSweep(w, workers)
+			fail(err)
+			fmt.Print(bench.FormatParallel(pts, workers))
 		case "sql":
 			section("Generated SQL (triple-store, then vertically-partitioned)")
 			names := make([]string, 0, len(w.Cat.AllProps))
@@ -137,7 +149,7 @@ func main() {
 	}
 
 	if flag.Arg(0) == "all" {
-		for _, name := range []string{"table1", "fig1", "table2", "table4", "table5", "fig5", "table6", "table7", "fig6", "fig7"} {
+		for _, name := range []string{"table1", "fig1", "table2", "table4", "table5", "fig5", "table6", "table7", "fig6", "fig7", "parallel"} {
 			run(name)
 		}
 		return

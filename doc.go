@@ -6,8 +6,18 @@
 // The library lives under internal/: the RDF data model (internal/rdf), the
 // Barton-shaped data generator (internal/datagen), the simulated storage
 // environment (internal/simio), the two engines (internal/rowstore with
-// internal/btree, and internal/colstore), the storage schemes and benchmark
-// queries (internal/core), and the experiment harness (internal/bench).
+// internal/btree, and internal/colstore), the storage schemes, the
+// declarative query-plan layer and its shared executor (internal/core),
+// and the experiment harness (internal/bench).
+//
+// Every benchmark query is declared once as a logical plan
+// (core.PlanFor) and lowered onto all four storage schemes by one
+// executor through a small per-scheme physical-access interface
+// (core.PhysicalSource) — per-property scans, ordering hints that select
+// merge vs. hash joins, and partitioned-union fan-out that can run over a
+// worker pool (core.ExecOptions). DESIGN.md documents the architecture,
+// the system inventory and the substitutions for non-redistributable
+// resources.
 //
 // The root package holds the benchmark suite: one testing.B benchmark per
 // table and figure of the paper (bench_test.go) plus ablation benchmarks for
@@ -16,7 +26,6 @@
 //	go test -bench=. -benchmem
 //
 // to regenerate every experiment, or use cmd/swanbench for formatted,
-// full-scale output. DESIGN.md documents the system inventory and the
-// substitutions for non-redistributable resources; EXPERIMENTS.md records
-// paper-vs-measured results for every table and figure.
+// full-scale output (and its -parallel flag for the worker-pool execution
+// mode).
 package blackswan

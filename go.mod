@@ -1,0 +1,3 @@
+module blackswan
+
+go 1.24

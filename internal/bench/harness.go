@@ -64,6 +64,17 @@ type System struct {
 	Queries []core.Query
 }
 
+// SetParallel switches the system's plan executor to a pool of n worker
+// goroutines for per-property scan fan-out (effective on the vertically-
+// partitioned schemes; n <= 1 restores sequential execution). Results are
+// deterministic either way; only host time changes — the simulated clock
+// still models the paper's single-threaded systems.
+func (s *System) SetParallel(n int) {
+	if t, ok := s.DB.(core.Tunable); ok {
+		t.SetExecOptions(core.ExecOptions{Workers: n})
+	}
+}
+
 // Supports reports whether the system can run q.
 func (s *System) Supports(q core.Query) bool {
 	if s.Queries == nil {

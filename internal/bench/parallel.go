@@ -1,0 +1,115 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"time"
+
+	"blackswan/internal/core"
+	"blackswan/internal/rel"
+	"blackswan/internal/simio"
+)
+
+// The parallel experiment: the plan executor can fan the per-property scans
+// of the vertically-partitioned schemes out over a worker pool. The
+// simulated clock is unchanged (it models the paper's single-threaded
+// systems), so the quantity of interest is host wall-clock time — how much
+// faster the reproduction itself runs — plus the guarantee that results
+// stay byte-identical.
+
+// ParallelPoint is one sequential-vs-parallel host-time measurement.
+type ParallelPoint struct {
+	System  string
+	Query   core.Query
+	Seq     time.Duration // host time, sequential executor
+	Par     time.Duration // host time, worker-pool executor
+	Speedup float64
+	Rows    int
+}
+
+// hostTime runs q MeasuredRuns times and returns the best host wall-clock
+// (minimum filters scheduler and GC noise) plus the last result.
+func hostTime(s *System, q core.Query) (time.Duration, *rel.Rel, error) {
+	var best time.Duration
+	var res *rel.Rel
+	for i := 0; i < MeasuredRuns; i++ {
+		s.Store.DropCaches()
+		s.Store.Clock().Reset()
+		start := time.Now()
+		r, err := s.DB.Run(q)
+		if err != nil {
+			return 0, nil, err
+		}
+		if d := time.Since(start); best == 0 || d < best {
+			best = d
+		}
+		res = r
+	}
+	return best, res, nil
+}
+
+// ParallelSweep measures the star queries (the widest per-property
+// fan-outs) on both vertically-partitioned systems, sequentially and with
+// a pool of workers, and verifies result equivalence between the modes.
+func ParallelSweep(w *Workload, workers int) ([]ParallelPoint, error) {
+	queries := []core.Query{
+		{ID: core.Q2, Star: true}, {ID: core.Q3, Star: true},
+		{ID: core.Q4, Star: true}, {ID: core.Q6, Star: true},
+	}
+	builders := []func() (*System, error){
+		func() (*System, error) { return NewDBXVert(w, simio.MachineB()) },
+		func() (*System, error) { return NewMonetVert(w, simio.MachineB()) },
+	}
+	var out []ParallelPoint
+	for _, build := range builders {
+		sys, err := build()
+		if err != nil {
+			return nil, err
+		}
+		for _, q := range queries {
+			sys.SetParallel(1)
+			// One warm-up to take allocator noise out of the comparison.
+			if _, _, err := hostTime(sys, q); err != nil {
+				return nil, err
+			}
+			seq, seqRes, err := hostTime(sys, q)
+			if err != nil {
+				return nil, err
+			}
+			sys.SetParallel(workers)
+			par, parRes, err := hostTime(sys, q)
+			if err != nil {
+				return nil, err
+			}
+			sys.SetParallel(1)
+			if !rel.Equal(seqRes, parRes) {
+				return nil, fmt.Errorf("bench: %s %v: parallel result differs from sequential", sys.Name, q)
+			}
+			speedup := 0.0
+			if par > 0 {
+				speedup = float64(seq) / float64(par)
+			}
+			out = append(out, ParallelPoint{
+				System: sys.Name, Query: q,
+				Seq: seq, Par: par, Speedup: speedup, Rows: seqRes.Len(),
+			})
+		}
+	}
+	return out, nil
+}
+
+// FormatParallel renders the sweep with per-system rows.
+func FormatParallel(points []ParallelPoint, workers int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "host wall-clock, sequential vs %d workers on %d CPU(s) (simulated timings unchanged;\nspeedup needs GOMAXPROCS > 1 — on one CPU the pool only proves determinism)\n",
+		workers, runtime.GOMAXPROCS(0))
+	fmt.Fprintf(&b, "%-18s %-5s %12s %12s %9s %9s\n", "system", "query", "seq (ms)", "par (ms)", "speedup", "rows")
+	for _, p := range points {
+		fmt.Fprintf(&b, "%-18s %-5s %12.2f %12.2f %8.2fx %9d\n",
+			p.System, p.Query,
+			float64(p.Seq.Microseconds())/1e3, float64(p.Par.Microseconds())/1e3,
+			p.Speedup, p.Rows)
+	}
+	return b.String()
+}

@@ -1,0 +1,182 @@
+package colstore
+
+import (
+	"fmt"
+
+	"blackswan/internal/rel"
+)
+
+// Relational adapts the vector engine to the row-shaped relational operator
+// vocabulary the core plan executor lowers onto. Each operator decomposes
+// into the engine's vector primitives (key extraction is a positional
+// fetch, joins produce position lists that are then materialized), so
+// plan-driven execution charges the same per-value cost model as the
+// hand-written column-at-a-time query plans it replaced.
+type Relational struct {
+	E *Engine
+}
+
+// key extracts a column as a join/grouping key vector, charging one fetch
+// per value.
+func (r Relational) key(x *rel.Rel, c int) []uint64 {
+	r.E.Store.ChargeCPU(int64(x.Len()) * r.E.Costs.FetchValue)
+	return x.Col(c)
+}
+
+// materialize gathers matching row pairs into a combined relation.
+func (r Relational) materialize(l, rr *rel.Rel, lp, rp []int32) *rel.Rel {
+	w := l.W + rr.W
+	out := rel.NewCap(w, len(lp))
+	r.E.Store.ChargeCPU(int64(len(lp)) * int64(w) * r.E.Costs.FetchValue)
+	for i := range lp {
+		out.Data = append(out.Data, l.Row(int(lp[i]))...)
+		out.Data = append(out.Data, rr.Row(int(rp[i]))...)
+	}
+	return out
+}
+
+// HashJoin joins l and r on l[lc] == r[rc], returning l's columns followed
+// by r's.
+func (r Relational) HashJoin(l, rr *rel.Rel, lc, rc int) *rel.Rel {
+	lp, rp := r.E.HashJoin(r.key(l, lc), r.key(rr, rc))
+	return r.materialize(l, rr, lp, rp)
+}
+
+// preparedJoin is the adapter's rel.PreparedJoin: key vector hashed once,
+// probed per partition. Read-only after construction, so concurrent probes
+// are safe; charges go through the store's lock.
+type preparedJoin struct {
+	r  Relational
+	l  *rel.Rel
+	ht map[uint64][]int32
+}
+
+// PrepareHashJoin builds the hash side of a repeated join once.
+func (r Relational) PrepareHashJoin(l *rel.Rel, lc int) rel.PreparedJoin {
+	r.E.node()
+	lk := r.key(l, lc)
+	ht := make(map[uint64][]int32, len(lk))
+	for i, v := range lk {
+		ht[v] = append(ht[v], int32(i))
+	}
+	r.E.Store.ChargeCPU(int64(len(lk)) * r.E.Costs.HashBuild)
+	return &preparedJoin{r: r, l: l, ht: ht}
+}
+
+// Probe implements rel.PreparedJoin, charging one operator dispatch per
+// call — the per-table joins of the vertically-partitioned plans.
+func (p *preparedJoin) Probe(rr *rel.Rel, rc int) *rel.Rel {
+	p.r.E.node()
+	rk := p.r.key(rr, rc)
+	p.r.E.Store.ChargeCPU(int64(len(rk)) * p.r.E.Costs.HashProbe)
+	var lp, rp []int32
+	for j, v := range rk {
+		for _, i := range p.ht[v] {
+			lp = append(lp, i)
+			rp = append(rp, int32(j))
+		}
+	}
+	return p.r.materialize(p.l, rr, lp, rp)
+}
+
+// MergeJoin joins two inputs already sorted on their join columns.
+func (r Relational) MergeJoin(l, rr *rel.Rel, lc, rc int) *rel.Rel {
+	lp, rp := r.E.MergeJoin(r.key(l, lc), r.key(rr, rc))
+	return r.materialize(l, rr, lp, rp)
+}
+
+func (r Relational) filter(x *rel.Rel, pred func(row []uint64) bool) *rel.Rel {
+	r.E.node()
+	r.E.Store.ChargeCPU(int64(x.Len()) * r.E.Costs.SelectValue)
+	out := rel.New(x.W)
+	n := x.Len()
+	for i := 0; i < n; i++ {
+		row := x.Row(i)
+		if pred(row) {
+			out.Data = append(out.Data, row...)
+		}
+	}
+	return out
+}
+
+// FilterEq keeps rows with row[col] == v.
+func (r Relational) FilterEq(x *rel.Rel, col int, v uint64) *rel.Rel {
+	return r.filter(x, func(row []uint64) bool { return row[col] == v })
+}
+
+// FilterNe keeps rows with row[col] != v.
+func (r Relational) FilterNe(x *rel.Rel, col int, v uint64) *rel.Rel {
+	return r.filter(x, func(row []uint64) bool { return row[col] != v })
+}
+
+// FilterIn keeps rows whose col value is in set.
+func (r Relational) FilterIn(x *rel.Rel, col int, set map[uint64]bool) *rel.Rel {
+	return r.filter(x, func(row []uint64) bool { return set[row[col]] })
+}
+
+// GroupCount groups by keyCols and appends a count column.
+func (r Relational) GroupCount(x *rel.Rel, keyCols ...int) *rel.Rel {
+	switch len(keyCols) {
+	case 1:
+		return r.E.GroupCount(r.key(x, keyCols[0]))
+	case 2:
+		return r.E.GroupCount(r.key(x, keyCols[0]), r.key(x, keyCols[1]))
+	default:
+		panic(fmt.Sprintf("colstore: GroupCount on %d keys", len(keyCols)))
+	}
+}
+
+// HavingGT keeps rows with row[col] > min.
+func (r Relational) HavingGT(x *rel.Rel, col int, min uint64) *rel.Rel {
+	return r.E.HavingGT(x, col, min)
+}
+
+// Union concatenates two same-width relations (bag semantics).
+func (r Relational) Union(a, b *rel.Rel) *rel.Rel {
+	return r.UnionAll(a.W, []*rel.Rel{a, b})
+}
+
+// UnionAll concatenates same-width relations, charging one operator
+// dispatch per input — the per-table unions of the vertically-partitioned
+// plans, each tuple moved once.
+func (r Relational) UnionAll(w int, parts []*rel.Rel) *rel.Rel {
+	out := rel.New(w)
+	var total int64
+	for _, p := range parts {
+		r.E.node()
+		if p.W != w {
+			panic(fmt.Sprintf("colstore: union-all of widths %d and %d", w, p.W))
+		}
+		total += int64(p.Len())
+		out.Data = append(out.Data, p.Data...)
+	}
+	r.E.Store.ChargeCPU(total * int64(w) * r.E.Costs.UnionValue)
+	return out
+}
+
+// Distinct removes duplicate rows, keeping first occurrences in order.
+func (r Relational) Distinct(x *rel.Rel) *rel.Rel {
+	if x.W <= 3 {
+		return r.E.DistinctRows(x)
+	}
+	r.E.node()
+	r.E.Store.ChargeCPU(int64(x.Len()) * int64(x.W) * r.E.Costs.DistinctValue)
+	seen := make(map[string]bool, x.Len())
+	out := rel.New(x.W)
+	buf := make([]byte, 0, x.W*8)
+	n := x.Len()
+	for i := 0; i < n; i++ {
+		row := x.Row(i)
+		buf = buf[:0]
+		for _, v := range row {
+			buf = append(buf,
+				byte(v), byte(v>>8), byte(v>>16), byte(v>>24),
+				byte(v>>32), byte(v>>40), byte(v>>48), byte(v>>56))
+		}
+		if k := string(buf); !seen[k] {
+			seen[k] = true
+			out.Data = append(out.Data, row...)
+		}
+	}
+	return out
+}

@@ -96,20 +96,8 @@ func CatalogFromGraph(g *rdf.Graph, consts Constants, interesting []rdf.ID) (Cat
 	return cat, nil
 }
 
-// props returns the property list a query aggregates over.
-func (c Catalog) props(q Query) []rdf.ID {
-	if q.Restricted() {
-		return c.Interesting
-	}
-	return c.AllProps
-}
-
-// propSet returns the restricted property filter for a query, or nil when
-// the query runs over all properties.
-func (c Catalog) propSet(q Query) map[uint64]bool {
-	if !q.Restricted() {
-		return nil
-	}
+// interestingSet returns the interesting-property list as a filter set.
+func (c Catalog) interestingSet() map[uint64]bool {
 	set := make(map[uint64]bool, len(c.Interesting))
 	for _, p := range c.Interesting {
 		set[uint64(p)] = true

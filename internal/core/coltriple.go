@@ -1,8 +1,6 @@
 package core
 
 import (
-	"fmt"
-
 	"blackswan/internal/colstore"
 	"blackswan/internal/rdf"
 	"blackswan/internal/rel"
@@ -12,8 +10,10 @@ import (
 // triples table stored as three columns, physically ordered by the chosen
 // clustering ("With MonetDB/SQL, we realize the PSO-clustering by sorting
 // the triples table on (property, subject, object)"). The leading column of
-// the clustering is sorted and RLE-compressed.
+// the clustering is sorted and RLE-compressed. The file contains only the
+// physical access layer; all query logic lives in the shared plan executor.
 type ColTriple struct {
+	execMode
 	eng     *colstore.Engine
 	cat     Catalog
 	cluster rdf.Order
@@ -54,172 +54,140 @@ func (d *ColTriple) colS() *colstore.Column { return d.table.Cols[d.s] }
 func (d *ColTriple) colP() *colstore.Column { return d.table.Cols[d.p] }
 func (d *ColTriple) colO() *colstore.Column { return d.table.Cols[d.o] }
 
-// Run implements Database.
+// Run implements Database by executing the query's declarative plan.
 func (d *ColTriple) Run(q Query) (*rel.Rel, error) {
-	if !q.Valid() {
-		return nil, fmt.Errorf("core: invalid query %v", q)
-	}
-	switch q.ID {
-	case Q1:
-		return d.q1(), nil
-	case Q2:
-		return d.q2(q), nil
-	case Q3:
-		return d.q3(q), nil
-	case Q4:
-		return d.q4(q), nil
-	case Q5:
-		return d.q5(), nil
-	case Q6:
-		return d.q6(q), nil
-	case Q7:
-		return d.q7(), nil
-	case Q8:
-		return d.q8(), nil
-	default:
-		return nil, fmt.Errorf("core: unreachable query %v", q)
-	}
+	return ExecuteOpts(d, q, d.opt)
 }
 
-// selectPO returns positions where p = prop and (optionally) o = obj.
-func (d *ColTriple) selectPO(prop, obj uint64, withObj bool) []int32 {
-	pos := d.eng.SelectEq(d.colP(), prop)
-	if withObj {
-		pos = d.eng.SelectEqAt(d.colO(), obj, pos)
+// selectPos computes the position list matching the bound positions, using
+// the most selective leading column available (a free binary-search range
+// on the clustering's sorted leading column).
+func (d *ColTriple) selectPos(s, p, o rdf.ID) []int32 {
+	var pos []int32
+	switch {
+	case p != rdf.NoID:
+		pos = d.eng.SelectEq(d.colP(), uint64(p))
+		if s != rdf.NoID {
+			pos = d.eng.SelectEqAt(d.colS(), uint64(s), pos)
+		}
+		if o != rdf.NoID {
+			pos = d.eng.SelectEqAt(d.colO(), uint64(o), pos)
+		}
+	case s != rdf.NoID:
+		pos = d.eng.SelectEq(d.colS(), uint64(s))
+		if o != rdf.NoID {
+			pos = d.eng.SelectEqAt(d.colO(), uint64(o), pos)
+		}
+	case o != rdf.NoID:
+		pos = d.eng.SelectEq(d.colO(), uint64(o))
+	default:
+		n := d.table.Rows()
+		pos = make([]int32, n)
+		for i := range pos {
+			pos[i] = int32(i)
+		}
 	}
 	return pos
 }
 
-// textSubjectPositions returns positions of (s, <type>, <Text>) triples.
-func (d *ColTriple) textSubjectPositions() []int32 {
-	c := d.cat.Consts
-	return d.selectPO(uint64(c.Type), uint64(c.Text), true)
+// Match implements TripleSource: select positions, then late-materialize
+// all three columns.
+func (d *ColTriple) Match(s, p, o rdf.ID) *rel.Rel {
+	return d.scanMasked(s, p, o, AllScanCols())
 }
 
-func (d *ColTriple) q1() *rel.Rel {
-	pos := d.eng.SelectEq(d.colP(), uint64(d.cat.Consts.Type))
-	return d.eng.GroupCount(d.eng.Fetch(d.colO(), pos))
-}
-
-// q2Selection computes the positions of the B side of q2/q3/q4: triples
-// whose subject is Text-typed, property-restricted unless starred.
-func (d *ColTriple) q2Selection(q Query) []int32 {
-	aSet := d.eng.BuildSet(d.eng.Fetch(d.colS(), d.textSubjectPositions()))
-	sAll := d.eng.FetchAll(d.colS())
-	sel := d.eng.SemiJoin(sAll, aSet)
-	if ps := d.cat.propSet(q); ps != nil {
-		sel = d.eng.SelectInAt(d.colP(), ps, sel)
+// scanMasked selects positions and materializes only the needed columns;
+// bound positions are filled from their constants without a fetch.
+func (d *ColTriple) scanMasked(s, p, o rdf.ID, need ScanCols) *rel.Rel {
+	pos := d.selectPos(s, p, o)
+	sv := fetchIfNeeded(d.eng, d.colS(), pos, s, need.S)
+	pv := fetchIfNeeded(d.eng, d.colP(), pos, p, need.P)
+	ov := fetchIfNeeded(d.eng, d.colO(), pos, o, need.O)
+	out := rel.NewCap(3, len(pos))
+	at := func(v []uint64, i int) uint64 {
+		if v == nil {
+			return 0
+		}
+		return v[i]
 	}
-	return sel
-}
-
-func (d *ColTriple) q2(q Query) *rel.Rel {
-	sel := d.q2Selection(q)
-	return d.eng.GroupCount(d.eng.Fetch(d.colP(), sel))
-}
-
-func (d *ColTriple) q3(q Query) *rel.Rel {
-	sel := d.q2Selection(q)
-	g := d.eng.GroupCount(d.eng.Fetch(d.colP(), sel), d.eng.Fetch(d.colO(), sel))
-	return d.eng.HavingGT(g, 2, 1)
-}
-
-func (d *ColTriple) q4(q Query) *rel.Rel {
-	c := d.cat.Consts
-	sel := d.q2Selection(q)
-	sB := d.eng.Fetch(d.colS(), sel)
-	pB := d.eng.Fetch(d.colP(), sel)
-	oB := d.eng.Fetch(d.colO(), sel)
-	french := d.eng.Fetch(d.colS(), d.selectPO(uint64(c.Language), uint64(c.French), true))
-	lp, _ := d.eng.HashJoin(sB, french)
-	g := d.eng.GroupCount(d.eng.GatherVals(pB, lp), d.eng.GatherVals(oB, lp))
-	return d.eng.HavingGT(g, 2, 1)
-}
-
-func (d *ColTriple) q5() *rel.Rel {
-	c := d.cat.Consts
-	aSet := d.eng.BuildSet(d.eng.Fetch(d.colS(), d.selectPO(uint64(c.Origin), uint64(c.DLC), true)))
-	posB := d.eng.SelectEq(d.colP(), uint64(c.Records))
-	sB := d.eng.Fetch(d.colS(), posB)
-	oB := d.eng.Fetch(d.colO(), posB)
-	selB := d.eng.SemiJoin(sB, aSet)
-	sB2 := d.eng.GatherVals(sB, selB)
-	oB2 := d.eng.GatherVals(oB, selB)
-
-	posC := d.eng.SelectEq(d.colP(), uint64(c.Type))
-	posC = d.eng.SelectNeAt(d.colO(), uint64(c.Text), posC)
-	sC := d.eng.Fetch(d.colS(), posC)
-	oC := d.eng.Fetch(d.colO(), posC)
-
-	lb, lc := d.eng.HashJoin(oB2, sC)
-	bs := d.eng.GatherVals(sB2, lb)
-	co := d.eng.GatherVals(oC, lc)
-	out := rel.NewCap(2, len(bs))
-	for i := range bs {
-		out.Data = append(out.Data, bs[i], co[i])
+	for i := range pos {
+		out.Data = append(out.Data, at(sv, i), at(pv, i), at(ov, i))
 	}
 	return out
 }
 
-func (d *ColTriple) q6(q Query) *rel.Rel {
-	c := d.cat.Consts
-	u1 := d.eng.Fetch(d.colS(), d.textSubjectPositions())
-	posR := d.eng.SelectEq(d.colP(), uint64(c.Records))
-	oR := d.eng.Fetch(d.colO(), posR)
-	sR := d.eng.Fetch(d.colS(), posR)
-	selR := d.eng.SemiJoin(oR, d.eng.BuildSet(u1))
-	u2 := d.eng.GatherVals(sR, selR)
-	u := d.eng.Distinct(d.eng.Union(u1, u2))
-
-	sAll := d.eng.FetchAll(d.colS())
-	sel := d.eng.SemiJoin(sAll, d.eng.BuildSet(u))
-	if ps := d.cat.propSet(q); ps != nil {
-		sel = d.eng.SelectInAt(d.colP(), ps, sel)
-	}
-	return d.eng.GroupCount(d.eng.Fetch(d.colP(), sel))
+// ScanTriples implements PhysicalSource: the unbound-property scan with
+// late materialization — only the demanded columns are fetched, as the
+// hand-written column-at-a-time plans did.
+func (d *ColTriple) ScanTriples(s, o rdf.ID, need ScanCols) *rel.Rel {
+	return d.scanMasked(s, rdf.NoID, o, need)
 }
 
-func (d *ColTriple) q7() *rel.Rel {
-	c := d.cat.Consts
-	sA := d.eng.Fetch(d.colS(), d.selectPO(uint64(c.Point), uint64(c.End), true))
-
-	posB := d.eng.SelectEq(d.colP(), uint64(c.Encoding))
-	sB := d.eng.Fetch(d.colS(), posB)
-	oB := d.eng.Fetch(d.colO(), posB)
-	la, lb := d.eng.HashJoin(sA, sB)
-	sAB := d.eng.GatherVals(sA, la)
-	oAB := d.eng.GatherVals(oB, lb)
-
-	posC := d.eng.SelectEq(d.colP(), uint64(c.Type))
-	sC := d.eng.Fetch(d.colS(), posC)
-	oC := d.eng.Fetch(d.colO(), posC)
-	l2, rc := d.eng.HashJoin(sAB, sC)
-
-	s3 := d.eng.GatherVals(sAB, l2)
-	b3 := d.eng.GatherVals(oAB, l2)
-	c3 := d.eng.GatherVals(oC, rc)
-	out := rel.NewCap(3, len(s3))
-	for i := range s3 {
-		out.Data = append(out.Data, s3[i], b3[i], c3[i])
-	}
-	return out
+// ScanProp implements PhysicalSource: a positional selection that
+// materializes only the columns the plan demands (bound positions are
+// already known and never re-fetched) — the late materialization the
+// hand-written column-at-a-time plans relied on.
+func (d *ColTriple) ScanProp(p, s, o rdf.ID, need ScanCols) (*rel.Rel, error) {
+	pos := d.selectPos(s, p, o)
+	sv := fetchIfNeeded(d.eng, d.colS(), pos, s, need.S)
+	ov := fetchIfNeeded(d.eng, d.colO(), pos, o, need.O)
+	return zipSO(sv, ov, len(pos)), nil
 }
 
-func (d *ColTriple) q8() *rel.Rel {
-	c := d.cat.Consts
-	// Subject selection: free on SPO clustering (sorted subject column),
-	// a full-column scan on PSO — the mechanism behind q8 being the one
-	// query that prefers SPO in the paper's MonetDB results.
-	posA := d.eng.SelectEq(d.colS(), uint64(c.Conferences))
-	oA := d.eng.Fetch(d.colO(), posA)
-	oAll := d.eng.FetchAll(d.colO())
-	sAll := d.eng.FetchAll(d.colS())
-	_, rp := d.eng.HashJoin(oA, oAll)
-	subj := d.eng.GatherVals(sAll, rp)
-	subj = d.eng.FilterVecNe(subj, uint64(c.Conferences))
-	out := rel.NewCap(1, len(subj))
-	for _, s := range subj {
-		out.Data = append(out.Data, s)
+// fetchIfNeeded materializes a column at the given positions, unless the
+// plan does not demand it or the position is bound to a constant (whose
+// value is already known from the predicate — no fetch required).
+func fetchIfNeeded(eng *colstore.Engine, c *colstore.Column, pos []int32, bound rdf.ID, needed bool) []uint64 {
+	if !needed {
+		return nil
+	}
+	if bound != rdf.NoID {
+		out := make([]uint64, len(pos))
+		for i := range out {
+			out[i] = uint64(bound)
+		}
+		return out
+	}
+	return eng.Fetch(c, pos)
+}
+
+// zipSO interleaves two optionally-materialized column vectors into a
+// width-2 relation; a nil vector reads as zero (the executor never looks
+// at columns it did not demand).
+func zipSO(sv, ov []uint64, n int) *rel.Rel {
+	out := rel.NewCap(2, n)
+	for i := 0; i < n; i++ {
+		var a, b uint64
+		if sv != nil {
+			a = sv[i]
+		}
+		if ov != nil {
+			b = ov[i]
+		}
+		out.Data = append(out.Data, a, b)
 	}
 	return out
 }
+
+// Cat implements PhysicalSource.
+func (d *ColTriple) Cat() Catalog { return d.cat }
+
+// Props implements PhysicalSource: the triples table answers any property.
+func (d *ColTriple) Props() []rdf.ID { return d.cat.AllProps }
+
+// PropOrdered implements PhysicalSource. Only the clustering's leading
+// column is physically ordered, so the executor must not rely on
+// subject order.
+func (d *ColTriple) PropOrdered() bool { return false }
+
+// Partitioned implements PhysicalSource.
+func (d *ColTriple) Partitioned() bool { return false }
+
+// RestrictProps implements PhysicalSource: the interesting-property
+// selection applied to a scan's property column.
+func (d *ColTriple) RestrictProps(rows *rel.Rel, pCol int) *rel.Rel {
+	return colstore.Relational{E: d.eng}.FilterIn(rows, pCol, d.cat.interestingSet())
+}
+
+// Ops implements PhysicalSource.
+func (d *ColTriple) Ops() PhysicalOps { return colstore.Relational{E: d.eng} }

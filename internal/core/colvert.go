@@ -12,8 +12,11 @@ import (
 // one two-column (subject, object) table per property, sorted on SO, with
 // the subject column compressed — the "MonetDB vert SO" rows of Tables 6
 // and 7 and (under the PageAtATime engine profile, restricted to the 28
-// interesting properties) the C-Store configuration of Section 3.
+// interesting properties) the C-Store configuration of Section 3. The file
+// contains only the physical access layer; all query logic lives in the
+// shared plan executor.
 type ColVert struct {
+	execMode
 	eng    *colstore.Engine
 	cat    Catalog
 	tables map[rdf.ID]*colstore.Table
@@ -70,328 +73,98 @@ func loadColVert(eng *colstore.Engine, g *rdf.Graph, cat Catalog, props []rdf.ID
 // Label implements Database.
 func (d *ColVert) Label() string { return d.label }
 
-// table returns the partition for p, or an error when the property was not
-// loaded (the C-Store restriction).
-func (d *ColVert) table(p rdf.ID) (*colstore.Table, error) {
+// Run implements Database by executing the query's declarative plan.
+func (d *ColVert) Run(q Query) (*rel.Rel, error) {
+	return ExecuteOpts(d, q, d.opt)
+}
+
+// Match implements TripleSource: one property table when p is bound (a
+// property without a table matches nothing), the full loaded union via
+// ScanTriples otherwise.
+func (d *ColVert) Match(s, p, o rdf.ID) *rel.Rel {
+	if p == rdf.NoID {
+		return d.ScanTriples(s, o, AllScanCols())
+	}
+	out := rel.New(3)
+	part, err := d.ScanProp(p, s, o, AllScanCols())
+	if err != nil {
+		return out
+	}
+	for i := 0; i < part.Len(); i++ {
+		row := part.Row(i)
+		out.Append(row[0], uint64(p), row[1])
+	}
+	return out
+}
+
+// ScanProp implements PhysicalSource: positional selection on one property
+// table (a binary search on the sorted subject column when the subject is
+// bound), materializing only the columns the plan demands. It fails for
+// properties the restricted C-Store load did not materialize, exactly as
+// the original code base could not answer the full-roster queries.
+func (d *ColVert) ScanProp(p, s, o rdf.ID, need ScanCols) (*rel.Rel, error) {
 	t, ok := d.tables[p]
 	if !ok {
 		return nil, fmt.Errorf("core: property %d not loaded in %s", p, d.label)
 	}
-	return t, nil
-}
-
-func (d *ColVert) sCol(p rdf.ID) (*colstore.Column, error) {
-	t, err := d.table(p)
-	if err != nil {
-		return nil, err
-	}
-	return t.Cols[0], nil
-}
-
-func (d *ColVert) oCol(p rdf.ID) (*colstore.Column, error) {
-	t, err := d.table(p)
-	if err != nil {
-		return nil, err
-	}
-	return t.Cols[1], nil
-}
-
-// props returns the property list for q, failing if any is unavailable.
-func (d *ColVert) props(q Query) ([]rdf.ID, error) {
-	ps := d.cat.props(q)
-	for _, p := range ps {
-		if _, ok := d.tables[p]; !ok {
-			return nil, fmt.Errorf("core: %v needs property %d, not loaded in %s", q, p, d.label)
+	sc, oc := t.Cols[0], t.Cols[1]
+	var pos []int32
+	switch {
+	case s != rdf.NoID:
+		pos = d.eng.SelectEq(sc, uint64(s))
+		if o != rdf.NoID {
+			pos = d.eng.SelectEqAt(oc, uint64(o), pos)
 		}
-	}
-	return ps, nil
-}
-
-// Run implements Database.
-func (d *ColVert) Run(q Query) (*rel.Rel, error) {
-	if !q.Valid() {
-		return nil, fmt.Errorf("core: invalid query %v", q)
-	}
-	switch q.ID {
-	case Q1:
-		return d.q1()
-	case Q2:
-		return d.q2(q)
-	case Q3:
-		return d.q3(q)
-	case Q4:
-		return d.q4(q)
-	case Q5:
-		return d.q5()
-	case Q6:
-		return d.q6(q)
-	case Q7:
-		return d.q7()
-	case Q8:
-		return d.q8()
+	case o != rdf.NoID:
+		pos = d.eng.SelectEq(oc, uint64(o))
 	default:
-		return nil, fmt.Errorf("core: unreachable query %v", q)
-	}
-}
-
-// textSubjects returns the subjects typed <Text> (object column is
-// unsorted, so this is a scan of the type table's object column).
-func (d *ColVert) textSubjects() ([]uint64, error) {
-	c := d.cat.Consts
-	oc, err := d.oCol(c.Type)
-	if err != nil {
-		return nil, err
-	}
-	sc, _ := d.sCol(c.Type)
-	pos := d.eng.SelectEq(oc, uint64(c.Text))
-	return d.eng.Fetch(sc, pos), nil
-}
-
-func (d *ColVert) q1() (*rel.Rel, error) {
-	oc, err := d.oCol(d.cat.Consts.Type)
-	if err != nil {
-		return nil, err
-	}
-	return d.eng.GroupCount(d.eng.FetchAll(oc)), nil
-}
-
-func (d *ColVert) q2(q Query) (*rel.Rel, error) {
-	ps, err := d.props(q)
-	if err != nil {
-		return nil, err
-	}
-	sA, err := d.textSubjects()
-	if err != nil {
-		return nil, err
-	}
-	aSet := d.eng.BuildSet(sA)
-	out := rel.New(2)
-	for _, p := range ps {
-		sc, _ := d.sCol(p)
-		sel := d.eng.SemiJoin(d.eng.FetchAll(sc), aSet)
-		if n := len(sel); n > 0 {
-			out.Append(uint64(p), uint64(n))
+		pos = make([]int32, t.Rows())
+		for i := range pos {
+			pos[i] = int32(i)
 		}
 	}
-	out.Sort()
-	return out, nil
+	sv := fetchIfNeeded(d.eng, sc, pos, s, need.S)
+	ov := fetchIfNeeded(d.eng, oc, pos, o, need.O)
+	return zipSO(sv, ov, len(pos)), nil
 }
 
-func (d *ColVert) q3(q Query) (*rel.Rel, error) {
-	ps, err := d.props(q)
-	if err != nil {
-		return nil, err
-	}
-	sA, err := d.textSubjects()
-	if err != nil {
-		return nil, err
-	}
-	aSet := d.eng.BuildSet(sA)
+// ScanTriples implements PhysicalSource; the executor prefers the
+// partitioned fan-out on this scheme, so this only backs the generic
+// TripleSource shape, with masked per-table fetches.
+func (d *ColVert) ScanTriples(s, o rdf.ID, need ScanCols) *rel.Rel {
 	out := rel.New(3)
-	for _, p := range ps {
-		sc, _ := d.sCol(p)
-		oc, _ := d.oCol(p)
-		sel := d.eng.SemiJoin(d.eng.FetchAll(sc), aSet)
-		if len(sel) == 0 {
+	for _, prop := range d.loaded {
+		part, err := d.ScanProp(prop, s, o, need)
+		if err != nil {
 			continue
 		}
-		g := d.eng.GroupCount(d.eng.GatherVals(d.eng.FetchAll(oc), sel))
-		g = d.eng.HavingGT(g, 1, 1)
-		for i := 0; i < g.Len(); i++ {
-			row := g.Row(i)
-			out.Append(uint64(p), row[0], row[1])
+		for i := 0; i < part.Len(); i++ {
+			row := part.Row(i)
+			out.Append(row[0], uint64(prop), row[1])
 		}
 	}
-	out.Sort()
-	return out, nil
+	return out
 }
 
-func (d *ColVert) q4(q Query) (*rel.Rel, error) {
-	c := d.cat.Consts
-	ps, err := d.props(q)
-	if err != nil {
-		return nil, err
-	}
-	sA, err := d.textSubjects()
-	if err != nil {
-		return nil, err
-	}
-	aSet := d.eng.BuildSet(sA)
-	loc, err := d.oCol(c.Language)
-	if err != nil {
-		return nil, err
-	}
-	lsc, _ := d.sCol(c.Language)
-	french := d.eng.Fetch(lsc, d.eng.SelectEq(loc, uint64(c.French)))
-	out := rel.New(3)
-	for _, p := range ps {
-		sc, _ := d.sCol(p)
-		oc, _ := d.oCol(p)
-		sAll := d.eng.FetchAll(sc)
-		sel := d.eng.SemiJoin(sAll, aSet)
-		if len(sel) == 0 {
-			continue
-		}
-		sSel := d.eng.GatherVals(sAll, sel)
-		oSel := d.eng.GatherVals(d.eng.FetchAll(oc), sel)
-		lp, _ := d.eng.HashJoin(sSel, french)
-		if len(lp) == 0 {
-			continue
-		}
-		g := d.eng.GroupCount(d.eng.GatherVals(oSel, lp))
-		g = d.eng.HavingGT(g, 1, 1)
-		for i := 0; i < g.Len(); i++ {
-			row := g.Row(i)
-			out.Append(uint64(p), row[0], row[1])
-		}
-	}
-	out.Sort()
-	return out, nil
+// Cat implements PhysicalSource.
+func (d *ColVert) Cat() Catalog { return d.cat }
+
+// Props implements PhysicalSource: only the materialized tables.
+func (d *ColVert) Props() []rdf.ID { return d.loaded }
+
+// PropOrdered implements PhysicalSource: SO-sorted tables return every
+// per-property scan ordered on its first unbound position — the property
+// behind the paper's "fewer unions and fast joins" quote.
+func (d *ColVert) PropOrdered() bool { return true }
+
+// Partitioned implements PhysicalSource.
+func (d *ColVert) Partitioned() bool { return true }
+
+// RestrictProps implements PhysicalSource; partitioned schemes restrict by
+// table selection instead, so this is only a fallback filter.
+func (d *ColVert) RestrictProps(rows *rel.Rel, pCol int) *rel.Rel {
+	return colstore.Relational{E: d.eng}.FilterIn(rows, pCol, d.cat.interestingSet())
 }
 
-func (d *ColVert) q5() (*rel.Rel, error) {
-	c := d.cat.Consts
-	ooc, err := d.oCol(c.Origin)
-	if err != nil {
-		return nil, err
-	}
-	osc, _ := d.sCol(c.Origin)
-	aSet := d.eng.BuildSet(d.eng.Fetch(osc, d.eng.SelectEq(ooc, uint64(c.DLC))))
-
-	rsc, err := d.sCol(c.Records)
-	if err != nil {
-		return nil, err
-	}
-	roc, _ := d.oCol(c.Records)
-	sR := d.eng.FetchAll(rsc)
-	oR := d.eng.FetchAll(roc)
-	selB := d.eng.SemiJoin(sR, aSet)
-	sB := d.eng.GatherVals(sR, selB)
-	oB := d.eng.GatherVals(oR, selB)
-
-	tsc, _ := d.sCol(c.Type)
-	toc, _ := d.oCol(c.Type)
-	posC := d.eng.SelectNe(toc, uint64(c.Text))
-	sC := d.eng.Fetch(tsc, posC)
-	oC := d.eng.Fetch(toc, posC)
-
-	lb, lc := d.eng.HashJoin(oB, sC)
-	bs := d.eng.GatherVals(sB, lb)
-	co := d.eng.GatherVals(oC, lc)
-	out := rel.NewCap(2, len(bs))
-	for i := range bs {
-		out.Data = append(out.Data, bs[i], co[i])
-	}
-	return out, nil
-}
-
-func (d *ColVert) q6(q Query) (*rel.Rel, error) {
-	c := d.cat.Consts
-	ps, err := d.props(q)
-	if err != nil {
-		return nil, err
-	}
-	u1, err := d.textSubjects()
-	if err != nil {
-		return nil, err
-	}
-	rsc, err := d.sCol(c.Records)
-	if err != nil {
-		return nil, err
-	}
-	roc, _ := d.oCol(c.Records)
-	oR := d.eng.FetchAll(roc)
-	sR := d.eng.FetchAll(rsc)
-	selR := d.eng.SemiJoin(oR, d.eng.BuildSet(u1))
-	u2 := d.eng.GatherVals(sR, selR)
-	uSet := d.eng.BuildSet(d.eng.Distinct(d.eng.Union(u1, u2)))
-
-	out := rel.New(2)
-	for _, p := range ps {
-		sc, _ := d.sCol(p)
-		sel := d.eng.SemiJoin(d.eng.FetchAll(sc), uSet)
-		if n := len(sel); n > 0 {
-			out.Append(uint64(p), uint64(n))
-		}
-	}
-	out.Sort()
-	return out, nil
-}
-
-func (d *ColVert) q7() (*rel.Rel, error) {
-	c := d.cat.Consts
-	poc, err := d.oCol(c.Point)
-	if err != nil {
-		return nil, err
-	}
-	psc, _ := d.sCol(c.Point)
-	sA := d.eng.Fetch(psc, d.eng.SelectEq(poc, uint64(c.End))) // ascending: table is SO-sorted
-
-	esc, err := d.sCol(c.Encoding)
-	if err != nil {
-		return nil, err
-	}
-	eoc, _ := d.oCol(c.Encoding)
-	sB := d.eng.FetchAll(esc)
-	oB := d.eng.FetchAll(eoc)
-	// Subject columns are sorted, so subject-subject joins are the linear
-	// merge joins the paper credits the vertical scheme with.
-	la, lb := d.eng.MergeJoin(sA, sB)
-	sAB := d.eng.GatherVals(sA, la)
-	oAB := d.eng.GatherVals(oB, lb)
-
-	tsc, _ := d.sCol(c.Type)
-	toc, _ := d.oCol(c.Type)
-	sC := d.eng.FetchAll(tsc)
-	oC := d.eng.FetchAll(toc)
-	l2, rc := d.eng.MergeJoin(sAB, sC)
-
-	s3 := d.eng.GatherVals(sAB, l2)
-	b3 := d.eng.GatherVals(oAB, l2)
-	c3 := d.eng.GatherVals(oC, rc)
-	out := rel.NewCap(3, len(s3))
-	for i := range s3 {
-		out.Data = append(out.Data, s3[i], b3[i], c3[i])
-	}
-	return out, nil
-}
-
-func (d *ColVert) q8() (*rel.Rel, error) {
-	c := d.cat.Consts
-	// q8 inherently iterates every property table; the restricted C-Store
-	// load cannot answer it, exactly as the original code base could not.
-	ps, err := d.props(Query{ID: Q8})
-	if err != nil {
-		return nil, err
-	}
-	// Phase 1: select the objects of <conferences> in each table (subject
-	// columns are sorted: binary search), union into the temporary t.
-	var parts [][]uint64
-	for _, p := range ps {
-		sc, _ := d.sCol(p)
-		oc, _ := d.oCol(p)
-		pos := d.eng.SelectEq(sc, uint64(c.Conferences))
-		if len(pos) > 0 {
-			parts = append(parts, d.eng.Fetch(oc, pos))
-		}
-	}
-	objs := d.eng.Union(parts...)
-	// Phase 2: join t back on objects — no clustering helps here ("a query
-	// which joins on objects will not allow the use of a fast merge join").
-	out := rel.New(1)
-	for _, p := range ps {
-		sc, _ := d.sCol(p)
-		oc, _ := d.oCol(p)
-		oAll := d.eng.FetchAll(oc)
-		_, rp := d.eng.HashJoin(objs, oAll)
-		if len(rp) == 0 {
-			continue
-		}
-		subj := d.eng.GatherVals(d.eng.FetchAll(sc), rp)
-		subj = d.eng.FilterVecNe(subj, uint64(c.Conferences))
-		for _, s := range subj {
-			out.Data = append(out.Data, s)
-		}
-	}
-	return out, nil
-}
+// Ops implements PhysicalSource.
+func (d *ColVert) Ops() PhysicalOps { return colstore.Relational{E: d.eng} }

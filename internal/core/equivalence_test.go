@@ -106,6 +106,62 @@ func randomFixture(t *testing.T, seed int64) (*rdf.Graph, Catalog) {
 	return g, cat
 }
 
+// TestPlanExecutedByteIdentical is the refactor's safety net in its
+// strictest form: for every benchmark query, the plan-executed result of
+// every scheme must be byte-identical to the reference after canonical
+// ordering — not merely equal as a bag, but the same []uint64, value for
+// value. Runs on the crafted fixture and a sweep of random graphs.
+func TestPlanExecutedByteIdentical(t *testing.T) {
+	type fixture struct {
+		name string
+		g    *rdf.Graph
+		cat  Catalog
+	}
+	fx := newCrafted(t)
+	fixtures := []fixture{{"crafted", fx.g, fx.cat}}
+	for seed := int64(0); seed < 4; seed++ {
+		g, cat := randomFixture(t, 100+seed)
+		fixtures = append(fixtures, fixture{fmt.Sprintf("random-%d", seed), g, cat})
+	}
+	canon := func(r *rel.Rel) []uint64 {
+		c := &rel.Rel{W: r.W, Data: append([]uint64(nil), r.Data...)}
+		c.Sort()
+		return c.Data
+	}
+	for _, f := range fixtures {
+		dbs := allDatabases(t, f.g, f.cat)
+		ref := dbs[0]
+		for _, q := range BenchmarkQueries() {
+			t.Run(fmt.Sprintf("%s/%v", f.name, q), func(t *testing.T) {
+				want, err := ref.Run(q)
+				if err != nil {
+					t.Fatalf("%s: %v", ref.Label(), err)
+				}
+				wantData := canon(want)
+				for _, db := range dbs[1:] {
+					got, err := db.Run(q)
+					if err != nil {
+						t.Fatalf("%s: %v", db.Label(), err)
+					}
+					if got.W != want.W {
+						t.Fatalf("%s: width %d, reference %d", db.Label(), got.W, want.W)
+					}
+					gotData := canon(got)
+					if len(gotData) != len(wantData) {
+						t.Fatalf("%s: %d values, reference %d", db.Label(), len(gotData), len(wantData))
+					}
+					for i := range wantData {
+						if gotData[i] != wantData[i] {
+							t.Fatalf("%s: value %d is %d, reference %d",
+								db.Label(), i, gotData[i], wantData[i])
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
 // TestRandomGraphSchemeEquivalence is the central correctness property of
 // the study's reproduction: on arbitrary data, every (engine × scheme ×
 // clustering) combination returns identical results for all twelve

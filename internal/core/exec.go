@@ -1,0 +1,915 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"blackswan/internal/rdf"
+	"blackswan/internal/rel"
+)
+
+// This file is the shared plan executor: it lowers the logical plans of
+// plan.go onto any storage scheme through the PhysicalSource interface.
+// The lowering decisions the four hand-written query matrices used to make
+// implicitly are made here, once, from declared physical properties:
+//
+//   - an Access with a bound property becomes one per-property scan;
+//   - an Access with an unbound property becomes a union of per-property
+//     scans on partitioned schemes (the paper's union proliferation, now
+//     explicit in the plan) and a single filtered scan on triple-stores;
+//   - a Join becomes a linear merge join when both inputs are known to be
+//     subject-ordered (the SO-clustered vertical tables) and a hash join
+//     otherwise;
+//   - the restricted queries push the interesting-property list into the
+//     access layer: partitioned schemes visit only those tables, triple
+//     stores apply the properties-table restriction to one big scan.
+
+// PhysicalOps is the relational operator vocabulary the executor needs
+// from an engine. The row-store engine implements it directly; the
+// column-store engine provides it through colstore.Relational, which
+// decomposes each operator into vector primitives.
+type PhysicalOps interface {
+	HashJoin(l, r *rel.Rel, lc, rc int) *rel.Rel
+	MergeJoin(l, r *rel.Rel, lc, rc int) *rel.Rel
+	FilterEq(r *rel.Rel, col int, v uint64) *rel.Rel
+	FilterNe(r *rel.Rel, col int, v uint64) *rel.Rel
+	FilterIn(r *rel.Rel, col int, set map[uint64]bool) *rel.Rel
+	GroupCount(r *rel.Rel, keyCols ...int) *rel.Rel
+	HavingGT(r *rel.Rel, col int, min uint64) *rel.Rel
+	Union(a, b *rel.Rel) *rel.Rel
+	UnionAll(w int, parts []*rel.Rel) *rel.Rel
+	Distinct(r *rel.Rel) *rel.Rel
+	// PrepareHashJoin hashes a build side once for repeated probing — the
+	// partitioned joins probe every property table against one build.
+	PrepareHashJoin(l *rel.Rel, lc int) rel.PreparedJoin
+}
+
+// PhysicalSource is the per-scheme physical access layer the executor
+// lowers plans onto. It extends the pattern-level TripleSource with the
+// property-partitioned scan path and the physical-design facts (ordering,
+// partitioning) that drive operator selection.
+type PhysicalSource interface {
+	TripleSource
+
+	// Cat returns the catalog the scheme was loaded with.
+	Cat() Catalog
+	// Props returns the property roster physically available (all
+	// properties, except for the restricted C-Store load).
+	Props() []rdf.ID
+	// ScanProp returns the (subject, object) rows carrying property p,
+	// with s and/or o optionally bound (rdf.NoID = unbound), as a width-2
+	// relation. need is the executor's projection pushdown: column stores
+	// materialize only the needed columns (unneeded ones read as zero),
+	// row stores read whole tuples regardless — the paper's structural
+	// I/O difference between the engines. It fails when p has no physical
+	// representation — the restricted C-Store load answering a
+	// full-roster query.
+	ScanProp(p, s, o rdf.ID, need ScanCols) (*rel.Rel, error)
+	// ScanTriples returns the (s, p, o) rows with s and/or o optionally
+	// bound and the property unbound — the whole-table access of the
+	// triple-stores, honouring the same projection pushdown as ScanProp so
+	// column stores keep their late materialization.
+	ScanTriples(s, o rdf.ID, need ScanCols) *rel.Rel
+	// PropOrdered reports whether ScanProp results arrive ordered by their
+	// first unbound position (subject-ascending for the common case) — true
+	// for the SO-clustered vertical tables, enabling merge joins.
+	PropOrdered() bool
+	// Partitioned reports whether the scheme stores one physical table per
+	// property; the executor then lowers unbound-property accesses to
+	// per-property unions, reproducing the paper's plan shapes.
+	Partitioned() bool
+	// RestrictProps applies the interesting-property restriction to the
+	// pCol column of a scan result — the "properties table" semijoin of
+	// the restricted queries on non-partitioned schemes.
+	RestrictProps(rows *rel.Rel, pCol int) *rel.Rel
+	// Ops returns the engine's physical operator set.
+	Ops() PhysicalOps
+}
+
+// ScanCols is the projection-pushdown mask of a scan: which physical
+// columns must be materialized. ScanProp ignores P (the property is the
+// scan key); ScanTriples honours all three.
+type ScanCols struct {
+	S, P, O bool
+}
+
+// AllScanCols materializes every column (the TripleSource-compatible
+// behaviour).
+func AllScanCols() ScanCols { return ScanCols{S: true, P: true, O: true} }
+
+// ExecOptions tunes plan execution.
+type ExecOptions struct {
+	// Workers > 1 fans per-property scans out over a worker pool on
+	// partitioned schemes. Results are merged in property order, so the
+	// output is byte-identical to sequential execution, and CPU charges
+	// are order-independent sums. Cold-run I/O accounting (buffer-pool
+	// hits, seek detection) depends on scan interleaving, so simulated
+	// cold timings under Workers > 1 are not reproducible run-to-run —
+	// use sequential execution when regenerating the paper's tables.
+	Workers int
+}
+
+// Tunable is implemented by every storage scheme: it carries the executor
+// options its Database.Run uses.
+type Tunable interface {
+	SetExecOptions(ExecOptions)
+}
+
+// execMode is embedded by the four schemes to satisfy Tunable.
+type execMode struct {
+	opt ExecOptions
+}
+
+// SetExecOptions implements Tunable.
+func (m *execMode) SetExecOptions(o ExecOptions) { m.opt = o }
+
+// JoinChoice records one lowering decision for tests and diagnostics.
+type JoinChoice struct {
+	Var   string
+	Merge bool
+}
+
+// Trace records how a plan was lowered: which join algorithms ran, and how
+// wide the per-property fan-out was.
+type Trace struct {
+	// Joins lists the executed joins in completion order.
+	Joins []JoinChoice
+	// PartitionScans counts per-property scans issued by unbound-property
+	// accesses on partitioned schemes.
+	PartitionScans int
+	// UnionParts counts relations merged by access-level unions.
+	UnionParts int
+	// Parallel reports whether any fan-out used the worker pool.
+	Parallel bool
+}
+
+// Execute runs one benchmark query through the declarative plan layer.
+func Execute(src PhysicalSource, q Query) (*rel.Rel, error) {
+	return ExecuteOpts(src, q, ExecOptions{})
+}
+
+// ExecuteOpts is Execute with tuning.
+func ExecuteOpts(src PhysicalSource, q Query, opt ExecOptions) (*rel.Rel, error) {
+	out, _, err := ExecuteTraced(src, q, opt)
+	return out, err
+}
+
+// ExecuteTraced additionally returns the lowering trace.
+func ExecuteTraced(src PhysicalSource, q Query, opt ExecOptions) (*rel.Rel, *Trace, error) {
+	p, err := PlanFor(q, src.Cat().Consts)
+	if err != nil {
+		return nil, nil, err
+	}
+	ex := &executor{
+		src:  src,
+		ops:  src.Ops(),
+		q:    q,
+		opt:  opt,
+		tr:   &Trace{},
+		memo: make(map[Node]batch),
+		req:  requiredVars(p.Root),
+		uses: useCounts(p.Root),
+	}
+	b, err := ex.eval(p.Root)
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: %v: %w", q, err)
+	}
+	if b.rel.W != q.ResultWidth() {
+		return nil, nil, fmt.Errorf("core: %v plan produced width %d, want %d", q, b.rel.W, q.ResultWidth())
+	}
+	return b.rel, ex.tr, nil
+}
+
+// batch is an intermediate result: a relation, its column names (variable
+// names from the plan), and the column its rows are known to ascend on
+// ("" when unordered) — the property that licenses merge joins.
+type batch struct {
+	rel    *rel.Rel
+	cols   []string
+	sorted string
+}
+
+func (b batch) col(name string) (int, error) {
+	for i, c := range b.cols {
+		if c == name {
+			return i, nil
+		}
+	}
+	return 0, fmt.Errorf("no column %q in %v", name, b.cols)
+}
+
+type executor struct {
+	src  PhysicalSource
+	ops  PhysicalOps
+	q    Query
+	opt  ExecOptions
+	tr   *Trace
+	memo map[Node]batch
+	req  map[Node]map[string]bool
+	uses map[Node]int
+}
+
+// useCounts returns how many parents reference each node — shared
+// subexpressions have more than one, and must be evaluated exactly once.
+func useCounts(root Node) map[Node]int {
+	uses := map[Node]int{}
+	var walk func(n Node)
+	walk = func(n Node) {
+		uses[n]++
+		if uses[n] > 1 {
+			return
+		}
+		switch x := n.(type) {
+		case *Join:
+			walk(x.L)
+			walk(x.R)
+		case *FilterNe:
+			walk(x.In)
+		case *Distinct:
+			walk(x.In)
+		case *Union:
+			walk(x.L)
+			walk(x.R)
+		case *Group:
+			walk(x.In)
+		case *Having:
+			walk(x.In)
+		case *Project:
+			walk(x.In)
+		}
+	}
+	walk(root)
+	return uses
+}
+
+// columnsOf returns a node's full logical output schema (before any
+// projection pushdown), mirroring the executor's runtime column layout.
+func columnsOf(n Node) []string {
+	switch x := n.(type) {
+	case *Access:
+		return slotCols(patternSlots(x.Pattern))
+	case *Join:
+		l, r := columnsOf(x.L), columnsOf(x.R)
+		inL := map[string]bool{}
+		for _, c := range l {
+			inL[c] = true
+		}
+		out := append([]string(nil), l...)
+		for _, c := range r {
+			if !inL[c] {
+				out = append(out, c)
+			}
+		}
+		return out
+	case *FilterNe:
+		return columnsOf(x.In)
+	case *Distinct:
+		return columnsOf(x.In)
+	case *Union:
+		return columnsOf(x.L)
+	case *Group:
+		return append(append([]string(nil), x.Keys...), CountCol)
+	case *Having:
+		return columnsOf(x.In)
+	case *Project:
+		if x.As != nil {
+			return x.As
+		}
+		return x.Cols
+	default:
+		return nil
+	}
+}
+
+// requiredVars computes, for every node of the plan DAG, which of its
+// output columns the rest of the plan consumes — the projection pushdown
+// that lets column-store accesses skip materializing unused columns, as
+// the hand-written column-at-a-time plans did.
+func requiredVars(root Node) map[Node]map[string]bool {
+	req := map[Node]map[string]bool{}
+	var add func(n Node, vars []string)
+	add = func(n Node, vars []string) {
+		m := req[n]
+		if m == nil {
+			m = map[string]bool{}
+			req[n] = m
+		}
+		changed := false
+		for _, v := range vars {
+			if !m[v] {
+				m[v] = true
+				changed = true
+			}
+		}
+		if !changed {
+			return
+		}
+		all := make([]string, 0, len(m))
+		for v := range m {
+			all = append(all, v)
+		}
+		keep := func(cols []string) []string {
+			out := make([]string, 0, len(cols))
+			for _, c := range cols {
+				if m[c] {
+					out = append(out, c)
+				}
+			}
+			return out
+		}
+		switch x := n.(type) {
+		case *Access:
+		case *Join:
+			lc, rc := columnsOf(x.L), columnsOf(x.R)
+			rSet := map[string]bool{}
+			for _, c := range rc {
+				rSet[c] = true
+			}
+			var shared []string
+			for _, c := range lc {
+				if rSet[c] {
+					shared = append(shared, c)
+				}
+			}
+			add(x.L, append(keep(lc), shared...))
+			add(x.R, append(keep(rc), shared...))
+		case *FilterNe:
+			add(x.In, append(all, x.Col))
+		case *Distinct:
+			// Duplicate elimination depends on every column.
+			add(x.In, columnsOf(x.In))
+		case *Union:
+			add(x.L, all)
+			add(x.R, all)
+		case *Group:
+			add(x.In, x.Keys)
+		case *Having:
+			add(x.In, append(all, x.Col))
+		case *Project:
+			add(x.In, x.Cols)
+		}
+	}
+	add(root, columnsOf(root))
+	return req
+}
+
+func (ex *executor) eval(n Node) (batch, error) {
+	if b, ok := ex.memo[n]; ok {
+		return b, nil
+	}
+	var b batch
+	var err error
+	switch x := n.(type) {
+	case *Access:
+		b, err = ex.evalAccess(x)
+	case *Join:
+		b, err = ex.evalJoin(x)
+	case *FilterNe:
+		b, err = ex.evalFilterNe(x)
+	case *Distinct:
+		b, err = ex.evalDistinct(x)
+	case *Union:
+		b, err = ex.evalUnion(x)
+	case *Group:
+		b, err = ex.evalGroup(x)
+	case *Having:
+		b, err = ex.evalHaving(x)
+	case *Project:
+		b, err = ex.evalProject(x)
+	default:
+		err = fmt.Errorf("unknown plan node %T", n)
+	}
+	if err != nil {
+		return batch{}, err
+	}
+	ex.memo[n] = b
+	return b, nil
+}
+
+// slot is one unbound, named position of a triple pattern.
+type slot struct {
+	name string
+	pos  int // 0=s 1=p 2=o
+}
+
+func patternSlots(tp TriplePattern) []slot {
+	var out []slot
+	for i, ref := range []TermRef{tp.S, tp.P, tp.O} {
+		if !ref.Bound() && ref.Var != "" {
+			out = append(out, slot{ref.Var, i})
+		}
+	}
+	return out
+}
+
+// slotCols returns the distinct variable names of a slot list in first-
+// occurrence order — the column schema an access over those slots produces.
+func slotCols(slots []slot) []string {
+	var cols []string
+	seen := map[string]bool{}
+	for _, sl := range slots {
+		if !seen[sl.name] {
+			seen[sl.name] = true
+			cols = append(cols, sl.name)
+		}
+	}
+	return cols
+}
+
+// assemble maps physical (s, p, o) value triples to the pattern's variable
+// columns, applying intra-pattern equality when a variable repeats.
+func assemble(slots []slot, n int, vals func(i int) [3]uint64) (*rel.Rel, []string) {
+	cols := slotCols(slots)
+	colIdx := make(map[string]int, len(cols))
+	for i, c := range cols {
+		colIdx[c] = i
+	}
+	out := rel.NewCap(len(cols), n)
+	row := make([]uint64, len(cols))
+	set := make([]bool, len(cols))
+	for i := 0; i < n; i++ {
+		v := vals(i)
+		for j := range set {
+			set[j] = false
+		}
+		ok := true
+		for _, sl := range slots {
+			ci := colIdx[sl.name]
+			if set[ci] && row[ci] != v[sl.pos] {
+				ok = false
+				break
+			}
+			row[ci] = v[sl.pos]
+			set[ci] = true
+		}
+		if ok {
+			out.Data = append(out.Data, row...)
+		}
+	}
+	return out, cols
+}
+
+// keptSlots prunes an access's variable slots to those the plan consumes.
+// A slot survives when its variable is demanded downstream or repeats
+// within the pattern (the repetition is an equality filter that must still
+// apply). Pruning never empties the slot list: a benchmark access always
+// feeds at least one demanded variable.
+func (ex *executor) keptSlots(a *Access) []slot {
+	slots := patternSlots(a.Pattern)
+	req := ex.req[a]
+	if req == nil {
+		return slots
+	}
+	count := map[string]int{}
+	for _, sl := range slots {
+		count[sl.name]++
+	}
+	kept := make([]slot, 0, len(slots))
+	for _, sl := range slots {
+		if req[sl.name] || count[sl.name] > 1 {
+			kept = append(kept, sl)
+		}
+	}
+	if len(kept) == 0 {
+		kept = slots[:1]
+	}
+	return kept
+}
+
+// needOf derives the physical column mask from the surviving slots.
+func needOf(slots []slot) ScanCols {
+	var need ScanCols
+	for _, sl := range slots {
+		switch sl.pos {
+		case 0:
+			need.S = true
+		case 1:
+			need.P = true
+		case 2:
+			need.O = true
+		}
+	}
+	return need
+}
+
+func (ex *executor) evalAccess(a *Access) (batch, error) {
+	tp := a.Pattern
+	restricted := a.Restrict && ex.q.Restricted()
+	slots := ex.keptSlots(a)
+
+	if tp.P.Bound() {
+		// Single-property access: the per-property scan path on every
+		// scheme (an indexed range on the triples table, or one vertical
+		// table).
+		rows, err := ex.src.ScanProp(tp.P.Const, tp.S.Const, tp.O.Const, needOf(slots))
+		if err != nil {
+			return batch{}, err
+		}
+		p := uint64(tp.P.Const)
+		out, cols := assemble(slots, rows.Len(), func(i int) [3]uint64 {
+			r := rows.Row(i)
+			return [3]uint64{r[0], p, r[1]}
+		})
+		sorted := ""
+		if ex.src.PropOrdered() {
+			// SO-clustered vertical tables return the first unbound
+			// position ascending: subjects in general, objects within one
+			// bound subject.
+			switch {
+			case !tp.S.Bound() && tp.S.Var != "":
+				sorted = tp.S.Var
+			case !tp.O.Bound() && tp.O.Var != "":
+				sorted = tp.O.Var
+			}
+		}
+		return batch{rel: out, cols: cols, sorted: sorted}, nil
+	}
+
+	if ex.src.Partitioned() {
+		// Unbound property over per-property tables: scan each table and
+		// union — the plans with "more than two hundred unions and joins"
+		// the paper attributes to the vertical scheme. The restricted
+		// queries visit only the interesting tables.
+		props := ex.src.Cat().AllProps
+		if restricted {
+			props = ex.src.Cat().Interesting
+		}
+		tag := func(p rdf.ID, part *rel.Rel) *rel.Rel {
+			pv := uint64(p)
+			tagged, _ := assemble(slots, part.Len(), func(i int) [3]uint64 {
+				r := part.Row(i)
+				return [3]uint64{r[0], pv, r[1]}
+			})
+			return tagged
+		}
+		tagged, err := ex.scanProps(props, tp.S.Const, tp.O.Const, needOf(slots), tag)
+		if err != nil {
+			return batch{}, err
+		}
+		cols := slotCols(slots)
+		ex.tr.UnionParts += len(tagged)
+		out := ex.ops.UnionAll(len(cols), tagged)
+		return batch{rel: out, cols: cols}, nil
+	}
+
+	// Unbound property on a triple-store: one scan of the triples table,
+	// with the property restriction applied as the properties-table
+	// semijoin of the paper's restricted queries (which reads the property
+	// column, so the mask must include it).
+	need := needOf(slots)
+	if restricted {
+		need.P = true
+	}
+	rows := ex.src.ScanTriples(tp.S.Const, tp.O.Const, need)
+	if restricted {
+		rows = ex.src.RestrictProps(rows, 1)
+	}
+	out, cols := assemble(slots, rows.Len(), func(i int) [3]uint64 {
+		r := rows.Row(i)
+		return [3]uint64{r[0], r[1], r[2]}
+	})
+	return batch{rel: out, cols: cols}, nil
+}
+
+// scanProps runs the per-property scans of one partitioned access,
+// sequentially or over the worker pool, applying tag (scan → tagged
+// relation) in the worker so materialization parallelizes too. Results are
+// indexed by property, so the merge order — and therefore the output — is
+// deterministic either way.
+func (ex *executor) scanProps(props []rdf.ID, s, o rdf.ID, need ScanCols, tag func(p rdf.ID, part *rel.Rel) *rel.Rel) ([]*rel.Rel, error) {
+	parts := make([]*rel.Rel, len(props))
+	errs := make([]error, len(props))
+	one := func(i int) {
+		part, err := ex.src.ScanProp(props[i], s, o, need)
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		parts[i] = tag(props[i], part)
+	}
+	workers := ex.opt.Workers
+	if workers > len(props) {
+		workers = len(props)
+	}
+	if workers > 1 {
+		ex.tr.Parallel = true
+		idx := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range idx {
+					one(i)
+				}
+			}()
+		}
+		for i := range props {
+			idx <- i
+		}
+		close(idx)
+		wg.Wait()
+	} else {
+		for i := range props {
+			one(i)
+		}
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	ex.tr.PartitionScans += len(props)
+	return parts, nil
+}
+
+// partitionedJoinSide recognizes a join input that is an unbound-property
+// access on a partitioned scheme (optionally behind a FilterNe), the shape
+// eligible for join pushdown into the per-property fan-out.
+func (ex *executor) partitionedJoinSide(n Node) (*Access, *FilterNe) {
+	var f *FilterNe
+	if x, ok := n.(*FilterNe); ok {
+		if ex.uses[x] > 1 {
+			return nil, nil
+		}
+		f = x
+		n = x.In
+	}
+	a, ok := n.(*Access)
+	if !ok || a.Pattern.P.Bound() || !ex.src.Partitioned() {
+		return nil, nil
+	}
+	// A shared subexpression must be evaluated exactly once through the
+	// memo, never consumed by pushdown (which bypasses memoization).
+	if ex.uses[a] > 1 {
+		return nil, nil
+	}
+	if _, seen := ex.memo[a]; seen {
+		return nil, nil
+	}
+	return a, f
+}
+
+// evalPartitionedJoin distributes a join over the per-property union:
+// instead of materializing the full union and joining once, each property
+// table is scanned, tagged, filtered and joined in its own step — the
+// vertically-partitioned plans of the paper, with "more than two hundred
+// unions and joins", and the unit of work the parallel mode fans out.
+// Join distributes over union, so the result is the same bag.
+func (ex *executor) evalPartitionedJoin(other batch, a *Access, f *FilterNe) (batch, error) {
+	tp := a.Pattern
+	restricted := a.Restrict && ex.q.Restricted()
+	slots := ex.keptSlots(a)
+	accCols := slotCols(slots)
+	var shared []string
+	accSet := map[string]bool{}
+	for _, c := range accCols {
+		accSet[c] = true
+	}
+	for _, c := range other.cols {
+		if accSet[c] {
+			shared = append(shared, c)
+		}
+	}
+	if len(shared) != 1 {
+		return batch{}, fmt.Errorf("join of %v and %v shares %d variables, want 1", other.cols, accCols, len(shared))
+	}
+	v := shared[0]
+	oc, _ := other.col(v)
+	ac := 0
+	for i, c := range accCols {
+		if c == v {
+			ac = i
+		}
+	}
+	fc := -1
+	if f != nil {
+		for i, c := range accCols {
+			if c == f.Col {
+				fc = i
+			}
+		}
+		if fc < 0 {
+			return batch{}, fmt.Errorf("filter column %q not in %v", f.Col, accCols)
+		}
+	}
+	props := ex.src.Cat().AllProps
+	if restricted {
+		props = ex.src.Cat().Interesting
+	}
+	prep := ex.ops.PrepareHashJoin(other.rel, oc)
+	step := func(p rdf.ID, part *rel.Rel) *rel.Rel {
+		pv := uint64(p)
+		tagged, _ := assemble(slots, part.Len(), func(i int) [3]uint64 {
+			r := part.Row(i)
+			return [3]uint64{r[0], pv, r[1]}
+		})
+		if fc >= 0 {
+			tagged = ex.ops.FilterNe(tagged, fc, uint64(f.Value))
+		}
+		return prep.Probe(tagged, ac)
+	}
+	parts, err := ex.scanProps(props, tp.S.Const, tp.O.Const, needOf(slots), step)
+	if err != nil {
+		return batch{}, err
+	}
+	ex.tr.UnionParts += len(parts)
+	ex.tr.Joins = append(ex.tr.Joins, JoinChoice{Var: v, Merge: false})
+	joined := ex.ops.UnionAll(other.rel.W+len(accCols), parts)
+	// Drop the access side's copy of the join column.
+	keep := make([]int, 0, other.rel.W+len(accCols)-1)
+	cols := make([]string, 0, other.rel.W+len(accCols)-1)
+	for i, c := range other.cols {
+		keep = append(keep, i)
+		cols = append(cols, c)
+	}
+	for i, c := range accCols {
+		if i == ac {
+			continue
+		}
+		keep = append(keep, other.rel.W+i)
+		cols = append(cols, c)
+	}
+	return batch{rel: joined.Project(keep...), cols: cols}, nil
+}
+
+func (ex *executor) evalJoin(j *Join) (batch, error) {
+	// Join pushdown: a partitioned unbound-property access joins per
+	// property table, inside the fan-out.
+	if a, f := ex.partitionedJoinSide(j.R); a != nil {
+		other, err := ex.eval(j.L)
+		if err != nil {
+			return batch{}, err
+		}
+		return ex.evalPartitionedJoin(other, a, f)
+	}
+	if a, f := ex.partitionedJoinSide(j.L); a != nil {
+		other, err := ex.eval(j.R)
+		if err != nil {
+			return batch{}, err
+		}
+		return ex.evalPartitionedJoin(other, a, f)
+	}
+	l, err := ex.eval(j.L)
+	if err != nil {
+		return batch{}, err
+	}
+	r, err := ex.eval(j.R)
+	if err != nil {
+		return batch{}, err
+	}
+	var shared []string
+	rSet := map[string]bool{}
+	for _, c := range r.cols {
+		rSet[c] = true
+	}
+	for _, c := range l.cols {
+		if rSet[c] {
+			shared = append(shared, c)
+		}
+	}
+	if len(shared) != 1 {
+		return batch{}, fmt.Errorf("join of %v and %v shares %d variables, want 1", l.cols, r.cols, len(shared))
+	}
+	v := shared[0]
+	lc, _ := l.col(v)
+	rc, _ := r.col(v)
+	merge := l.sorted == v && r.sorted == v
+	var joined *rel.Rel
+	if merge {
+		joined = ex.ops.MergeJoin(l.rel, r.rel, lc, rc)
+	} else {
+		joined = ex.ops.HashJoin(l.rel, r.rel, lc, rc)
+	}
+	ex.tr.Joins = append(ex.tr.Joins, JoinChoice{Var: v, Merge: merge})
+	// Drop the right side's copy of the join column.
+	keep := make([]int, 0, l.rel.W+r.rel.W-1)
+	cols := make([]string, 0, l.rel.W+r.rel.W-1)
+	for i, c := range l.cols {
+		keep = append(keep, i)
+		cols = append(cols, c)
+	}
+	for i, c := range r.cols {
+		if i == rc {
+			continue
+		}
+		keep = append(keep, l.rel.W+i)
+		cols = append(cols, c)
+	}
+	sorted := ""
+	if merge {
+		sorted = v
+	}
+	return batch{rel: joined.Project(keep...), cols: cols, sorted: sorted}, nil
+}
+
+func (ex *executor) evalFilterNe(f *FilterNe) (batch, error) {
+	in, err := ex.eval(f.In)
+	if err != nil {
+		return batch{}, err
+	}
+	c, err := in.col(f.Col)
+	if err != nil {
+		return batch{}, err
+	}
+	out := ex.ops.FilterNe(in.rel, c, uint64(f.Value))
+	return batch{rel: out, cols: in.cols, sorted: in.sorted}, nil
+}
+
+func (ex *executor) evalDistinct(d *Distinct) (batch, error) {
+	in, err := ex.eval(d.In)
+	if err != nil {
+		return batch{}, err
+	}
+	// Both engines' Distinct keeps the first occurrence in input order, so
+	// ordering survives.
+	return batch{rel: ex.ops.Distinct(in.rel), cols: in.cols, sorted: in.sorted}, nil
+}
+
+func (ex *executor) evalUnion(u *Union) (batch, error) {
+	l, err := ex.eval(u.L)
+	if err != nil {
+		return batch{}, err
+	}
+	r, err := ex.eval(u.R)
+	if err != nil {
+		return batch{}, err
+	}
+	if len(l.cols) != len(r.cols) {
+		return batch{}, fmt.Errorf("union of %v and %v", l.cols, r.cols)
+	}
+	// Align the right side's column order with the left's.
+	perm := make([]int, len(l.cols))
+	for i, c := range l.cols {
+		j, err := r.col(c)
+		if err != nil {
+			return batch{}, fmt.Errorf("union of %v and %v", l.cols, r.cols)
+		}
+		perm[i] = j
+	}
+	rr := r.rel
+	for i, j := range perm {
+		if i != j {
+			rr = r.rel.Project(perm...)
+			break
+		}
+	}
+	return batch{rel: ex.ops.Union(l.rel, rr), cols: l.cols}, nil
+}
+
+func (ex *executor) evalGroup(g *Group) (batch, error) {
+	in, err := ex.eval(g.In)
+	if err != nil {
+		return batch{}, err
+	}
+	keys := make([]int, len(g.Keys))
+	for i, k := range g.Keys {
+		if keys[i], err = in.col(k); err != nil {
+			return batch{}, err
+		}
+	}
+	out := ex.ops.GroupCount(in.rel, keys...)
+	cols := append(append([]string(nil), g.Keys...), CountCol)
+	// GroupCount sorts its output lexicographically on all columns.
+	return batch{rel: out, cols: cols, sorted: g.Keys[0]}, nil
+}
+
+func (ex *executor) evalHaving(h *Having) (batch, error) {
+	in, err := ex.eval(h.In)
+	if err != nil {
+		return batch{}, err
+	}
+	c, err := in.col(h.Col)
+	if err != nil {
+		return batch{}, err
+	}
+	out := ex.ops.HavingGT(in.rel, c, h.Min)
+	return batch{rel: out, cols: in.cols, sorted: in.sorted}, nil
+}
+
+func (ex *executor) evalProject(p *Project) (batch, error) {
+	in, err := ex.eval(p.In)
+	if err != nil {
+		return batch{}, err
+	}
+	idx := make([]int, len(p.Cols))
+	for i, c := range p.Cols {
+		if idx[i], err = in.col(c); err != nil {
+			return batch{}, err
+		}
+	}
+	names := p.Cols
+	if p.As != nil {
+		if len(p.As) != len(p.Cols) {
+			return batch{}, fmt.Errorf("project renames %d of %d columns", len(p.As), len(p.Cols))
+		}
+		names = p.As
+	}
+	sorted := ""
+	for i, c := range p.Cols {
+		if c == in.sorted {
+			sorted = names[i]
+		}
+	}
+	return batch{rel: in.rel.Project(idx...), cols: append([]string(nil), names...), sorted: sorted}, nil
+}

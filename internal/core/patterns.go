@@ -192,131 +192,14 @@ type TripleSource interface {
 	Match(s, p, o rdf.ID) *rel.Rel
 }
 
-// Match implements TripleSource on the row-store triple-store.
-func (d *RowTriple) Match(s, p, o rdf.ID) *rel.Rel {
-	bound := map[int]uint64{}
-	if s != rdf.NoID {
-		bound[colS] = uint64(s)
-	}
-	if p != rdf.NoID {
-		bound[colP] = uint64(p)
-	}
-	if o != rdf.NoID {
-		bound[colO] = uint64(o)
-	}
-	return d.eng.ScanEq(d.triples, bound)
-}
-
-// Match implements TripleSource on the row-store vertical partitioning. An
-// unbound property iterates every table — the union proliferation the paper
-// warns about.
-func (d *RowVert) Match(s, p, o rdf.ID) *rel.Rel {
-	props := d.cat.AllProps
-	if p != rdf.NoID {
-		props = []rdf.ID{p}
-	}
-	out := rel.New(3)
-	for _, prop := range props {
-		t, ok := d.tables[prop]
-		if !ok {
-			continue
-		}
-		bound := map[int]uint64{}
-		if s != rdf.NoID {
-			bound[vcS] = uint64(s)
-		}
-		if o != rdf.NoID {
-			bound[vcO] = uint64(o)
-		}
-		part := d.eng.ScanEq(t, bound)
-		for i := 0; i < part.Len(); i++ {
-			row := part.Row(i)
-			out.Append(row[vcS], uint64(prop), row[vcO])
-		}
-	}
-	return out
-}
-
-// Match implements TripleSource on the column-store triple-store.
-func (d *ColTriple) Match(s, p, o rdf.ID) *rel.Rel {
-	var pos []int32
-	switch {
-	case p != rdf.NoID:
-		pos = d.eng.SelectEq(d.colP(), uint64(p))
-		if s != rdf.NoID {
-			pos = d.eng.SelectEqAt(d.colS(), uint64(s), pos)
-		}
-		if o != rdf.NoID {
-			pos = d.eng.SelectEqAt(d.colO(), uint64(o), pos)
-		}
-	case s != rdf.NoID:
-		pos = d.eng.SelectEq(d.colS(), uint64(s))
-		if o != rdf.NoID {
-			pos = d.eng.SelectEqAt(d.colO(), uint64(o), pos)
-		}
-	case o != rdf.NoID:
-		pos = d.eng.SelectEq(d.colO(), uint64(o))
-	default:
-		n := d.table.Rows()
-		pos = make([]int32, n)
-		for i := range pos {
-			pos[i] = int32(i)
-		}
-	}
-	sv := d.eng.Fetch(d.colS(), pos)
-	pv := d.eng.Fetch(d.colP(), pos)
-	ov := d.eng.Fetch(d.colO(), pos)
-	out := rel.NewCap(3, len(pos))
-	for i := range pos {
-		out.Data = append(out.Data, sv[i], pv[i], ov[i])
-	}
-	return out
-}
-
-// Match implements TripleSource on the column-store vertical partitioning.
-func (d *ColVert) Match(s, p, o rdf.ID) *rel.Rel {
-	props := d.loaded
-	if p != rdf.NoID {
-		props = []rdf.ID{p}
-	}
-	out := rel.New(3)
-	for _, prop := range props {
-		t, ok := d.tables[prop]
-		if !ok {
-			continue
-		}
-		sc, oc := t.Cols[0], t.Cols[1]
-		var pos []int32
-		switch {
-		case s != rdf.NoID:
-			pos = d.eng.SelectEq(sc, uint64(s))
-			if o != rdf.NoID {
-				pos = d.eng.SelectEqAt(oc, uint64(o), pos)
-			}
-		case o != rdf.NoID:
-			pos = d.eng.SelectEq(oc, uint64(o))
-		default:
-			pos = make([]int32, t.Rows())
-			for i := range pos {
-				pos[i] = int32(i)
-			}
-		}
-		sv := d.eng.Fetch(sc, pos)
-		ov := d.eng.Fetch(oc, pos)
-		for i := range pos {
-			out.Append(sv[i], uint64(prop), ov[i])
-		}
-	}
-	return out
-}
-
 // EvalBGP evaluates a conjunctive basic graph pattern over any storage
 // scheme, returning one row per solution with columns in order of first
 // variable appearance (and that variable order as the second result).
 //
 // This is the general query-space API built on the Section 2.2 model; the
-// twelve benchmark queries use hand-planned implementations instead because
-// they need aggregation, HAVING, unions and inequality filters.
+// twelve benchmark queries run through the declarative plan layer
+// (plan.go, exec.go) instead, because they need aggregation, HAVING,
+// unions and inequality filters on top of their patterns.
 func EvalBGP(src TripleSource, patterns []TriplePattern) (*rel.Rel, []string) {
 	if len(patterns) == 0 {
 		return rel.New(1), nil

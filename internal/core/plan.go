@@ -1,0 +1,227 @@
+package core
+
+import (
+	"fmt"
+
+	"blackswan/internal/rdf"
+)
+
+// This file is the declarative query-plan layer: each of the twelve
+// benchmark queries is expressed exactly once as a logical operator tree
+// over the Section 2.2 triple-pattern model, and the shared executor in
+// exec.go lowers that tree onto any storage scheme through the
+// PhysicalSource interface. The per-scheme files (rowtriple.go, rowvert.go,
+// coltriple.go, colvert.go) no longer contain query logic — only physical
+// access paths.
+
+// CountCol is the column name the Group operator appends for its count.
+const CountCol = "count"
+
+// Node is one logical plan operator. Nodes form a DAG: reusing the same
+// node pointer in two places expresses a common subexpression, which the
+// executor evaluates once (q6 scans its Text-typed subjects once for both
+// union branches, exactly as the hand-written plans did).
+type Node interface {
+	node()
+}
+
+// Access reads one triple pattern from the store. Its output columns are
+// the pattern's variables in (s, p, o) position order; bound positions
+// produce no column. Restrict marks the access as subject to the
+// interesting-properties restriction when the executed query is one of the
+// paper's restricted variants (q2/q3/q4/q6 without the star).
+type Access struct {
+	Pattern  TriplePattern
+	Restrict bool
+}
+
+// Join is the natural join of two inputs on their shared variable. The
+// executor decides merge vs. hash from the inputs' ordering properties —
+// the plan states only *that* the join happens, mirroring the paper's
+// observation that the same logical plan gets linear merge joins on
+// SO-clustered vertical tables and hash joins elsewhere.
+type Join struct {
+	L, R Node
+}
+
+// FilterNe drops rows whose Col equals Value (the "o != Text" and
+// "s != conferences" predicates of q5 and q8).
+type FilterNe struct {
+	In    Node
+	Col   string
+	Value rdf.ID
+}
+
+// Distinct removes duplicate rows (SQL UNION's set semantics).
+type Distinct struct {
+	In Node
+}
+
+// Union concatenates two inputs with identical column sets (bag semantics;
+// wrap in Distinct for SQL UNION).
+type Union struct {
+	L, R Node
+}
+
+// Group groups by Keys and appends a CountCol column with the group sizes.
+type Group struct {
+	In   Node
+	Keys []string
+}
+
+// Having keeps rows whose Col exceeds Min — the HAVING count(*) > 1 clause.
+type Having struct {
+	In  Node
+	Col string
+	Min uint64
+}
+
+// Project keeps Cols in order; As optionally renames them (needed when a
+// union branch derives the same logical entity under a different variable,
+// as q6's second branch does).
+type Project struct {
+	In   Node
+	Cols []string
+	As   []string
+}
+
+func (*Access) node()   {}
+func (*Join) node()     {}
+func (*FilterNe) node() {}
+func (*Distinct) node() {}
+func (*Union) node()    {}
+func (*Group) node()    {}
+func (*Having) node()   {}
+func (*Project) node()  {}
+
+// Plan is the complete logical plan of one benchmark query.
+type Plan struct {
+	Query Query
+	Root  Node
+}
+
+// PlanFor builds the declarative plan of q against the benchmark constants.
+// The basic graph patterns come from PatternsOf, so the plan layer and the
+// Table 2 coverage analysis share a single source of truth; PlanFor adds
+// the parts outside the pattern space (filters, aggregation, HAVING,
+// unions, projections).
+func PlanFor(q Query, c Constants) (*Plan, error) {
+	if !q.Valid() {
+		return nil, fmt.Errorf("core: invalid query %v", q)
+	}
+	pats := PatternsOf(q.ID, c)
+	acc := func(i int, restrict bool) *Access {
+		return &Access{Pattern: pats[i], Restrict: restrict}
+	}
+	var root Node
+	switch q.ID {
+	case Q1:
+		// SELECT o, count(*) FROM triples WHERE p = <type> GROUP BY o.
+		root = &Group{In: acc(0, false), Keys: []string{"o"}}
+	case Q2:
+		// Text-typed subjects joined back to all their (restricted)
+		// triples, counted per property.
+		root = &Group{
+			In:   &Join{L: acc(0, false), R: acc(1, true)},
+			Keys: []string{"p"},
+		}
+	case Q3:
+		// As q2, grouped by (property, object) with HAVING count > 1.
+		root = &Having{
+			In: &Group{
+				In:   &Join{L: acc(0, false), R: acc(1, true)},
+				Keys: []string{"p", "o"},
+			},
+			Col: CountCol, Min: 1,
+		}
+	case Q4:
+		// q3 further joined against the French-language subjects (a join,
+		// not a semijoin: SQL bag semantics multiply the counts).
+		j := &Join{
+			L: &Join{L: acc(0, false), R: acc(1, true)},
+			R: acc(2, false),
+		}
+		root = &Having{
+			In:  &Group{In: j, Keys: []string{"p", "o"}},
+			Col: CountCol, Min: 1,
+		}
+	case Q5:
+		// DLC-origin subjects, their records targets, and the targets'
+		// non-Text types.
+		j := &Join{
+			L: &Join{L: acc(0, false), R: acc(1, false)},
+			R: &FilterNe{In: acc(2, false), Col: "t", Value: c.Text},
+		}
+		root = &Project{In: j, Cols: []string{"s", "t"}}
+	case Q6:
+		// U = Text-typed subjects ∪ subjects recording one; the union's
+		// second branch reuses the first access as a common subexpression.
+		a0 := acc(0, false)
+		u2 := &Project{
+			In:   &Join{L: acc(1, false), R: a0},
+			Cols: []string{"r"}, As: []string{"s"},
+		}
+		u := &Distinct{In: &Union{L: a0, R: u2}}
+		root = &Group{
+			In:   &Join{L: u, R: acc(2, true)},
+			Keys: []string{"p"},
+		}
+	case Q7:
+		// Three subject-subject joins — the query the SO-clustered
+		// vertical scheme answers with linear merge joins.
+		j := &Join{
+			L: &Join{L: acc(0, false), R: acc(1, false)},
+			R: acc(2, false),
+		}
+		root = &Project{In: j, Cols: []string{"s", "e", "t"}}
+	case Q8:
+		// Objects related to <conferences>, joined back on object to find
+		// their other subjects.
+		objs := &Project{In: acc(0, false), Cols: []string{"o"}}
+		b := &FilterNe{In: acc(1, false), Col: "s", Value: c.Conferences}
+		root = &Project{
+			In:   &Join{L: objs, R: b},
+			Cols: []string{"s"},
+		}
+	default:
+		return nil, fmt.Errorf("core: no plan for query %v", q)
+	}
+	return &Plan{Query: q, Root: root}, nil
+}
+
+// Accesses returns the plan's Access leaves in evaluation order — the
+// query's basic graph pattern as the plan sees it. Shared subexpression
+// nodes appear once.
+func (p *Plan) Accesses() []*Access {
+	var out []*Access
+	seen := map[Node]bool{}
+	var walk func(n Node)
+	walk = func(n Node) {
+		if n == nil || seen[n] {
+			return
+		}
+		seen[n] = true
+		switch x := n.(type) {
+		case *Access:
+			out = append(out, x)
+		case *Join:
+			walk(x.L)
+			walk(x.R)
+		case *FilterNe:
+			walk(x.In)
+		case *Distinct:
+			walk(x.In)
+		case *Union:
+			walk(x.L)
+			walk(x.R)
+		case *Group:
+			walk(x.In)
+		case *Having:
+			walk(x.In)
+		case *Project:
+			walk(x.In)
+		}
+	}
+	walk(p.Root)
+	return out
+}

@@ -39,8 +39,10 @@ func OrderPerm(o rdf.Order) rowstore.Perm {
 // RowTriple is the triple-store scheme on the row-store engine: one
 // triples(subj, prop, obj) table with a clustered B+tree on the chosen
 // permutation and covering secondary indices on the others — the "DBX
-// triple" rows of Tables 6 and 7.
+// triple" rows of Tables 6 and 7. The file contains only the physical
+// access layer; all query logic lives in the shared plan executor.
 type RowTriple struct {
+	execMode
 	eng     *rowstore.Engine
 	cat     Catalog
 	cluster rdf.Order
@@ -85,117 +87,60 @@ func LoadRowTriple(eng *rowstore.Engine, g *rdf.Graph, cat Catalog, cluster rdf.
 // Label implements Database.
 func (d *RowTriple) Label() string { return "DBX/triple-" + d.cluster.String() }
 
-// Run implements Database.
+// Run implements Database by executing the query's declarative plan.
 func (d *RowTriple) Run(q Query) (*rel.Rel, error) {
-	if !q.Valid() {
-		return nil, fmt.Errorf("core: invalid query %v", q)
-	}
-	switch q.ID {
-	case Q1:
-		return d.q1(), nil
-	case Q2:
-		return d.q2(q), nil
-	case Q3:
-		return d.q3(q), nil
-	case Q4:
-		return d.q4(q), nil
-	case Q5:
-		return d.q5(), nil
-	case Q6:
-		return d.q6(q), nil
-	case Q7:
-		return d.q7(), nil
-	case Q8:
-		return d.q8(), nil
-	default:
-		return nil, fmt.Errorf("core: unreachable query %v", q)
-	}
+	return ExecuteOpts(d, q, d.opt)
 }
 
-// textSubjects returns the width-3 rows (s, p, o) with p=<type>, o=<Text>.
-func (d *RowTriple) textSubjects() *rel.Rel {
-	c := d.cat.Consts
-	return d.eng.ScanEq(d.triples, map[int]uint64{colP: uint64(c.Type), colO: uint64(c.Text)})
+// Match implements TripleSource: an indexed scan of the triples table with
+// the bound positions as equality predicates.
+func (d *RowTriple) Match(s, p, o rdf.ID) *rel.Rel {
+	bound := map[int]uint64{}
+	if s != rdf.NoID {
+		bound[colS] = uint64(s)
+	}
+	if p != rdf.NoID {
+		bound[colP] = uint64(p)
+	}
+	if o != rdf.NoID {
+		bound[colO] = uint64(o)
+	}
+	return d.eng.ScanEq(d.triples, bound)
 }
 
-// restrictProps applies the properties-table semijoin of the restricted
+// ScanProp implements PhysicalSource: a bound-property range of the
+// triples table, via whichever index prefix the optimizer picks. The need
+// mask is ignored: a row store always reads whole tuples.
+func (d *RowTriple) ScanProp(p, s, o rdf.ID, _ ScanCols) (*rel.Rel, error) {
+	return d.Match(s, p, o).Project(colS, colO), nil
+}
+
+// ScanTriples implements PhysicalSource: the unbound-property scan of the
+// triples table. The need mask is ignored: a row store always reads whole
+// tuples.
+func (d *RowTriple) ScanTriples(s, o rdf.ID, _ ScanCols) *rel.Rel {
+	return d.Match(s, rdf.NoID, o)
+}
+
+// Cat implements PhysicalSource.
+func (d *RowTriple) Cat() Catalog { return d.cat }
+
+// Props implements PhysicalSource: the triples table answers any property.
+func (d *RowTriple) Props() []rdf.ID { return d.cat.AllProps }
+
+// PropOrdered implements PhysicalSource. Row order depends on which index
+// the optimizer chose, so the executor must not rely on it.
+func (d *RowTriple) PropOrdered() bool { return false }
+
+// Partitioned implements PhysicalSource.
+func (d *RowTriple) Partitioned() bool { return false }
+
+// RestrictProps applies the properties-table semijoin of the restricted
 // queries ("populating a properties table with these property values and
 // join it against the properties returned").
-func (d *RowTriple) restrictProps(rows *rel.Rel, pCol int, q Query) *rel.Rel {
-	if !q.Restricted() {
-		return rows
-	}
+func (d *RowTriple) RestrictProps(rows *rel.Rel, pCol int) *rel.Rel {
 	return d.eng.SemiJoinIn(rows, pCol, d.eng.ScanAll(d.props), 0)
 }
 
-func (d *RowTriple) q1() *rel.Rel {
-	rows := d.eng.ScanEq(d.triples, map[int]uint64{colP: uint64(d.cat.Consts.Type)})
-	return d.eng.GroupCount(rows, colO)
-}
-
-// q2Join builds the A⋈B join shared by q2/q3/q4: Text-typed subjects joined
-// back to all their triples, property-restricted when q is not starred.
-// Columns of the result: 0=A.s, 1=B.s, 2=B.p, 3=B.o.
-func (d *RowTriple) q2Join(q Query) *rel.Rel {
-	a := d.textSubjects().Project(colS)
-	b := d.restrictProps(d.eng.ScanAll(d.triples), colP, q)
-	return d.eng.HashJoin(a, b, 0, colS)
-}
-
-func (d *RowTriple) q2(q Query) *rel.Rel {
-	return d.eng.GroupCount(d.q2Join(q), 2)
-}
-
-func (d *RowTriple) q3(q Query) *rel.Rel {
-	grouped := d.eng.GroupCount(d.q2Join(q), 2, 3)
-	return d.eng.HavingGT(grouped, 2, 1)
-}
-
-func (d *RowTriple) q4(q Query) *rel.Rel {
-	c := d.cat.Consts
-	j := d.q2Join(q)
-	french := d.eng.ScanEq(d.triples, map[int]uint64{colP: uint64(c.Language), colO: uint64(c.French)})
-	j4 := d.eng.HashJoin(j, french.Project(colS), 1, 0)
-	grouped := d.eng.GroupCount(j4, 2, 3)
-	return d.eng.HavingGT(grouped, 2, 1)
-}
-
-func (d *RowTriple) q5() *rel.Rel {
-	c := d.cat.Consts
-	a := d.eng.ScanEq(d.triples, map[int]uint64{colP: uint64(c.Origin), colO: uint64(c.DLC)}).Project(colS)
-	b := d.eng.ScanEq(d.triples, map[int]uint64{colP: uint64(c.Records)})
-	ab := d.eng.HashJoin(a, b, 0, colS) // 0=A.s 1=B.s 2=B.p 3=B.o
-	typ := d.eng.ScanEq(d.triples, map[int]uint64{colP: uint64(c.Type)})
-	notText := d.eng.FilterNe(typ, colO, uint64(c.Text))
-	j := d.eng.HashJoin(ab, notText, 3, colS) // + 4=C.s 5=C.p 6=C.o
-	return j.Project(1, 6)                    // (B.subj, C.obj)
-}
-
-func (d *RowTriple) q6(q Query) *rel.Rel {
-	c := d.cat.Consts
-	u1 := d.textSubjects().Project(colS)
-	recs := d.eng.ScanEq(d.triples, map[int]uint64{colP: uint64(c.Records)})
-	u2 := d.eng.HashJoin(recs, u1, colO, 0).Project(colS)
-	u := d.eng.Distinct(d.eng.Union(u1, u2))
-	all := d.restrictProps(d.eng.ScanAll(d.triples), colP, q)
-	j := d.eng.HashJoin(u, all, 0, colS) // 0=U.s 1=A.s 2=A.p 3=A.o
-	return d.eng.GroupCount(j, 2)
-}
-
-func (d *RowTriple) q7() *rel.Rel {
-	c := d.cat.Consts
-	a := d.eng.ScanEq(d.triples, map[int]uint64{colP: uint64(c.Point), colO: uint64(c.End)}).Project(colS)
-	enc := d.eng.ScanEq(d.triples, map[int]uint64{colP: uint64(c.Encoding)})
-	ab := d.eng.HashJoin(a, enc, 0, colS) // 0=A.s 1=B.s 2=B.p 3=B.o
-	typ := d.eng.ScanEq(d.triples, map[int]uint64{colP: uint64(c.Type)})
-	j := d.eng.HashJoin(ab, typ, 0, colS) // + 4=C.s 5=C.p 6=C.o
-	return j.Project(0, 3, 6)             // (A.subj, B.obj, C.obj)
-}
-
-func (d *RowTriple) q8() *rel.Rel {
-	c := d.cat.Consts
-	a := d.eng.ScanEq(d.triples, map[int]uint64{colS: uint64(c.Conferences)}).Project(colO)
-	b := d.eng.FilterNe(d.eng.ScanAll(d.triples), colS, uint64(c.Conferences))
-	j := d.eng.HashJoin(a, b, 0, colO) // 0=A.o 1=B.s 2=B.p 3=B.o
-	return j.Project(1)                // B.subj
-}
+// Ops implements PhysicalSource.
+func (d *RowTriple) Ops() PhysicalOps { return d.eng }

@@ -16,8 +16,12 @@ const (
 
 // RowVert is the vertically-partitioned scheme on the row-store engine: one
 // two-column table per property, clustered on SO with an unclustered OS
-// index — the "DBX vert SO" rows of Tables 6 and 7.
+// index — the "DBX vert SO" rows of Tables 6 and 7. The file contains only
+// the physical access layer; all query logic lives in the shared plan
+// executor, which lowers unbound-property accesses to the per-table unions
+// the paper warns about.
 type RowVert struct {
+	execMode
 	eng    *rowstore.Engine
 	cat    Catalog
 	tables map[rdf.ID]*rowstore.Table
@@ -66,169 +70,77 @@ func partitionByProperty(g *rdf.Graph) map[rdf.ID]*rel.Rel {
 // Label implements Database.
 func (d *RowVert) Label() string { return "DBX/vert-SO" }
 
-// table returns the partition for p; every catalog property is loaded, so a
-// miss is a programming error.
-func (d *RowVert) table(p rdf.ID) *rowstore.Table {
+// Run implements Database by executing the query's declarative plan.
+func (d *RowVert) Run(q Query) (*rel.Rel, error) {
+	return ExecuteOpts(d, q, d.opt)
+}
+
+// Match implements TripleSource as a union of per-property scans. An
+// unbound property iterates every table — the union proliferation the
+// paper warns about.
+func (d *RowVert) Match(s, p, o rdf.ID) *rel.Rel {
+	props := d.cat.AllProps
+	if p != rdf.NoID {
+		props = []rdf.ID{p}
+	}
+	out := rel.New(3)
+	for _, prop := range props {
+		part, err := d.ScanProp(prop, s, o, AllScanCols())
+		if err != nil {
+			continue // property without a table matches nothing
+		}
+		for i := 0; i < part.Len(); i++ {
+			row := part.Row(i)
+			out.Append(row[vcS], uint64(prop), row[vcO])
+		}
+	}
+	return out
+}
+
+// ScanProp implements PhysicalSource: an indexed scan of one property
+// table (clustered SO for subject bounds, the unclustered OS index for
+// object bounds). The need mask is ignored: a row store always reads whole
+// tuples.
+func (d *RowVert) ScanProp(p, s, o rdf.ID, _ ScanCols) (*rel.Rel, error) {
 	t, ok := d.tables[p]
 	if !ok {
-		panic(fmt.Sprintf("core: no vertical table for property %d", p))
+		return nil, fmt.Errorf("core: property %d not loaded in %s", p, d.Label())
 	}
-	return t
-}
-
-// Run implements Database.
-func (d *RowVert) Run(q Query) (*rel.Rel, error) {
-	if !q.Valid() {
-		return nil, fmt.Errorf("core: invalid query %v", q)
+	bound := map[int]uint64{}
+	if s != rdf.NoID {
+		bound[vcS] = uint64(s)
 	}
-	switch q.ID {
-	case Q1:
-		return d.q1(), nil
-	case Q2:
-		return d.q2(q), nil
-	case Q3:
-		return d.q3(q), nil
-	case Q4:
-		return d.q4(q), nil
-	case Q5:
-		return d.q5(), nil
-	case Q6:
-		return d.q6(q), nil
-	case Q7:
-		return d.q7(), nil
-	case Q8:
-		return d.q8(), nil
-	default:
-		return nil, fmt.Errorf("core: unreachable query %v", q)
+	if o != rdf.NoID {
+		bound[vcO] = uint64(o)
 	}
+	return d.eng.ScanEq(t, bound), nil
 }
 
-// textSubjects returns the width-1 subjects typed <Text>, via the OS index
-// of the type table.
-func (d *RowVert) textSubjects() *rel.Rel {
-	c := d.cat.Consts
-	return d.eng.ScanEq(d.table(c.Type), map[int]uint64{vcO: uint64(c.Text)}).Project(vcS)
+// ScanTriples implements PhysicalSource; the executor prefers the
+// partitioned fan-out on this scheme, so this is only the Match fallback.
+func (d *RowVert) ScanTriples(s, o rdf.ID, _ ScanCols) *rel.Rel {
+	return d.Match(s, rdf.NoID, o)
 }
 
-func (d *RowVert) q1() *rel.Rel {
-	rows := d.eng.ScanAll(d.table(d.cat.Consts.Type))
-	return d.eng.GroupCount(rows, vcO)
+// Cat implements PhysicalSource.
+func (d *RowVert) Cat() Catalog { return d.cat }
+
+// Props implements PhysicalSource.
+func (d *RowVert) Props() []rdf.ID { return d.cat.AllProps }
+
+// PropOrdered implements PhysicalSource: SO clustering returns every
+// per-property scan ordered on its first unbound position, which is what
+// licenses the linear merge joins the paper credits the scheme with.
+func (d *RowVert) PropOrdered() bool { return true }
+
+// Partitioned implements PhysicalSource.
+func (d *RowVert) Partitioned() bool { return true }
+
+// RestrictProps implements PhysicalSource; partitioned schemes restrict by
+// table selection instead, so this is only a fallback filter.
+func (d *RowVert) RestrictProps(rows *rel.Rel, pCol int) *rel.Rel {
+	return d.eng.FilterIn(rows, pCol, d.cat.interestingSet())
 }
 
-func (d *RowVert) q2(q Query) *rel.Rel {
-	a := d.textSubjects()
-	out := rel.New(2)
-	for _, p := range d.cat.props(q) {
-		j := d.eng.SemiJoinIn(d.eng.ScanAll(d.table(p)), vcS, a, 0)
-		if n := j.Len(); n > 0 {
-			out.Append(uint64(p), uint64(n))
-		}
-	}
-	out.Sort()
-	return out
-}
-
-func (d *RowVert) q3(q Query) *rel.Rel {
-	a := d.textSubjects()
-	out := rel.New(3)
-	for _, p := range d.cat.props(q) {
-		j := d.eng.SemiJoinIn(d.eng.ScanAll(d.table(p)), vcS, a, 0)
-		if j.Len() == 0 {
-			continue
-		}
-		g := d.eng.GroupCount(j, vcO) // (o, count)
-		g = d.eng.HavingGT(g, 1, 1)
-		for i := 0; i < g.Len(); i++ {
-			row := g.Row(i)
-			out.Append(uint64(p), row[0], row[1])
-		}
-	}
-	out.Sort()
-	return out
-}
-
-func (d *RowVert) q4(q Query) *rel.Rel {
-	c := d.cat.Consts
-	a := d.textSubjects()
-	french := d.eng.ScanEq(d.table(c.Language), map[int]uint64{vcO: uint64(c.French)}).Project(vcS)
-	out := rel.New(3)
-	for _, p := range d.cat.props(q) {
-		j := d.eng.SemiJoinIn(d.eng.ScanAll(d.table(p)), vcS, a, 0)
-		if j.Len() == 0 {
-			continue
-		}
-		// Join (not semijoin) against the French subjects: SQL's bag
-		// semantics multiply counts by the number of matching C rows.
-		jf := d.eng.HashJoin(j, french, vcS, 0) // (s, o, C.s)
-		if jf.Len() == 0 {
-			continue
-		}
-		g := d.eng.GroupCount(jf, 1) // (o, count)
-		g = d.eng.HavingGT(g, 1, 1)
-		for i := 0; i < g.Len(); i++ {
-			row := g.Row(i)
-			out.Append(uint64(p), row[0], row[1])
-		}
-	}
-	out.Sort()
-	return out
-}
-
-func (d *RowVert) q5() *rel.Rel {
-	c := d.cat.Consts
-	a := d.eng.ScanEq(d.table(c.Origin), map[int]uint64{vcO: uint64(c.DLC)}).Project(vcS)
-	b := d.eng.SemiJoinIn(d.eng.ScanAll(d.table(c.Records)), vcS, a, 0)
-	typ := d.eng.FilterNe(d.eng.ScanAll(d.table(c.Type)), vcO, uint64(c.Text))
-	j := d.eng.HashJoin(b, typ, vcO, vcS) // 0=B.s 1=B.o 2=C.s 3=C.o
-	return j.Project(0, 3)
-}
-
-func (d *RowVert) q6(q Query) *rel.Rel {
-	c := d.cat.Consts
-	u1 := d.textSubjects()
-	recs := d.eng.ScanAll(d.table(c.Records))
-	u2 := d.eng.SemiJoinIn(recs, vcO, u1, 0).Project(vcS)
-	u := d.eng.Distinct(d.eng.Union(u1, u2))
-	out := rel.New(2)
-	for _, p := range d.cat.props(q) {
-		j := d.eng.SemiJoinIn(d.eng.ScanAll(d.table(p)), vcS, u, 0)
-		if n := j.Len(); n > 0 {
-			out.Append(uint64(p), uint64(n))
-		}
-	}
-	out.Sort()
-	return out
-}
-
-func (d *RowVert) q7() *rel.Rel {
-	c := d.cat.Consts
-	// SO-clustered property tables are subject-sorted, so the
-	// subject-subject joins run as linear merge joins — the "fewer unions
-	// and fast joins" property the paper quotes.
-	a := d.eng.ScanEq(d.table(c.Point), map[int]uint64{vcO: uint64(c.End)}).Project(vcS)
-	enc := d.eng.ScanAll(d.table(c.Encoding))
-	ab := d.eng.MergeJoin(a, enc, 0, vcS) // 0=A.s 1=B.s 2=B.o
-	typ := d.eng.ScanAll(d.table(c.Type))
-	j := d.eng.MergeJoin(ab, typ, 0, vcS) // + 3=C.s 4=C.o
-	return j.Project(0, 2, 4)
-}
-
-func (d *RowVert) q8() *rel.Rel {
-	c := d.cat.Consts
-	// Phase 1: visit every property table, collect the objects of
-	// <conferences>; union them into the temporary table t of Section 4.2.
-	objs := rel.New(1)
-	for _, p := range d.cat.AllProps {
-		sel := d.eng.ScanEq(d.table(p), map[int]uint64{vcS: uint64(c.Conferences)})
-		objs = d.eng.Union(objs, sel.Project(vcO))
-	}
-	// Phase 2: join t back against every property table, filtering out the
-	// <conferences> subject itself.
-	out := rel.New(1)
-	for _, p := range d.cat.AllProps {
-		b := d.eng.FilterNe(d.eng.ScanAll(d.table(p)), vcS, uint64(c.Conferences))
-		j := d.eng.HashJoin(objs, b, 0, vcO) // 0=t.o 1=B.s 2=B.o
-		out = d.eng.Union(out, j.Project(1))
-	}
-	return out
-}
+// Ops implements PhysicalSource.
+func (d *RowVert) Ops() PhysicalOps { return d.eng }

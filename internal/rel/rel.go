@@ -120,6 +120,18 @@ func Equal(a, b *Rel) bool {
 	return true
 }
 
+// PreparedJoin is a hash join whose build side is hashed once for repeated
+// probing — the primitive behind the plan executor's partitioned joins,
+// where one build side meets every per-property table. Implementations are
+// safe for concurrent Probe calls: the hash table is read-only after
+// construction. The interface lives here (the tuple layer both engines
+// share) so the engines can implement it without importing the executor.
+type PreparedJoin interface {
+	// Probe joins r against the build side, returning the build side's
+	// columns followed by r's.
+	Probe(r *Rel, rc int) *Rel
+}
+
 // String renders a compact preview for debugging.
 func (r *Rel) String() string {
 	n := r.Len()

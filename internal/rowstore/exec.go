@@ -101,10 +101,14 @@ func (e *Engine) ScanEq(t *Table, bound map[int]uint64) *rel.Rel {
 	out := rel.New(t.Width)
 	c := e.Costs
 	residual := len(bound) > plen
+	// Per-tuple costs are summed locally and charged once per scan: the
+	// total is identical, and the store's accounting lock is taken once
+	// instead of once per tuple — what lets parallel per-property scans
+	// actually overlap.
+	var tuples int64
 	e.scanIndex(ix, prefix, plen, func(row []uint64) {
-		e.Store.ChargeCPU(c.ScanTuple)
+		tuples++
 		if residual {
-			e.Store.ChargeCPU(c.FilterTuple)
 			for col, v := range bound {
 				if row[col] != v {
 					return
@@ -113,6 +117,11 @@ func (e *Engine) ScanEq(t *Table, bound map[int]uint64) *rel.Rel {
 		}
 		out.Data = append(out.Data, row...)
 	})
+	cost := tuples * c.ScanTuple
+	if residual {
+		cost += tuples * c.FilterTuple
+	}
+	e.Store.ChargeCPU(cost)
 	return out
 }
 
@@ -227,6 +236,44 @@ func (e *Engine) HashJoin(l, r *rel.Rel, lc, rc int) *rel.Rel {
 	return out
 }
 
+// preparedJoin is the engine's rel.PreparedJoin: a hash table built once,
+// probed per partition. The table is read-only after construction, so
+// concurrent probes are safe; cost charges go through the store's lock.
+type preparedJoin struct {
+	e  *Engine
+	l  *rel.Rel
+	ht map[uint64][]int
+}
+
+// PrepareHashJoin builds the hash side of a repeated join once.
+func (e *Engine) PrepareHashJoin(l *rel.Rel, lc int) rel.PreparedJoin {
+	e.node()
+	ht := make(map[uint64][]int, l.Len())
+	for i := 0; i < l.Len(); i++ {
+		ht[l.Row(i)[lc]] = append(ht[l.Row(i)[lc]], i)
+	}
+	e.Store.ChargeCPU(int64(l.Len()) * e.Costs.HashBuild)
+	return &preparedJoin{e: e, l: l, ht: ht}
+}
+
+// Probe implements rel.PreparedJoin, charging one plan node per call — the
+// per-table joins of the vertically-partitioned plans.
+func (p *preparedJoin) Probe(r *rel.Rel, rc int) *rel.Rel {
+	p.e.node()
+	c := p.e.Costs
+	out := rel.New(p.l.W + r.W)
+	n := r.Len()
+	p.e.Store.ChargeCPU(int64(n) * c.HashProbe)
+	for j := 0; j < n; j++ {
+		rrow := r.Row(j)
+		for _, i := range p.ht[rrow[rc]] {
+			out.Data = append(out.Data, p.l.Row(i)...)
+			out.Data = append(out.Data, rrow...)
+		}
+	}
+	return out
+}
+
 // MergeJoin joins two inputs already sorted on their join columns. It is the
 // "simple, fast (linear) merge join" the vertically-partitioned scheme gets
 // on subject-subject joins of SO-clustered tables.
@@ -326,6 +373,25 @@ func (e *Engine) Union(a, b *rel.Rel) *rel.Rel {
 	out := rel.NewCap(a.W, a.Len()+b.Len())
 	out.Data = append(out.Data, a.Data...)
 	out.Data = append(out.Data, b.Data...)
+	return out
+}
+
+// UnionAll concatenates any number of same-width relations, charging one
+// plan node per input — the explicit per-table unions of the vertically-
+// partitioned plans ("each query contains more than two hundred unions and
+// joins"). Each tuple is moved once, unlike a left fold of binary unions.
+func (e *Engine) UnionAll(w int, parts []*rel.Rel) *rel.Rel {
+	out := rel.New(w)
+	var total int64
+	for _, p := range parts {
+		e.node()
+		if p.W != w {
+			panic(fmt.Sprintf("rowstore: union-all of widths %d and %d", w, p.W))
+		}
+		total += int64(p.Len())
+		out.Data = append(out.Data, p.Data...)
+	}
+	e.Store.ChargeCPU(total * e.Costs.UnionTuple)
 	return out
 }
 

@@ -3,6 +3,7 @@ package simio
 import (
 	"container/list"
 	"fmt"
+	"sync"
 	"time"
 )
 
@@ -43,9 +44,13 @@ type Stats struct {
 // single point through which engines perform I/O, so swapping a Machine
 // profile or resizing the pool changes the timing of every engine uniformly.
 //
-// Store is not safe for concurrent use; the benchmark executes queries one
-// at a time, as the paper does.
+// A mutex serializes the accounting paths (ChargeCPU, ReadRange and the
+// catalog methods), so the plan executor's parallel per-property scans can
+// share one store. The simulated clock still models the paper's
+// single-threaded systems — costs are summed, never overlapped; parallelism
+// only shortens host time.
 type Store struct {
+	mu       sync.Mutex
 	machine  Machine
 	clock    *Clock
 	trace    *Trace
@@ -116,13 +121,23 @@ func (s *Store) Machine() Machine { return s.machine }
 func (s *Store) PageSize() int64 { return s.pageSize }
 
 // Stats returns a copy of the accumulated counters.
-func (s *Store) Stats() Stats { return s.stats }
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
 
 // ResetStats zeroes the counters (not the pool contents).
-func (s *Store) ResetStats() { s.stats = Stats{} }
+func (s *Store) ResetStats() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stats = Stats{}
+}
 
 // CreateFile registers a new zero-length file and returns its id.
 func (s *Store) CreateFile(name string) FileID {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	s.nextID++
 	id := s.nextID
 	s.files[id] = &fileMeta{name: name}
@@ -134,6 +149,8 @@ func (s *Store) CreateFile(name string) FileID {
 // measured window ("database loading, clustering and index construction are
 // all kept outside the scope of the benchmark", Section 2.3).
 func (s *Store) Extend(f FileID, n int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	fm, ok := s.files[f]
 	if !ok {
 		panic(fmt.Sprintf("simio: Extend on unknown file %d", f))
@@ -146,6 +163,8 @@ func (s *Store) Extend(f FileID, n int64) {
 
 // FileSize returns the current size of f in bytes.
 func (s *Store) FileSize(f FileID) int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	fm, ok := s.files[f]
 	if !ok {
 		panic(fmt.Sprintf("simio: FileSize on unknown file %d", f))
@@ -155,6 +174,8 @@ func (s *Store) FileSize(f FileID) int64 {
 
 // FileName returns the registered name of f.
 func (s *Store) FileName(f FileID) string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	fm, ok := s.files[f]
 	if !ok {
 		panic(fmt.Sprintf("simio: FileName on unknown file %d", f))
@@ -164,6 +185,8 @@ func (s *Store) FileName(f FileID) string {
 
 // TotalBytes returns the combined size of all files — the database footprint.
 func (s *Store) TotalBytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	var n int64
 	for _, fm := range s.files {
 		n += fm.size
@@ -174,6 +197,8 @@ func (s *Store) TotalBytes() int64 {
 // DropCaches empties the buffer pool, producing the paper's "cold" state:
 // "no (benchmark-relevant) data is preloaded into the system's main memory".
 func (s *Store) DropCaches() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	s.lru.Init()
 	s.index = make(map[pageKey]*list.Element)
 	s.used = 0
@@ -188,6 +213,8 @@ func (s *Store) ReadRange(f FileID, off, length int64) {
 	if length <= 0 {
 		return
 	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	fm, ok := s.files[f]
 	if !ok {
 		panic(fmt.Sprintf("simio: ReadRange on unknown file %d", f))
@@ -283,5 +310,7 @@ func (s *Store) ChargeCPU(baselineNs int64) {
 	if baselineNs <= 0 {
 		return
 	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	s.clock.ChargeCPU(time.Duration(float64(baselineNs) * s.machine.CPUScale))
 }
