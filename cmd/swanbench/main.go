@@ -15,12 +15,19 @@
 //	fig5     I/O read history for q3 and q5
 //	table6   full grid, cold runs
 //	table7   full grid, hot runs
-//	fig6     execution time vs number of aggregated properties
-//	fig7     scale-up experiment (property splitting, 222 → 1000)
-//	parallel host-time speedup of the worker-pool execution mode
-//	sql      generated SQL for both schemes, with union/join counts
-//	gen      write the generated data set as N-Triples to stdout
-//	all      every experiment in paper order
+//	fig6      execution time vs number of aggregated properties
+//	fig7      scale-up experiment (property splitting, 222 → 1000)
+//	parallel  host-time speedup of the worker-pool execution mode
+//	workloads generated random-BGP workload through the query compiler
+//	sql       generated SQL for both schemes, with union/join counts
+//	gen       write the generated data set as N-Triples to stdout
+//	all       every experiment in paper order
+//
+// Beyond the paper's fixed queries, -bgp '<query>' compiles and runs an
+// arbitrary basic-graph-pattern query (see internal/bgp for the syntax) on
+// all four storage schemes:
+//
+//	swanbench -bgp 'SELECT ?s ?t WHERE { ?s <barton/origin> <barton/info:marcorg/DLC> . ?s <barton/records> ?x . ?x <barton/type> ?t }'
 package main
 
 import (
@@ -28,11 +35,14 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strings"
 
 	"blackswan/internal/bench"
+	"blackswan/internal/bgp"
 	"blackswan/internal/core"
 	"blackswan/internal/datagen"
 	"blackswan/internal/rdf"
+	"blackswan/internal/rel"
 )
 
 func main() {
@@ -45,13 +55,21 @@ func main() {
 		fig7Steps   = flag.Int("fig7-steps", 9, "measurement points for fig7")
 		fig6Steps   = flag.Int("fig6-steps", 8, "measurement points for fig6")
 		parallel    = flag.Int("parallel", 0, "worker count for the parallel experiment (defaults to NumCPU); the measured tables always run sequentially so their simulated timings stay deterministic")
+		bgpText     = flag.String("bgp", "", "compile and run this BGP query on all four schemes (see internal/bgp for the syntax), instead of an experiment")
+		bgpCount    = flag.Int("bgp-count", 12, "number of generated queries for the workloads experiment")
+		bgpSeed     = flag.Int64("bgp-seed", 0, "workload-generator seed (defaults to -seed)")
 	)
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: swanbench [flags] <experiment>\nexperiments: table1 fig1 table2 table4 table5 fig5 table6 table7 fig6 fig7 parallel sql gen all\nflags:\n")
+		fmt.Fprintf(os.Stderr, "usage: swanbench [flags] <experiment>\nexperiments: table1 fig1 table2 table4 table5 fig5 table6 table7 fig6 fig7 parallel workloads sql gen all\nflags:\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
-	if flag.NArg() != 1 {
+	if *bgpText != "" {
+		if flag.NArg() != 0 {
+			fmt.Fprintln(os.Stderr, "swanbench: -bgp runs instead of an experiment; drop the experiment argument")
+			os.Exit(2)
+		}
+	} else if flag.NArg() != 1 {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -67,6 +85,11 @@ func main() {
 	fmt.Fprintf(os.Stderr, "generating %d triples over %d properties (seed %d)...\n", cfg.Triples, cfg.Properties, cfg.Seed)
 	w, err := bench.NewWorkload(cfg)
 	fail(err)
+
+	if *bgpText != "" {
+		runUserBGP(w, *bgpText)
+		return
+	}
 
 	run := func(name string) {
 		switch name {
@@ -127,6 +150,17 @@ func main() {
 			pts, err := bench.ParallelSweep(w, workers)
 			fail(err)
 			fmt.Print(bench.FormatParallel(pts, workers))
+		case "workloads":
+			wseed := *bgpSeed
+			if wseed == 0 {
+				wseed = *seed
+			}
+			section(fmt.Sprintf("Workloads: %d generated BGP queries (seed %d) through the query compiler", *bgpCount, wseed))
+			systems, err := bench.BGPSystems(w)
+			fail(err)
+			res, err := bench.RunBGPWorkload(w, systems, *bgpCount, wseed, bench.Cold)
+			fail(err)
+			fmt.Print(bench.FormatBGPWorkload(res, systems, bench.Cold))
 		case "sql":
 			section("Generated SQL (triple-store, then vertically-partitioned)")
 			names := make([]string, 0, len(w.Cat.AllProps))
@@ -149,12 +183,72 @@ func main() {
 	}
 
 	if flag.Arg(0) == "all" {
-		for _, name := range []string{"table1", "fig1", "table2", "table4", "table5", "fig5", "table6", "table7", "fig6", "fig7", "parallel"} {
+		for _, name := range []string{"table1", "fig1", "table2", "table4", "table5", "fig5", "table6", "table7", "fig6", "fig7", "parallel", "workloads"} {
 			run(name)
 		}
 		return
 	}
 	run(flag.Arg(0))
+}
+
+// runUserBGP compiles one user-supplied query, prints the chosen join
+// order and estimated cost, runs it on all four schemes (cold and hot),
+// and decodes a sample of the result through the dictionary.
+func runUserBGP(w *bench.Workload, text string) {
+	est := bgp.NewEstimator(w.DS.Graph, w.Cat.Interesting)
+	compiled, err := bgp.CompileText(text, w.DS.Graph.Dict, est)
+	fail(err)
+	section("BGP query")
+	fmt.Printf("query:     %s\n", text)
+	fmt.Printf("columns:   %s\n", strings.Join(compiled.Cols, ", "))
+	fmt.Printf("est. cost: %.0f\n", compiled.Cost)
+	for _, step := range compiled.Order {
+		fmt.Printf("join:      %s\n", step)
+	}
+	fmt.Println()
+
+	systems, err := bench.BGPSystems(w)
+	fail(err)
+	fmt.Printf("%-18s %12s %12s %12s %12s %8s\n",
+		"system", "cold real", "cold user", "hot real", "hot user", "rows")
+	var sample *rel.Rel
+	for _, sys := range systems {
+		cold, res, err := sys.MeasurePlan(compiled.Root, bench.Cold)
+		fail(err)
+		hot, _, err := sys.MeasurePlan(compiled.Root, bench.Hot)
+		fail(err)
+		if sample == nil {
+			sample = res
+		} else if !rel.Equal(sample, res) {
+			fail(fmt.Errorf("%s returned a different result", sys.Name))
+		}
+		cr, cu := cold.Seconds()
+		hr, hu := hot.Seconds()
+		fmt.Printf("%-18s %11.3fs %11.3fs %11.3fs %11.3fs %8d\n",
+			sys.Name, cr, cu, hr, hu, res.Len())
+	}
+
+	fmt.Printf("\nresult (%d rows", sample.Len())
+	show := sample.Len()
+	if show > 10 {
+		show = 10
+		fmt.Printf(", first %d", show)
+	}
+	fmt.Println("):")
+	d := w.DS.Graph.Dict
+	for i := 0; i < show; i++ {
+		row := sample.Row(i)
+		parts := make([]string, len(row))
+		for j, v := range row {
+			// Aggregate counts are plain numbers, not dictionary ids.
+			if compiled.Counts[compiled.Cols[j]] {
+				parts[j] = fmt.Sprint(v)
+				continue
+			}
+			parts[j] = d.Term(rdf.ID(v)).String()
+		}
+		fmt.Println("  " + strings.Join(parts, "  "))
+	}
 }
 
 func section(title string) {

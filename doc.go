@@ -8,16 +8,21 @@
 // environment (internal/simio), the two engines (internal/rowstore with
 // internal/btree, and internal/colstore), the storage schemes, the
 // declarative query-plan layer and its shared executor (internal/core),
-// and the experiment harness (internal/bench).
+// the BGP query compiler (internal/bgp), and the experiment harness
+// (internal/bench).
 //
 // Every benchmark query is declared once as a logical plan
 // (core.PlanFor) and lowered onto all four storage schemes by one
 // executor through a small per-scheme physical-access interface
 // (core.PhysicalSource) — per-property scans, ordering hints that select
 // merge vs. hash joins, and partitioned-union fan-out that can run over a
-// worker pool (core.ExecOptions). DESIGN.md documents the architecture,
-// the system inventory and the substitutions for non-redistributable
-// resources.
+// worker pool (core.ExecOptions). Beyond the fixed twelve queries,
+// internal/bgp compiles arbitrary basic-graph-pattern queries — stated in
+// a small text syntax — into the same plan vocabulary, choosing join
+// orders from data-set statistics, and generates seeded random workloads
+// (swanbench's -bgp flag and workloads experiment). DESIGN.md documents
+// the architecture, the system inventory and the substitutions for
+// non-redistributable resources.
 //
 // The root package holds the benchmark suite: one testing.B benchmark per
 // table and figure of the paper (bench_test.go) plus ablation benchmarks for

@@ -1,13 +1,16 @@
 package bench
 
 import (
+	"reflect"
 	"strings"
 	"sync"
 	"testing"
 
+	"blackswan/internal/bgp"
 	"blackswan/internal/core"
 	"blackswan/internal/datagen"
 	"blackswan/internal/rdf"
+	"blackswan/internal/rel"
 	"blackswan/internal/simio"
 )
 
@@ -397,5 +400,156 @@ func TestFig7Shape(t *testing.T) {
 	}
 	if out := FormatFig7(points); !strings.Contains(out, "#properties") {
 		t.Fatal("FormatFig7 malformed")
+	}
+}
+
+// TestRunGridParallelDeterministic asserts the concurrent grid harness:
+// rows measured in parallel goroutines must match a sequential per-row
+// measurement exactly, simulated timings included, run after run.
+func TestRunGridParallelDeterministic(t *testing.T) {
+	w := testWorkload(t)
+	systems, err := FullGrid(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := RunGrid(systems, Cold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sequential reference on fresh systems (a Store's cache state depends
+	// on measurement history).
+	seqSystems, err := FullGrid(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := make([]GridResult, len(seqSystems))
+	for i, sys := range seqSystems {
+		seq[i], err = gridRow(sys, Cold)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !reflect.DeepEqual(par, seq) {
+		t.Fatalf("parallel grid differs from sequential:\n%v\nvs\n%v", par, seq)
+	}
+	again, err := RunGrid(systems, Cold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(par, again) {
+		t.Fatal("parallel grid not stable across runs")
+	}
+	for i, sys := range systems {
+		if par[i].System != sys.Name {
+			t.Fatalf("row %d is %q, want %q (output order must follow input order)", i, par[i].System, sys.Name)
+		}
+	}
+}
+
+// TestBGPWorkload smoke-tests the generated-workload experiment: queries
+// compile, run on all four schemes with identical results, and the
+// renderer mentions every system.
+func TestBGPWorkload(t *testing.T) {
+	w := testWorkload(t)
+	systems, err := BGPSystems(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := RunBGPWorkload(w, systems, 6, 17, Cold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 6 {
+		t.Fatalf("results = %d", len(results))
+	}
+	nonEmpty := 0
+	for _, r := range results {
+		if len(r.Times) != len(systems) {
+			t.Fatalf("query %d has %d timings", r.Index, len(r.Times))
+		}
+		for si, tm := range r.Times {
+			if tm.Real <= 0 || tm.User <= 0 {
+				t.Errorf("query %d on %s: non-positive timing %v", r.Index, systems[si].Name, tm)
+			}
+			if tm.User > tm.Real {
+				t.Errorf("query %d on %s: user %v above real %v", r.Index, systems[si].Name, tm.User, tm.Real)
+			}
+		}
+		if r.Rows > 0 {
+			nonEmpty++
+		}
+	}
+	if nonEmpty == 0 {
+		t.Error("all generated queries empty on the benchmark workload")
+	}
+	// Determinism: a second sweep on fresh systems reproduces everything.
+	systems2, err := BGPSystems(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results2, err := RunBGPWorkload(w, systems2, 6, 17, Cold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(results, results2) {
+		t.Fatal("BGP workload not deterministic")
+	}
+	out := FormatBGPWorkload(results, systems, Cold)
+	for _, sys := range systems {
+		if !strings.Contains(out, sys.Name) {
+			t.Fatalf("FormatBGPWorkload missing %q", sys.Name)
+		}
+	}
+}
+
+// TestMeasurePlanMatchesMeasure cross-checks the two measurement paths:
+// running q7's own plan through MeasurePlan must reproduce Measure's
+// simulated timings exactly, and the compiled BGP text of q7 must return
+// the same rows at a comparable cost.
+func TestMeasurePlanMatchesMeasure(t *testing.T) {
+	w := testWorkload(t)
+	sys, err := NewMonetVert(w, simio.MachineB())
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := core.Query{ID: core.Q7}
+	want, wantRes, err := sys.Measure(q, Cold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hand, err := core.PlanFor(q, w.Cat.Consts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, gotRes, err := sys.MeasurePlan(hand.Root, Cold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rel.Equal(gotRes, wantRes) {
+		t.Fatalf("plan-path q7 result differs: %d vs %d rows", gotRes.Len(), wantRes.Len())
+	}
+	if got.Real != want.Real || got.User != want.User {
+		t.Fatalf("plan-path q7 timing %v/%v, benchmark %v/%v", got.Real, got.User, want.Real, want.User)
+	}
+	// The compiled text may order the joins differently, so only the
+	// result and the rough cost must agree.
+	text, err := bgp.PaperText(q, w.DS.Graph.Dict, w.Cat.Consts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est := bgp.NewEstimator(w.DS.Graph, w.Cat.Interesting)
+	compiled, err := bgp.CompileText(text, w.DS.Graph.Dict, est)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct, cRes, err := sys.MeasurePlan(compiled.Root, Cold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rel.Equal(cRes, wantRes) {
+		t.Fatalf("compiled q7 result differs: %d vs %d rows", cRes.Len(), wantRes.Len())
+	}
+	if ct.Real > want.Real*11/10 {
+		t.Fatalf("compiled q7 real %v well above benchmark %v", ct.Real, want.Real)
 	}
 }

@@ -3,6 +3,7 @@ package bench
 import (
 	"fmt"
 	"strings"
+	"sync"
 
 	"blackswan/internal/core"
 	"blackswan/internal/datagen"
@@ -244,7 +245,7 @@ type GridResult struct {
 
 // FullGrid builds the complete system roster of Tables 6 and 7 on machine B.
 func FullGrid(w *Workload) ([]*System, error) {
-	builders := []func() (*System, error){
+	return buildSystems(
 		func() (*System, error) { return NewDBXTriple(w, rdf.SPO, simio.MachineB()) },
 		func() (*System, error) { return NewDBXTriple(w, rdf.PSO, simio.MachineB()) },
 		func() (*System, error) { return NewDBXVert(w, simio.MachineB()) },
@@ -252,51 +253,86 @@ func FullGrid(w *Workload) ([]*System, error) {
 		func() (*System, error) { return NewMonetTriple(w, rdf.PSO, simio.MachineB()) },
 		func() (*System, error) { return NewMonetVert(w, simio.MachineB()) },
 		func() (*System, error) { return NewCStore(w, simio.MachineB()) },
+	)
+}
+
+// buildSystems loads systems concurrently — each builder owns its store,
+// so the loads are independent — preserving builder order in the result.
+func buildSystems(builders ...func() (*System, error)) ([]*System, error) {
+	systems := make([]*System, len(builders))
+	errs := make([]error, len(builders))
+	var wg sync.WaitGroup
+	for i, build := range builders {
+		wg.Add(1)
+		go func(i int, build func() (*System, error)) {
+			defer wg.Done()
+			systems[i], errs[i] = build()
+		}(i, build)
 	}
-	systems := make([]*System, 0, len(builders))
-	for _, build := range builders {
-		s, err := build()
+	wg.Wait()
+	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
-		systems = append(systems, s)
 	}
 	return systems, nil
 }
 
 // RunGrid measures every system over the full query set under one mode —
-// the body of Table 6 (Cold) and Table 7 (Hot).
+// the body of Table 6 (Cold) and Table 7 (Hot). The grid's cells are
+// independent across systems (each System owns its Store, buffer pool and
+// simulated clock), so the rows are measured concurrently, one goroutine
+// per system; cells of the same system stay sequential because they share
+// that clock. Results land in per-system slots, so the output — simulated
+// timings included — is deterministic and identical to a sequential run.
 func RunGrid(systems []*System, mode Mode) ([]GridResult, error) {
-	var out []GridResult
-	for _, sys := range systems {
-		res := GridResult{System: sys.Name, Times: make(map[string]Timing)}
-		var g7r, g7u, g12r, g12u []float64
-		complete := true
-		for _, q := range core.BenchmarkQueries() {
-			if !sys.Supports(q) {
-				complete = false
-				continue
-			}
-			t, _, err := sys.Measure(q, mode)
-			if err != nil {
-				return nil, err
-			}
-			res.Times[q.String()] = t
-			r, u := t.Seconds()
-			g12r = append(g12r, r)
-			g12u = append(g12u, u)
-			if !q.Star && q.ID != core.Q8 {
-				g7r = append(g7r, r)
-				g7u = append(g7u, u)
-			}
+	out := make([]GridResult, len(systems))
+	errs := make([]error, len(systems))
+	var wg sync.WaitGroup
+	for i, sys := range systems {
+		wg.Add(1)
+		go func(i int, sys *System) {
+			defer wg.Done()
+			out[i], errs[i] = gridRow(sys, mode)
+		}(i, sys)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
 		}
-		res.GReal, res.GUser = GeoMean(g7r), GeoMean(g7u)
-		if complete {
-			res.GStarReal, res.GStarUser = GeoMean(g12r), GeoMean(g12u)
-		}
-		out = append(out, res)
 	}
 	return out, nil
+}
+
+// gridRow measures one system's row of the grid.
+func gridRow(sys *System, mode Mode) (GridResult, error) {
+	res := GridResult{System: sys.Name, Times: make(map[string]Timing)}
+	var g7r, g7u, g12r, g12u []float64
+	complete := true
+	for _, q := range core.BenchmarkQueries() {
+		if !sys.Supports(q) {
+			complete = false
+			continue
+		}
+		t, _, err := sys.Measure(q, mode)
+		if err != nil {
+			return GridResult{}, err
+		}
+		res.Times[q.String()] = t
+		r, u := t.Seconds()
+		g12r = append(g12r, r)
+		g12u = append(g12u, u)
+		if !q.Star && q.ID != core.Q8 {
+			g7r = append(g7r, r)
+			g7u = append(g7u, u)
+		}
+	}
+	res.GReal, res.GUser = GeoMean(g7r), GeoMean(g7u)
+	if complete {
+		res.GStarReal, res.GStarUser = GeoMean(g12r), GeoMean(g12u)
+	}
+	return res, nil
 }
 
 // FormatGrid renders results in the paper's Table 6/7 layout: one real row

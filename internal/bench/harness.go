@@ -62,6 +62,9 @@ type System struct {
 	// Queries lists what the system can answer (C-Store runs only the
 	// original 7); nil means the full benchmark.
 	Queries []core.Query
+	// opt is the executor tuning applied by SetParallel, honored both by
+	// DB.Run (via Tunable) and by MeasurePlan's direct plan execution.
+	opt core.ExecOptions
 }
 
 // SetParallel switches the system's plan executor to a pool of n worker
@@ -70,8 +73,9 @@ type System struct {
 // deterministic either way; only host time changes — the simulated clock
 // still models the paper's single-threaded systems.
 func (s *System) SetParallel(n int) {
+	s.opt = core.ExecOptions{Workers: n}
 	if t, ok := s.DB.(core.Tunable); ok {
-		t.SetExecOptions(core.ExecOptions{Workers: n})
+		t.SetExecOptions(s.opt)
 	}
 }
 
@@ -91,14 +95,26 @@ func (s *System) Supports(q core.Query) bool {
 // Measure runs q under the given mode and returns the averaged timing and
 // the result of the last run.
 func (s *System) Measure(q core.Query, mode Mode) (Timing, *rel.Rel, error) {
+	t, res, err := s.measureRuns(func() (*rel.Rel, error) { return s.DB.Run(q) }, mode)
+	if err != nil {
+		return Timing{}, nil, fmt.Errorf("bench: %s %v: %w", s.Name, q, err)
+	}
+	return t, res, nil
+}
+
+// measureRuns applies the Section 2.3 protocol to one run closure: a
+// warm-up on hot runs, caches dropped before every cold run, MeasuredRuns
+// measured executions averaged. Both the benchmark queries (Measure) and
+// compiled BGP plans (MeasurePlan) measure through this path.
+func (s *System) measureRuns(run func() (*rel.Rel, error), mode Mode) (Timing, *rel.Rel, error) {
 	var sumReal, sumUser time.Duration
 	var last *rel.Rel
 	if mode == Hot {
 		// Warm-up run, not measured.
 		s.Store.DropCaches()
 		s.Store.Clock().Reset()
-		if _, err := s.DB.Run(q); err != nil {
-			return Timing{}, nil, fmt.Errorf("bench: %s %v warmup: %w", s.Name, q, err)
+		if _, err := run(); err != nil {
+			return Timing{}, nil, fmt.Errorf("warmup: %w", err)
 		}
 	}
 	for i := 0; i < MeasuredRuns; i++ {
@@ -106,9 +122,9 @@ func (s *System) Measure(q core.Query, mode Mode) (Timing, *rel.Rel, error) {
 			s.Store.DropCaches()
 		}
 		s.Store.Clock().Reset()
-		res, err := s.DB.Run(q)
+		res, err := run()
 		if err != nil {
-			return Timing{}, nil, fmt.Errorf("bench: %s %v: %w", s.Name, q, err)
+			return Timing{}, nil, err
 		}
 		sumReal += s.Store.Clock().Real()
 		sumUser += s.Store.Clock().User()

@@ -1,0 +1,495 @@
+package bgp
+
+import (
+	"fmt"
+
+	"blackswan/internal/core"
+	"blackswan/internal/rdf"
+)
+
+// Compiled is one compiled query: an executable plan DAG for the core
+// executor plus its output schema and ordering diagnostics.
+type Compiled struct {
+	Root core.Node
+	// Cols names the output columns, in order.
+	Cols []string
+	// Order lists the join steps in the sequence the cost model chose
+	// them, e.g. "?s <origin> <DLC> JOIN ?s <records> ?x ON s".
+	Order []string
+	// Cost is the plan's score under the estimator's model (the sum of
+	// estimated Access and Join cardinalities).
+	Cost float64
+	// Counts marks output columns holding aggregate counts — plain
+	// numbers, not dictionary identifiers.
+	Counts map[string]bool
+}
+
+// UnknownTermError reports a constant term that is not in the dictionary —
+// the query can match nothing, because every loaded triple is dictionary-
+// encoded.
+type UnknownTermError struct{ Term Term }
+
+func (e *UnknownTermError) Error() string {
+	return fmt.Sprintf("bgp: term %s not in dictionary (no triple can match)", e.Term)
+}
+
+// CompileText parses and compiles a query in one step.
+func CompileText(text string, dict *rdf.Dictionary, est *Estimator) (*Compiled, error) {
+	q, err := Parse(text)
+	if err != nil {
+		return nil, err
+	}
+	return Compile(q, dict, est)
+}
+
+// Compile lowers a query to a core plan. Constants resolve against dict;
+// est drives the join order (nil falls back to bind-count heuristics).
+// The WHERE block must be connected — every pattern must share a variable,
+// directly or transitively, with the rest — and identical patterns are
+// compiled once (common subexpressions execute once, also across union
+// branches).
+func Compile(q *Query, dict *rdf.Dictionary, est *Estimator) (*Compiled, error) {
+	c := &compiler{dict: dict, est: est, access: map[accessKey]*core.Access{}}
+	root, cols, err := c.compileQuery(q)
+	if err != nil {
+		return nil, err
+	}
+	return &Compiled{
+		Root: root, Cols: cols, Order: c.order,
+		Cost: EstimateCost(root, est), Counts: countColsOf(q),
+	}, nil
+}
+
+// countColsOf returns the output columns of q that hold aggregate counts
+// (plain numbers rather than dictionary identifiers), following count
+// columns surfaced through union sub-select branches.
+func countColsOf(q *Query) map[string]bool {
+	inner := map[string]bool{}
+	for _, e := range q.Where {
+		u, ok := e.(*Union)
+		if !ok {
+			continue
+		}
+		// A column counts as an aggregate if any branch computes it as one
+		// (mixed unions are ill-typed for decoding either way; numbers are
+		// the safe rendering).
+		for _, br := range u.Branches {
+			for col := range countColsOf(br) {
+				inner[col] = true
+			}
+		}
+	}
+	out := map[string]bool{}
+	if q.Select == nil {
+		for col := range inner {
+			out[col] = true
+		}
+		if len(q.GroupBy) > 0 {
+			out[core.CountCol] = true
+		}
+		return out
+	}
+	for _, s := range q.Select {
+		if s.Count || inner[s.Var] {
+			out[s.Name()] = true
+		}
+	}
+	return out
+}
+
+type accessKey struct {
+	pat      core.TriplePattern
+	restrict bool
+}
+
+type compiler struct {
+	dict   *rdf.Dictionary
+	est    *Estimator
+	access map[accessKey]*core.Access // hash-consed accesses (CSE)
+	order  []string
+	fresh  int
+}
+
+// tree is one GOO subtree: a plan node, its column names, and the
+// estimator's view of it.
+type tree struct {
+	node  core.Node
+	cols  []string
+	est   nodeEst
+	label string
+}
+
+func (t tree) has(v string) bool {
+	for _, c := range t.cols {
+		if c == v {
+			return true
+		}
+	}
+	return false
+}
+
+func (c *compiler) resolveTerm(t Term) (core.TermRef, error) {
+	if t.IsVar() {
+		return core.V(t.Var), nil
+	}
+	id, ok := c.dict.Lookup(rdf.Term{Value: t.Value, Kind: t.Kind})
+	if !ok {
+		return core.TermRef{}, &UnknownTermError{Term: t}
+	}
+	return core.C(id), nil
+}
+
+// leafFor builds (or reuses) the Access leaf of one pattern.
+func (c *compiler) leafFor(p Pattern) (tree, error) {
+	var refs [3]core.TermRef
+	for i, t := range []Term{p.S, p.P, p.O} {
+		ref, err := c.resolveTerm(t)
+		if err != nil {
+			return tree{}, err
+		}
+		refs[i] = ref
+	}
+	tp := core.Pat(refs[0], refs[1], refs[2])
+	var cols []string
+	seen := map[string]bool{}
+	for _, ref := range refs {
+		if !ref.Bound() && ref.Var != "" && !seen[ref.Var] {
+			seen[ref.Var] = true
+			cols = append(cols, ref.Var)
+		}
+	}
+	if len(cols) == 0 {
+		return tree{}, fmt.Errorf("bgp: pattern %s %s %s binds no variable", p.S, p.P, p.O)
+	}
+	key := accessKey{pat: tp, restrict: p.Restrict}
+	acc, ok := c.access[key]
+	if !ok {
+		acc = &core.Access{Pattern: tp, Restrict: p.Restrict}
+		c.access[key] = acc
+	}
+	card := c.est.PatternCard(tp, p.Restrict)
+	nd := make(map[string]float64, len(cols))
+	for _, v := range cols {
+		nd[v] = minf(c.est.varDistinct(tp, p.Restrict, v), card)
+	}
+	return tree{
+		node:  acc,
+		cols:  cols,
+		est:   nodeEst{card: card, nd: nd},
+		label: fmt.Sprintf("%s %s %s", p.S, p.P, p.O),
+	}, nil
+}
+
+// compileQuery compiles one (sub-)query: WHERE block, aggregation, HAVING,
+// projection and DISTINCT.
+func (c *compiler) compileQuery(q *Query) (core.Node, []string, error) {
+	t, err := c.compileBlock(q)
+	if err != nil {
+		return nil, nil, err
+	}
+	node, cols := t.node, t.cols
+
+	hasCount := false
+	for _, s := range q.Select {
+		if s.Count {
+			hasCount = true
+		}
+	}
+	agg := hasCount || len(q.GroupBy) > 0
+	if agg {
+		if len(q.GroupBy) == 0 {
+			return nil, nil, fmt.Errorf("bgp: COUNT requires GROUP BY")
+		}
+		if t.has(core.CountCol) {
+			return nil, nil, fmt.Errorf("bgp: variable ?%s collides with the aggregate column in an aggregated query", core.CountCol)
+		}
+		if len(q.GroupBy) > 2 {
+			return nil, nil, fmt.Errorf("bgp: GROUP BY supports at most 2 keys, got %d", len(q.GroupBy))
+		}
+		for _, k := range q.GroupBy {
+			if !t.has(k) {
+				return nil, nil, fmt.Errorf("bgp: GROUP BY variable ?%s not bound in WHERE", k)
+			}
+		}
+		node = &core.Group{In: node, Keys: q.GroupBy}
+		cols = append(append([]string(nil), q.GroupBy...), core.CountCol)
+	}
+	if q.Having != nil {
+		if !agg {
+			return nil, nil, fmt.Errorf("bgp: HAVING requires GROUP BY")
+		}
+		node = &core.Having{In: node, Col: core.CountCol, Min: *q.Having}
+	}
+
+	// Projection: always explicit, so helper columns from cyclic joins are
+	// dropped and the output order is the declared one.
+	inCols := map[string]bool{}
+	for _, col := range cols {
+		inCols[col] = true
+	}
+	var src, names []string
+	if q.Select == nil {
+		if agg {
+			src = cols
+		} else {
+			src = q.Vars()
+		}
+		names = src
+	} else {
+		for _, s := range q.Select {
+			from := s.Var
+			if s.Count {
+				from = core.CountCol
+			}
+			src = append(src, from)
+			names = append(names, s.Name())
+		}
+	}
+	seen := map[string]bool{}
+	for i, col := range src {
+		if !inCols[col] {
+			return nil, nil, fmt.Errorf("bgp: selected variable ?%s not bound in WHERE", col)
+		}
+		if seen[names[i]] {
+			return nil, nil, fmt.Errorf("bgp: duplicate output column %q", names[i])
+		}
+		seen[names[i]] = true
+	}
+	proj := &core.Project{In: node, Cols: src}
+	for i := range src {
+		if src[i] != names[i] {
+			proj.As = names
+			break
+		}
+	}
+	node = proj
+	if q.Distinct {
+		node = &core.Distinct{In: node}
+	}
+	return node, names, nil
+}
+
+// compileBlock builds the leaves of a WHERE block (patterns and unions,
+// with filters folded in) and joins them greedily: at every step the two
+// connected subtrees with the smallest estimated join result merge —
+// smallest-intermediate-first, bushy whenever independent subtrees are the
+// cheaper pairing.
+func (c *compiler) compileBlock(q *Query) (tree, error) {
+	var trees []tree
+	var filters []Filter
+	for _, e := range q.Where {
+		switch x := e.(type) {
+		case Pattern:
+			leaf, err := c.leafFor(x)
+			if err != nil {
+				return tree{}, err
+			}
+			// Identical patterns add nothing to a conjunction (their
+			// relation is a set): keep one leaf per access node.
+			dup := false
+			for _, t := range trees {
+				if t.node == leaf.node {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				trees = append(trees, leaf)
+			}
+		case *Union:
+			leaf, err := c.unionLeaf(x)
+			if err != nil {
+				return tree{}, err
+			}
+			trees = append(trees, leaf)
+		case Filter:
+			filters = append(filters, x)
+		}
+	}
+	if len(trees) == 0 {
+		return tree{}, fmt.Errorf("bgp: WHERE block has no patterns")
+	}
+
+	// Fold each filter into the first leaf binding its variable, so the
+	// predicate applies before any join — the placement the hand-tuned
+	// plans use. A constant missing from the dictionary compares as NoID,
+	// which no row carries: the filter is trivially true and kept cheap.
+	for _, f := range filters {
+		placed := false
+		for i := range trees {
+			if !trees[i].has(f.Var) {
+				continue
+			}
+			id := rdf.NoID
+			if ref, err := c.resolveTerm(f.Not); err == nil {
+				id = ref.Const
+			}
+			trees[i].node = &core.FilterNe{In: trees[i].node, Col: f.Var, Value: id}
+			trees[i].est = scaleEst(trees[i].est, 0.9)
+			placed = true
+			break
+		}
+		if !placed {
+			return tree{}, fmt.Errorf("bgp: FILTER variable ?%s not bound in WHERE", f.Var)
+		}
+	}
+
+	for len(trees) > 1 {
+		bi, bj := -1, -1
+		var bestCard float64
+		for i := 0; i < len(trees); i++ {
+			for j := i + 1; j < len(trees); j++ {
+				shared := sharedVars(trees[i], trees[j])
+				if len(shared) == 0 {
+					continue
+				}
+				card := joinCard(trees[i].est, trees[j].est, shared)
+				if bi < 0 || card < bestCard {
+					bi, bj, bestCard = i, j, card
+				}
+			}
+		}
+		if bi < 0 {
+			return tree{}, fmt.Errorf("bgp: disconnected pattern group (%s shares no variable with the rest)", trees[len(trees)-1].label)
+		}
+		merged := c.join(trees[bi], trees[bj])
+		trees[bi] = merged
+		trees = append(trees[:bj], trees[bj+1:]...)
+	}
+	return trees[0], nil
+}
+
+func sharedVars(a, b tree) []string {
+	var out []string
+	for _, v := range a.cols {
+		if b.has(v) {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// join merges two subtrees. The natural join runs on the first shared
+// variable; any further shared variables are renamed on the right side and
+// checked with residual column-equality filters (the cyclic-BGP case),
+// then projected away.
+func (c *compiler) join(a, b tree) tree {
+	shared := sharedVars(a, b)
+	key := shared[0]
+	right := b.node
+	rcols := b.cols
+	renames := map[string]string{}
+	if len(shared) > 1 {
+		as := make([]string, len(b.cols))
+		for i, col := range b.cols {
+			as[i] = col
+			if col == key {
+				continue
+			}
+			for _, v := range shared[1:] {
+				if col == v {
+					c.fresh++
+					as[i] = fmt.Sprintf("%s~%d", col, c.fresh)
+					renames[col] = as[i]
+				}
+			}
+		}
+		right = &core.Project{In: right, Cols: b.cols, As: as}
+		rcols = as
+	}
+	var node core.Node = &core.Join{L: a.node, R: right}
+	for _, v := range shared[1:] {
+		node = &core.FilterEqCols{In: node, A: v, B: renames[v]}
+	}
+	// Columns after the join: a's, then b's minus the join key (the
+	// executor drops the right copy of the key).
+	cols := append([]string(nil), a.cols...)
+	for _, col := range rcols {
+		if col != key {
+			cols = append(cols, col)
+		}
+	}
+	if len(shared) > 1 {
+		// Drop the helper copies of the extra shared variables.
+		helper := make(map[string]bool, len(renames))
+		for _, h := range renames {
+			helper[h] = true
+		}
+		kept := make([]string, 0, len(cols)-len(renames))
+		for _, col := range cols {
+			if !helper[col] {
+				kept = append(kept, col)
+			}
+		}
+		node = &core.Project{In: node, Cols: kept}
+		cols = kept
+	}
+
+	card := joinCard(a.est, b.est, shared)
+	nd := map[string]float64{}
+	for v, d := range a.est.nd {
+		nd[v] = minf(d, card)
+	}
+	for v, d := range b.est.nd {
+		if cur, ok := nd[v]; ok {
+			nd[v] = minf(cur, d)
+		} else {
+			nd[v] = minf(d, card)
+		}
+	}
+	c.order = append(c.order, fmt.Sprintf("%s JOIN %s ON %s", a.label, b.label, key))
+	return tree{
+		node:  node,
+		cols:  cols,
+		est:   nodeEst{card: card, nd: nd},
+		label: "(" + a.label + " JOIN " + b.label + ")",
+	}
+}
+
+// unionLeaf compiles a union element into one leaf subtree.
+func (c *compiler) unionLeaf(u *Union) (tree, error) {
+	var node core.Node
+	var cols []string
+	for i, br := range u.Branches {
+		bn, bc, err := c.compileQuery(br)
+		if err != nil {
+			return tree{}, err
+		}
+		if i == 0 {
+			node, cols = bn, bc
+			continue
+		}
+		if !sameSet(cols, bc) {
+			return tree{}, fmt.Errorf("bgp: union branches have different columns: %v vs %v", cols, bc)
+		}
+		node = &core.Union{L: node, R: bn}
+	}
+	if !u.All {
+		node = &core.Distinct{In: node}
+	}
+	est := nodeEstimate(node, c.est)
+	return tree{node: node, cols: cols, est: est, label: "union"}, nil
+}
+
+func sameSet(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	set := make(map[string]bool, len(a))
+	for _, v := range a {
+		set[v] = true
+	}
+	for _, v := range b {
+		if !set[v] {
+			return false
+		}
+	}
+	return true
+}
+
+// nodeEstimate runs the cost model over an already-built subtree (used for
+// union leaves, whose structure the block-level ordering treats as opaque).
+func nodeEstimate(n core.Node, e *Estimator) nodeEst {
+	c := &coster{e: e, memo: map[core.Node]nodeEst{}}
+	return c.estimate(n)
+}

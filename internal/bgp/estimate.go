@@ -1,0 +1,276 @@
+package bgp
+
+import (
+	"blackswan/internal/core"
+	"blackswan/internal/rdf"
+)
+
+// Estimator is the compiler's selectivity model: it estimates how many
+// triples a pattern matches and how many distinct bindings a variable
+// takes, from the data set's statistics (rdf.Stats plus the per-property
+// cardinalities of rdf.PropDetails). The estimates drive the greedy
+// smallest-intermediate-first join ordering; they only need to rank
+// alternatives, not be exact.
+type Estimator struct {
+	st *rdf.Stats
+	pd map[rdf.ID]rdf.PropDetail
+	// restrictedTriples and restrictedProps describe the interesting-
+	// property subset, used for accesses carrying the Restrict marker.
+	restrictedTriples float64
+	restrictedProps   int
+}
+
+// NewEstimator computes the statistics the compiler needs from a graph.
+// interesting is the catalog's interesting-property list (may be nil when
+// no query uses RESTRICT).
+func NewEstimator(g *rdf.Graph, interesting []rdf.ID) *Estimator {
+	st := rdf.ComputeStats(g)
+	e := &Estimator{st: st, pd: rdf.PropDetails(g), restrictedProps: len(interesting)}
+	for _, p := range interesting {
+		e.restrictedTriples += float64(st.PropertyCard(p))
+	}
+	return e
+}
+
+// fallback cardinalities of the nil estimator: patterns rank purely by how
+// many positions they bind. Good enough to order joins sensibly when no
+// statistics are available.
+const (
+	defCard     = 1e4
+	defDistinct = 1e3
+)
+
+func clamp(v float64) float64 {
+	if v < 0.01 {
+		return 0.01
+	}
+	return v
+}
+
+// PatternCard estimates the number of triples matching tp (restrict marks
+// the interesting-properties restriction on an unbound-property pattern).
+func (e *Estimator) PatternCard(tp core.TriplePattern, restrict bool) float64 {
+	sB, pB, oB := tp.S.Bound(), tp.P.Bound(), tp.O.Bound()
+	if e == nil {
+		n := defCard
+		for _, b := range []bool{sB, pB, oB} {
+			if b {
+				n /= 100
+			}
+		}
+		return clamp(n)
+	}
+	if pB {
+		base := float64(e.st.PropertyCard(tp.P.Const))
+		d := e.pd[tp.P.Const]
+		if sB {
+			base /= clamp(float64(d.Subjects))
+		}
+		if oB {
+			base /= clamp(float64(d.Objects))
+		}
+		return clamp(base)
+	}
+	total := float64(e.st.Triples)
+	scale := 1.0
+	if restrict && total > 0 {
+		scale = e.restrictedTriples / total
+	}
+	switch {
+	case sB && oB:
+		return clamp(float64(e.st.SubjectCard(tp.S.Const)) *
+			float64(e.st.ObjectCard(tp.O.Const)) / clamp(total) * scale)
+	case sB:
+		return clamp(float64(e.st.SubjectCard(tp.S.Const)) * scale)
+	case oB:
+		return clamp(float64(e.st.ObjectCard(tp.O.Const)) * scale)
+	default:
+		return clamp(total * scale)
+	}
+}
+
+// varDistinct estimates the number of distinct bindings variable v takes in
+// tp, from the position(s) it occupies.
+func (e *Estimator) varDistinct(tp core.TriplePattern, restrict bool, v string) float64 {
+	best := 0.0
+	consider := func(d float64) {
+		if best == 0 || d < best {
+			best = d
+		}
+	}
+	if tp.S.Var == v {
+		switch {
+		case e == nil:
+			consider(defDistinct)
+		case tp.P.Bound():
+			consider(float64(e.pd[tp.P.Const].Subjects))
+		default:
+			consider(float64(e.st.DistinctSubjects))
+		}
+	}
+	if tp.P.Var == v {
+		switch {
+		case e == nil:
+			consider(defDistinct)
+		case restrict:
+			consider(float64(e.restrictedProps))
+		default:
+			consider(float64(e.st.DistinctProperties))
+		}
+	}
+	if tp.O.Var == v {
+		switch {
+		case e == nil:
+			consider(defDistinct)
+		case tp.P.Bound():
+			consider(float64(e.pd[tp.P.Const].Objects))
+		default:
+			consider(float64(e.st.DistinctObjects))
+		}
+	}
+	return clamp(best)
+}
+
+// nodeEst is the estimator's view of one plan subtree: output cardinality
+// plus per-variable distinct counts.
+type nodeEst struct {
+	card float64
+	nd   map[string]float64
+}
+
+// joinCard estimates the natural-join output size of two subtrees over
+// their shared variables, by the standard independence formula.
+func joinCard(a, b nodeEst, shared []string) float64 {
+	out := a.card * b.card
+	for _, v := range shared {
+		out /= clamp(maxf(a.nd[v], b.nd[v]))
+	}
+	return clamp(out)
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minf(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// EstimateCost scores a plan tree under the estimator's model: the sum of
+// estimated cardinalities of every Access and Join materialization (shared
+// subexpressions count once). It is the figure of merit the join-ordering
+// tests compare hand-tuned and compiled plans by.
+func EstimateCost(root core.Node, e *Estimator) float64 {
+	c := &coster{e: e, memo: map[core.Node]nodeEst{}}
+	c.estimate(root)
+	return c.cost
+}
+
+type coster struct {
+	e    *Estimator
+	memo map[core.Node]nodeEst
+	cost float64
+}
+
+// estimate walks a plan DAG bottom-up, accumulating Access and Join
+// cardinalities into cost. It mirrors the executor's column semantics
+// closely enough to track variables through projections and renames.
+func (c *coster) estimate(n core.Node) nodeEst {
+	if est, ok := c.memo[n]; ok {
+		return est
+	}
+	var est nodeEst
+	switch x := n.(type) {
+	case *core.Access:
+		card := c.e.PatternCard(x.Pattern, x.Restrict)
+		nd := map[string]float64{}
+		for _, t := range []core.TermRef{x.Pattern.S, x.Pattern.P, x.Pattern.O} {
+			if !t.Bound() && t.Var != "" {
+				nd[t.Var] = minf(c.e.varDistinct(x.Pattern, x.Restrict, t.Var), card)
+			}
+		}
+		est = nodeEst{card: card, nd: nd}
+		c.cost += card
+	case *core.Join:
+		l, r := c.estimate(x.L), c.estimate(x.R)
+		var shared []string
+		for v := range l.nd {
+			if _, ok := r.nd[v]; ok {
+				shared = append(shared, v)
+			}
+		}
+		card := joinCard(l, r, shared)
+		nd := map[string]float64{}
+		for v, d := range l.nd {
+			nd[v] = minf(d, card)
+		}
+		for v, d := range r.nd {
+			if cur, ok := nd[v]; ok {
+				nd[v] = minf(cur, d)
+			} else {
+				nd[v] = minf(d, card)
+			}
+		}
+		est = nodeEst{card: card, nd: nd}
+		c.cost += card
+	case *core.FilterNe:
+		in := c.estimate(x.In)
+		est = scaleEst(in, 0.9)
+	case *core.FilterEqCols:
+		in := c.estimate(x.In)
+		est = scaleEst(in, 1/clamp(maxf(in.nd[x.A], in.nd[x.B])))
+	case *core.Distinct:
+		est = c.estimate(x.In)
+	case *core.Union:
+		l, r := c.estimate(x.L), c.estimate(x.R)
+		nd := map[string]float64{}
+		for v, d := range l.nd {
+			nd[v] = d + r.nd[v]
+		}
+		est = nodeEst{card: l.card + r.card, nd: nd}
+	case *core.Group:
+		in := c.estimate(x.In)
+		card := 1.0
+		nd := map[string]float64{}
+		for _, k := range x.Keys {
+			card *= clamp(in.nd[k])
+			nd[k] = in.nd[k]
+		}
+		card = minf(card, in.card)
+		nd[core.CountCol] = card
+		est = nodeEst{card: clamp(card), nd: nd}
+	case *core.Having:
+		in := c.estimate(x.In)
+		est = scaleEst(in, 0.5)
+	case *core.Project:
+		in := c.estimate(x.In)
+		nd := map[string]float64{}
+		for i, col := range x.Cols {
+			name := col
+			if x.As != nil {
+				name = x.As[i]
+			}
+			nd[name] = in.nd[col]
+		}
+		est = nodeEst{card: in.card, nd: nd}
+	default:
+		est = nodeEst{card: defCard, nd: map[string]float64{}}
+	}
+	c.memo[n] = est
+	return est
+}
+
+func scaleEst(in nodeEst, f float64) nodeEst {
+	card := clamp(in.card * f)
+	nd := map[string]float64{}
+	for v, d := range in.nd {
+		nd[v] = minf(d, card)
+	}
+	return nodeEst{card: card, nd: nd}
+}

@@ -1,0 +1,98 @@
+package bgp_test
+
+import (
+	"sync"
+	"testing"
+
+	"blackswan/internal/bgp"
+	"blackswan/internal/colstore"
+	"blackswan/internal/core"
+	"blackswan/internal/datagen"
+	"blackswan/internal/rdf"
+	"blackswan/internal/rowstore"
+	"blackswan/internal/simio"
+)
+
+// fixture is a generated Barton-shaped data set loaded into all four
+// storage schemes, shared across the package's tests (generation and
+// loading dominate the runtime).
+type fixture struct {
+	ds    *datagen.Dataset
+	cat   core.Catalog
+	est   *bgp.Estimator
+	names []string
+	srcs  map[string]core.PhysicalSource
+}
+
+var (
+	fxOnce sync.Once
+	fx     *fixture
+	fxErr  error
+)
+
+func newStore() *simio.Store {
+	return simio.NewStore(simio.Config{Machine: simio.MachineB(), PoolBytes: 1 << 30})
+}
+
+func loadFixture(t *testing.T) *fixture {
+	t.Helper()
+	fxOnce.Do(func() {
+		ds, err := datagen.Generate(datagen.Config{
+			Triples: 20_000, Properties: 40, Interesting: 28, Seed: 7,
+		})
+		if err != nil {
+			fxErr = err
+			return
+		}
+		f := &fixture{ds: ds}
+		f.cat, fxErr = catalogOf(ds)
+		if fxErr != nil {
+			return
+		}
+		f.est = bgp.NewEstimator(ds.Graph, f.cat.Interesting)
+		f.srcs, f.names, fxErr = loadSchemes(ds.Graph, f.cat)
+		if fxErr == nil {
+			fx = f
+		}
+	})
+	if fxErr != nil {
+		t.Fatalf("fixture: %v", fxErr)
+	}
+	return fx
+}
+
+func catalogOf(ds *datagen.Dataset) (core.Catalog, error) {
+	v := ds.Vocab
+	consts := core.Constants{
+		Type: v.Type, Records: v.Records, Origin: v.Origin, Language: v.Language,
+		Point: v.Point, Encoding: v.Encoding, Text: v.Text, DLC: v.DLC,
+		French: v.French, End: v.End, Conferences: v.Conferences,
+	}
+	return core.CatalogFromGraph(ds.Graph, consts, ds.Interesting)
+}
+
+// loadSchemes loads the four storage schemes as physical sources.
+func loadSchemes(g *rdf.Graph, cat core.Catalog) (map[string]core.PhysicalSource, []string, error) {
+	srcs := map[string]core.PhysicalSource{}
+	rt, err := core.LoadRowTriple(rowstore.NewEngine(newStore()), g, cat, rdf.PSO, rdf.AllOrders())
+	if err != nil {
+		return nil, nil, err
+	}
+	srcs["rowtriple"] = rt
+	rv, err := core.LoadRowVert(rowstore.NewEngine(newStore()), g, cat)
+	if err != nil {
+		return nil, nil, err
+	}
+	srcs["rowvert"] = rv
+	ct, err := core.LoadColTriple(colstore.NewEngine(newStore()), g, cat, rdf.PSO)
+	if err != nil {
+		return nil, nil, err
+	}
+	srcs["coltriple"] = ct
+	cv, err := core.LoadColVert(colstore.NewEngine(newStore()), g, cat)
+	if err != nil {
+		return nil, nil, err
+	}
+	srcs["colvert"] = cv
+	return srcs, []string{"rowtriple", "rowvert", "coltriple", "colvert"}, nil
+}

@@ -1,0 +1,300 @@
+package bgp
+
+import (
+	"fmt"
+	"math/rand"
+
+	"blackswan/internal/rdf"
+)
+
+// Shape names the topology of a generated basic graph pattern.
+type Shape int
+
+const (
+	// Star: every pattern shares one center subject variable.
+	Star Shape = iota
+	// Chain: each pattern's object is the next pattern's subject.
+	Chain
+	// Snowflake: a star with a chain hanging off one of its leaves.
+	Snowflake
+)
+
+// String names the shape.
+func (s Shape) String() string {
+	switch s {
+	case Star:
+		return "star"
+	case Chain:
+		return "chain"
+	case Snowflake:
+		return "snowflake"
+	default:
+		return fmt.Sprintf("Shape(%d)", int(s))
+	}
+}
+
+// GenConfig tunes random query generation. The zero value gets sensible
+// defaults from NewGenerator.
+type GenConfig struct {
+	// Seed makes the workload deterministic: query i of a given seed is
+	// always the same query.
+	Seed int64
+	// MaxPatterns caps the patterns per query (minimum 2; default 4).
+	MaxPatterns int
+	// ConstProb is the probability that a leaf object position binds to a
+	// constant sampled from the data (default 0.4).
+	ConstProb float64
+	// UnboundPropProb is the probability that one star leaf leaves its
+	// property unbound — the fan-out stressor of the vertically-
+	// partitioned schemes (default 0.15).
+	UnboundPropProb float64
+	// DistinctProb is the probability of a DISTINCT projection
+	// (default 0.25).
+	DistinctProb float64
+}
+
+// Generator produces seeded random BGP queries over a concrete data set:
+// properties are drawn Zipfian by frequency rank from the graph's own
+// vocabulary, and object constants are sampled from actual triples of the
+// drawn property, so generated queries are satisfiable more often than
+// uniform sampling would make them.
+type Generator struct {
+	cfg   GenConfig
+	props []rdf.ID
+	// samples holds up to sampleK reservoir-sampled triples per property,
+	// the pool object constants are drawn from.
+	samples map[rdf.ID][]rdf.Triple
+	// anchors are sampled subjects with their triples: half the generated
+	// stars bind constants from one anchor's actual triples, so their
+	// conjunctions are satisfiable by construction (query 0's answer set
+	// contains at least the anchor).
+	anchors       []rdf.ID
+	anchorTriples map[rdf.ID][]rdf.Triple
+	dict          *rdf.Dictionary
+}
+
+const (
+	sampleK  = 8
+	anchorK  = 64
+	anchorTK = 16
+)
+
+// NewGenerator indexes the graph for query generation.
+func NewGenerator(g *rdf.Graph, cfg GenConfig) *Generator {
+	if cfg.MaxPatterns < 2 {
+		cfg.MaxPatterns = 4
+	}
+	if cfg.ConstProb == 0 {
+		cfg.ConstProb = 0.4
+	}
+	if cfg.UnboundPropProb == 0 {
+		cfg.UnboundPropProb = 0.15
+	}
+	if cfg.DistinctProb == 0 {
+		cfg.DistinctProb = 0.25
+	}
+	gen := &Generator{
+		cfg:     cfg,
+		samples: make(map[rdf.ID][]rdf.Triple),
+		dict:    g.Dict,
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	// One pass gathers the per-property frequencies (for the Zipfian rank
+	// order), the per-property triple samples, and the anchor subjects.
+	seen := map[rdf.ID]int{}
+	nSubj := 0
+	subjSeen := map[rdf.ID]bool{}
+	for _, t := range g.Triples {
+		seen[t.P]++
+		s := gen.samples[t.P]
+		if len(s) < sampleK {
+			gen.samples[t.P] = append(s, t)
+		} else if i := rng.Intn(seen[t.P]); i < sampleK {
+			s[i] = t
+		}
+		// Reservoir-sample anchor subjects over distinct subjects.
+		if !subjSeen[t.S] {
+			subjSeen[t.S] = true
+			nSubj++
+			if len(gen.anchors) < anchorK {
+				gen.anchors = append(gen.anchors, t.S)
+			} else if i := rng.Intn(nSubj); i < anchorK {
+				gen.anchors[i] = t.S
+			}
+		}
+	}
+	gen.props = rdf.TopK(seen, len(seen))
+	gen.anchorTriples = make(map[rdf.ID][]rdf.Triple, len(gen.anchors))
+	want := make(map[rdf.ID]bool, len(gen.anchors))
+	for _, s := range gen.anchors {
+		want[s] = true
+	}
+	for _, t := range g.Triples {
+		if want[t.S] && len(gen.anchorTriples[t.S]) < anchorTK {
+			gen.anchorTriples[t.S] = append(gen.anchorTriples[t.S], t)
+		}
+	}
+	return gen
+}
+
+// Query generates the i-th query of the workload. The same (seed, i) pair
+// always yields the same query; shapes cycle star, chain, snowflake.
+func (gen *Generator) Query(i int) (*Query, Shape) {
+	rng := rand.New(rand.NewSource(gen.cfg.Seed ^ int64(uint64(i+1)*0x9e3779b97f4a7c15)))
+	shape := Shape(i % 3)
+	var pats []Pattern
+	switch shape {
+	case Star:
+		pats = gen.star(rng, "c", 2+rng.Intn(gen.cfg.MaxPatterns-1))
+	case Chain:
+		pats = gen.chain(rng, "x", 2+rng.Intn(gen.cfg.MaxPatterns-1))
+	case Snowflake:
+		star := gen.star(rng, "c", 2)
+		// Hang a chain off the first star leaf that is a variable; fall
+		// back to the center when every leaf bound a constant.
+		from := "c"
+		for _, p := range star {
+			if p.O.IsVar() {
+				from = p.O.Var
+				break
+			}
+		}
+		pats = append(star, gen.chainFrom(rng, from, "y", 1+rng.Intn(2))...)
+	}
+	q := &Query{Where: make([]Element, 0, len(pats))}
+	for _, p := range pats {
+		q.Where = append(q.Where, p)
+	}
+	if rng.Float64() < gen.cfg.DistinctProb {
+		q.Distinct = true
+	}
+	return q, shape
+}
+
+// zipfProp draws a property Zipfian by frequency rank, excluding those in
+// used.
+func (gen *Generator) zipfProp(rng *rand.Rand, used map[rdf.ID]bool) rdf.ID {
+	z := rand.NewZipf(rng, 1.4, 1, uint64(len(gen.props)-1))
+	for attempt := 0; ; attempt++ {
+		p := gen.props[z.Uint64()]
+		if !used[p] {
+			return p
+		}
+		if attempt > 32 {
+			// Dense used set: fall back to the first free property.
+			for _, q := range gen.props {
+				if !used[q] {
+					return q
+				}
+			}
+			return p
+		}
+	}
+}
+
+// constObject samples an object constant from the property's triples.
+func (gen *Generator) constObject(rng *rand.Rand, p rdf.ID) (Term, bool) {
+	s := gen.samples[p]
+	if len(s) == 0 {
+		return Term{}, false
+	}
+	t := gen.dict.Term(s[rng.Intn(len(s))].O)
+	return Term{Value: t.Value, Kind: t.Kind}, true
+}
+
+// star builds k patterns sharing the center subject variable. Half the
+// stars anchor on one sampled subject, drawing properties and constants
+// from its actual triples (a satisfiable conjunction); the rest sample
+// properties and constants independently, probing the sparse region of the
+// query space.
+func (gen *Generator) star(rng *rand.Rand, center string, k int) []Pattern {
+	if len(gen.anchors) > 0 && rng.Intn(2) == 0 {
+		if pats := gen.anchoredStar(rng, center, k); len(pats) >= 2 {
+			return pats
+		}
+	}
+	used := map[rdf.ID]bool{}
+	out := make([]Pattern, 0, k)
+	unboundBudget := 1 // at most one unbound-property leaf per star
+	for i := 0; i < k; i++ {
+		if unboundBudget > 0 && rng.Float64() < gen.cfg.UnboundPropProb {
+			unboundBudget--
+			out = append(out, Pattern{
+				S: Var(center),
+				P: Var(fmt.Sprintf("p%d", i)),
+				O: Var(fmt.Sprintf("o%d", i)),
+			})
+			continue
+		}
+		p := gen.zipfProp(rng, used)
+		used[p] = true
+		obj := Var(fmt.Sprintf("o%d", i))
+		if rng.Float64() < gen.cfg.ConstProb {
+			if c, ok := gen.constObject(rng, p); ok {
+				obj = c
+			}
+		}
+		out = append(out, Pattern{S: Var(center), P: gen.propTerm(p), O: obj})
+	}
+	return out
+}
+
+// anchoredStar builds star patterns from one sampled subject's triples.
+func (gen *Generator) anchoredStar(rng *rand.Rand, center string, k int) []Pattern {
+	anchor := gen.anchors[rng.Intn(len(gen.anchors))]
+	triples := gen.anchorTriples[anchor]
+	if len(triples) == 0 {
+		return nil
+	}
+	usedProp := map[rdf.ID]bool{}
+	out := make([]Pattern, 0, k)
+	for _, idx := range rng.Perm(len(triples)) {
+		if len(out) == k {
+			break
+		}
+		tr := triples[idx]
+		if usedProp[tr.P] {
+			continue
+		}
+		usedProp[tr.P] = true
+		obj := Var(fmt.Sprintf("o%d", len(out)))
+		if rng.Float64() < gen.cfg.ConstProb {
+			t := gen.dict.Term(tr.O)
+			obj = Term{Value: t.Value, Kind: t.Kind}
+		}
+		out = append(out, Pattern{S: Var(center), P: gen.propTerm(tr.P), O: obj})
+	}
+	return out
+}
+
+// chain builds a path of k patterns x0 -p1-> x1 -p2-> x2 ...
+func (gen *Generator) chain(rng *rand.Rand, stem string, k int) []Pattern {
+	return gen.chainFrom(rng, stem+"0", stem, k)
+}
+
+// chainFrom builds a path starting at the given variable, introducing
+// fresh stem-prefixed variables for the interior.
+func (gen *Generator) chainFrom(rng *rand.Rand, from, stem string, k int) []Pattern {
+	used := map[rdf.ID]bool{}
+	out := make([]Pattern, 0, k)
+	cur := from
+	for i := 0; i < k; i++ {
+		p := gen.zipfProp(rng, used)
+		used[p] = true
+		next := fmt.Sprintf("%s%d", stem, i+1)
+		obj := Var(next)
+		if i == k-1 && rng.Float64() < gen.cfg.ConstProb {
+			if c, ok := gen.constObject(rng, p); ok {
+				obj = c
+			}
+		}
+		out = append(out, Pattern{S: Var(cur), P: gen.propTerm(p), O: obj})
+		cur = next
+	}
+	return out
+}
+
+func (gen *Generator) propTerm(p rdf.ID) Term {
+	t := gen.dict.Term(p)
+	return Term{Value: t.Value, Kind: t.Kind}
+}

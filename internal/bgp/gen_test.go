@@ -1,0 +1,59 @@
+package bgp_test
+
+import (
+	"reflect"
+	"testing"
+
+	"blackswan/internal/bgp"
+)
+
+// TestGeneratorDeterministic asserts (seed, i) fully determines a query,
+// different seeds diverge, and the three shapes all occur with their
+// structural invariants.
+func TestGeneratorDeterministic(t *testing.T) {
+	f := loadFixture(t)
+	g1 := bgp.NewGenerator(f.ds.Graph, bgp.GenConfig{Seed: 5})
+	g2 := bgp.NewGenerator(f.ds.Graph, bgp.GenConfig{Seed: 5})
+	g3 := bgp.NewGenerator(f.ds.Graph, bgp.GenConfig{Seed: 6})
+	diverged := false
+	shapes := map[bgp.Shape]int{}
+	for i := 0; i < 15; i++ {
+		a, sa := g1.Query(i)
+		b, sb := g2.Query(i)
+		if sa != sb || !reflect.DeepEqual(a, b) {
+			t.Fatalf("query %d not deterministic", i)
+		}
+		c, _ := g3.Query(i)
+		if !reflect.DeepEqual(a, c) {
+			diverged = true
+		}
+		shapes[sa]++
+
+		pats := a.Patterns()
+		if len(pats) < 2 {
+			t.Fatalf("query %d has %d patterns", i, len(pats))
+		}
+		switch sa {
+		case bgp.Star:
+			for _, p := range pats {
+				if p.S.Var != pats[0].S.Var {
+					t.Fatalf("query %d: star patterns do not share a center", i)
+				}
+			}
+		case bgp.Chain:
+			for j := 1; j < len(pats); j++ {
+				if !pats[j-1].O.IsVar() || pats[j].S.Var != pats[j-1].O.Var {
+					t.Fatalf("query %d: chain link %d broken", i, j)
+				}
+			}
+		}
+	}
+	if !diverged {
+		t.Error("different seeds produced identical workloads")
+	}
+	for _, s := range []bgp.Shape{bgp.Star, bgp.Chain, bgp.Snowflake} {
+		if shapes[s] == 0 {
+			t.Errorf("shape %v never generated", s)
+		}
+	}
+}

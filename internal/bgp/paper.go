@@ -1,0 +1,69 @@
+package bgp
+
+import (
+	"fmt"
+	"strings"
+
+	"blackswan/internal/core"
+	"blackswan/internal/rdf"
+)
+
+// PaperText renders one of the twelve benchmark queries in the package's
+// text syntax, with the benchmark constants decoded through the dictionary.
+// Compiling the text reproduces PlanFor's results on every scheme — the
+// proof that the general compiler subsumes the hand-written plan catalog.
+// The star variants are the same text without the RESTRICT markers.
+func PaperText(q core.Query, d *rdf.Dictionary, c core.Constants) (string, error) {
+	if !q.Valid() {
+		return "", fmt.Errorf("bgp: invalid query %v", q)
+	}
+	t := func(id rdf.ID) string { return d.Term(id).String() }
+	restrict := ""
+	if q.Restricted() {
+		restrict = " RESTRICT"
+	}
+	switch q.ID {
+	case core.Q1:
+		return fmt.Sprintf(
+			"SELECT ?o (COUNT AS ?count) WHERE { ?s %s ?o } GROUP BY ?o",
+			t(c.Type)), nil
+	case core.Q2:
+		return fmt.Sprintf(
+			"SELECT ?p (COUNT AS ?count) WHERE { ?s %s %s . ?s ?p ?o%s } GROUP BY ?p",
+			t(c.Type), t(c.Text), restrict), nil
+	case core.Q3:
+		return fmt.Sprintf(
+			"SELECT ?p ?o (COUNT AS ?count) WHERE { ?s %s %s . ?s ?p ?o%s } GROUP BY ?p ?o HAVING (COUNT > 1)",
+			t(c.Type), t(c.Text), restrict), nil
+	case core.Q4:
+		return fmt.Sprintf(
+			"SELECT ?p ?o (COUNT AS ?count) WHERE { ?s %s %s . ?s ?p ?o%s . ?s %s %s } GROUP BY ?p ?o HAVING (COUNT > 1)",
+			t(c.Type), t(c.Text), restrict, t(c.Language), t(c.French)), nil
+	case core.Q5:
+		return fmt.Sprintf(
+			"SELECT ?s ?t WHERE { ?s %s %s . ?s %s ?x . ?x %s ?t . FILTER (?t != %s) }",
+			t(c.Origin), t(c.DLC), t(c.Records), t(c.Type), t(c.Text)), nil
+	case core.Q6:
+		// U = Text-typed subjects ∪ subjects recording one; the second
+		// branch names its inner join variable ?s so the (?s type Text)
+		// access is shared with the first branch, as in the hand plan.
+		return fmt.Sprintf(strings.Join([]string{
+			"SELECT ?p (COUNT AS ?count) WHERE {",
+			"{ SELECT ?s WHERE { ?s %[1]s %[2]s } }",
+			"UNION",
+			"{ SELECT (?r AS ?s) WHERE { ?r %[3]s ?s . ?s %[1]s %[2]s } } .",
+			"?s ?p ?o%[4]s",
+			"} GROUP BY ?p",
+		}, " "), t(c.Type), t(c.Text), t(c.Records), restrict), nil
+	case core.Q7:
+		return fmt.Sprintf(
+			"SELECT ?s ?e ?t WHERE { ?s %s %s . ?s %s ?e . ?s %s ?t }",
+			t(c.Point), t(c.End), t(c.Encoding), t(c.Type)), nil
+	case core.Q8:
+		return fmt.Sprintf(
+			"SELECT ?s WHERE { %[1]s ?p ?o . ?s ?p2 ?o . FILTER (?s != %[1]s) }",
+			t(c.Conferences)), nil
+	default:
+		return "", fmt.Errorf("bgp: no text for query %v", q)
+	}
+}

@@ -1,0 +1,372 @@
+package bgp
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+
+	"blackswan/internal/rdf"
+)
+
+// Parse reads one query in the package's text syntax (see the package
+// comment for the grammar).
+func Parse(text string) (*Query, error) {
+	p := &parser{}
+	if err := p.lex(text); err != nil {
+		return nil, err
+	}
+	q, err := p.parseSelect()
+	if err != nil {
+		return nil, err
+	}
+	if !p.eof() {
+		return nil, fmt.Errorf("bgp: trailing input at %q", p.peek())
+	}
+	return q, nil
+}
+
+// MustParse is Parse for compile-time-constant queries in tests and
+// examples; it panics on error.
+func MustParse(text string) *Query {
+	q, err := Parse(text)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+type parser struct {
+	toks []string
+	pos  int
+}
+
+// lex splits the input into tokens: variables (?x), IRIs (<...>), literals
+// ("..." with N-Triples escapes), integers, keywords/identifiers, and the
+// punctuation { } ( ) . * != >.
+func (p *parser) lex(s string) error {
+	i := 0
+	for i < len(s) {
+		c := s[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '{' || c == '}' || c == '(' || c == ')' || c == '.' || c == '*' || c == '>':
+			p.toks = append(p.toks, string(c))
+			i++
+		case c == '!':
+			if i+1 >= len(s) || s[i+1] != '=' {
+				return fmt.Errorf("bgp: stray '!' at offset %d", i)
+			}
+			p.toks = append(p.toks, "!=")
+			i += 2
+		case c == '<':
+			j := strings.IndexByte(s[i:], '>')
+			if j < 0 {
+				return fmt.Errorf("bgp: unterminated IRI at offset %d", i)
+			}
+			p.toks = append(p.toks, s[i:i+j+1])
+			i += j + 1
+		case c == '"':
+			j := i + 1
+			esc := false
+			for j < len(s) && (esc || s[j] != '"') {
+				esc = !esc && s[j] == '\\'
+				j++
+			}
+			if j >= len(s) {
+				return fmt.Errorf("bgp: unterminated literal at offset %d", i)
+			}
+			p.toks = append(p.toks, s[i:j+1])
+			i = j + 1
+		case c == '?':
+			j := i + 1
+			for j < len(s) && ident(rune(s[j])) {
+				j++
+			}
+			if j == i+1 {
+				return fmt.Errorf("bgp: empty variable name at offset %d", i)
+			}
+			p.toks = append(p.toks, s[i:j])
+			i = j
+		case ident(rune(c)):
+			j := i
+			for j < len(s) && ident(rune(s[j])) {
+				j++
+			}
+			p.toks = append(p.toks, s[i:j])
+			i = j
+		default:
+			return fmt.Errorf("bgp: unexpected character %q at offset %d", c, i)
+		}
+	}
+	return nil
+}
+
+func ident(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_'
+}
+
+func (p *parser) eof() bool { return p.pos >= len(p.toks) }
+
+func (p *parser) peek() string {
+	if p.eof() {
+		return ""
+	}
+	return p.toks[p.pos]
+}
+
+func (p *parser) next() string {
+	t := p.peek()
+	p.pos++
+	return t
+}
+
+// kw reports whether the next token is the keyword w (case-insensitive)
+// and consumes it if so.
+func (p *parser) kw(w string) bool {
+	if strings.EqualFold(p.peek(), w) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(tok string) error {
+	if got := p.next(); !strings.EqualFold(got, tok) {
+		return fmt.Errorf("bgp: expected %q, got %q", tok, got)
+	}
+	return nil
+}
+
+func (p *parser) parseSelect() (*Query, error) {
+	if err := p.expect("SELECT"); err != nil {
+		return nil, err
+	}
+	q := &Query{}
+	q.Distinct = p.kw("DISTINCT")
+	if p.peek() == "*" {
+		p.next()
+	} else {
+		for {
+			t := p.peek()
+			if t == "(" {
+				p.next()
+				var item SelItem
+				if p.kw("COUNT") {
+					item.Count = true
+				} else {
+					v, err := p.parseVar()
+					if err != nil {
+						return nil, err
+					}
+					item.Var = v
+				}
+				if err := p.expect("AS"); err != nil {
+					return nil, err
+				}
+				as, err := p.parseVar()
+				if err != nil {
+					return nil, err
+				}
+				item.As = as
+				if err := p.expect(")"); err != nil {
+					return nil, err
+				}
+				q.Select = append(q.Select, item)
+			} else if strings.HasPrefix(t, "?") {
+				p.next()
+				q.Select = append(q.Select, SelItem{Var: t[1:]})
+			} else {
+				break
+			}
+		}
+		if len(q.Select) == 0 {
+			return nil, fmt.Errorf("bgp: empty selection before %q", p.peek())
+		}
+	}
+	if err := p.expect("WHERE"); err != nil {
+		return nil, err
+	}
+	elems, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	q.Where = elems
+	if p.kw("GROUP") {
+		if err := p.expect("BY"); err != nil {
+			return nil, err
+		}
+		for strings.HasPrefix(p.peek(), "?") {
+			q.GroupBy = append(q.GroupBy, p.next()[1:])
+		}
+		if len(q.GroupBy) == 0 {
+			return nil, fmt.Errorf("bgp: GROUP BY without keys")
+		}
+	}
+	if p.kw("HAVING") {
+		for _, tok := range []string{"(", "COUNT", ">"} {
+			if err := p.expect(tok); err != nil {
+				return nil, err
+			}
+		}
+		n, err := strconv.ParseUint(p.next(), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bgp: HAVING threshold: %v", err)
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		q.Having = &n
+	}
+	return q, nil
+}
+
+// parseBlock parses "{ element (['.'] element)* ['.'] }".
+func (p *parser) parseBlock() ([]Element, error) {
+	if err := p.expect("{"); err != nil {
+		return nil, err
+	}
+	var elems []Element
+	for {
+		if p.peek() == "}" {
+			p.next()
+			if len(elems) == 0 {
+				return nil, fmt.Errorf("bgp: empty block")
+			}
+			return elems, nil
+		}
+		if p.eof() {
+			return nil, fmt.Errorf("bgp: unterminated block")
+		}
+		e, err := p.parseElement()
+		if err != nil {
+			return nil, err
+		}
+		elems = append(elems, e)
+		if p.peek() == "." {
+			p.next()
+		}
+	}
+}
+
+func (p *parser) parseElement() (Element, error) {
+	switch {
+	case strings.EqualFold(p.peek(), "FILTER"):
+		p.next()
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		v, err := p.parseVar()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect("!="); err != nil {
+			return nil, err
+		}
+		t, err := p.parseTerm()
+		if err != nil {
+			return nil, err
+		}
+		if t.IsVar() {
+			return nil, fmt.Errorf("bgp: FILTER compares against a constant, got ?%s", t.Var)
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		return Filter{Var: v, Not: t}, nil
+	case p.peek() == "{":
+		return p.parseUnion()
+	default:
+		return p.parseTriple()
+	}
+}
+
+// parseUnion parses "branch UNION [ALL] branch ...", where a branch is
+// either a sub-select in braces or a plain block (meaning SELECT *).
+func (p *parser) parseUnion() (Element, error) {
+	u := &Union{}
+	first := true
+	for {
+		br, err := p.parseBranch()
+		if err != nil {
+			return nil, err
+		}
+		u.Branches = append(u.Branches, br)
+		if !p.kw("UNION") {
+			break
+		}
+		all := p.kw("ALL")
+		if first {
+			u.All = all
+			first = false
+		} else if all != u.All {
+			return nil, fmt.Errorf("bgp: mixed UNION and UNION ALL in one chain")
+		}
+	}
+	if len(u.Branches) < 2 {
+		return nil, fmt.Errorf("bgp: braced group without UNION")
+	}
+	return u, nil
+}
+
+func (p *parser) parseBranch() (*Query, error) {
+	if p.pos+1 < len(p.toks) && p.toks[p.pos] == "{" && strings.EqualFold(p.toks[p.pos+1], "SELECT") {
+		p.next()
+		q, err := p.parseSelect()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect("}"); err != nil {
+			return nil, err
+		}
+		return q, nil
+	}
+	elems, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	return &Query{Where: elems}, nil
+}
+
+func (p *parser) parseTriple() (Element, error) {
+	var terms [3]Term
+	for i := range terms {
+		t, err := p.parseTerm()
+		if err != nil {
+			return nil, err
+		}
+		terms[i] = t
+	}
+	pat := Pattern{S: terms[0], P: terms[1], O: terms[2]}
+	if p.kw("RESTRICT") {
+		pat.Restrict = true
+	}
+	return pat, nil
+}
+
+func (p *parser) parseVar() (string, error) {
+	t := p.next()
+	if !strings.HasPrefix(t, "?") {
+		return "", fmt.Errorf("bgp: expected variable, got %q", t)
+	}
+	return t[1:], nil
+}
+
+func (p *parser) parseTerm() (Term, error) {
+	tok := p.next()
+	if tok == "" {
+		return Term{}, fmt.Errorf("bgp: unexpected end of input in triple pattern")
+	}
+	if strings.HasPrefix(tok, "?") {
+		return Var(tok[1:]), nil
+	}
+	if tok[0] == '<' || tok[0] == '"' {
+		t, err := rdf.ParseTerm(tok)
+		if err != nil {
+			return Term{}, fmt.Errorf("bgp: %v", err)
+		}
+		return Term{Value: t.Value, Kind: t.Kind}, nil
+	}
+	return Term{}, fmt.Errorf("bgp: expected term, got %q", tok)
+}

@@ -1,0 +1,129 @@
+package bgp_test
+
+import (
+	"reflect"
+	"testing"
+
+	"blackswan/internal/bgp"
+	"blackswan/internal/core"
+)
+
+func TestParseBasics(t *testing.T) {
+	q, err := bgp.Parse(`SELECT ?s ?t WHERE { ?s <origin> <DLC> . ?s <records> ?x . ?x <type> ?t . FILTER (?t != <Text>) }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Patterns()) != 3 {
+		t.Fatalf("patterns = %d", len(q.Patterns()))
+	}
+	if got := q.OutCols(); !reflect.DeepEqual(got, []string{"s", "t"}) {
+		t.Fatalf("out cols = %v", got)
+	}
+	if got := q.Vars(); !reflect.DeepEqual(got, []string{"s", "x", "t"}) {
+		t.Fatalf("vars = %v", got)
+	}
+	p := q.Patterns()[0]
+	if p.S.Var != "s" || p.P.Value != "origin" || p.O.Value != "DLC" {
+		t.Fatalf("pattern 0 = %+v", p)
+	}
+
+	q2, err := bgp.Parse(`SELECT DISTINCT ?p (COUNT AS ?n) WHERE { ?s ?p ?o RESTRICT } GROUP BY ?p HAVING (COUNT > 2)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !q2.Distinct || !q2.Patterns()[0].Restrict {
+		t.Fatal("DISTINCT/RESTRICT not parsed")
+	}
+	if q2.Having == nil || *q2.Having != 2 {
+		t.Fatalf("having = %v", q2.Having)
+	}
+	if !q2.Select[1].Count || q2.Select[1].Name() != "n" {
+		t.Fatalf("count item = %+v", q2.Select[1])
+	}
+
+	q3, err := bgp.Parse(`SELECT * WHERE { { SELECT ?s WHERE { ?s <a> "x" } } UNION ALL { SELECT (?r AS ?s) WHERE { ?r <b> ?z } } . ?s <c> ?v }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, ok := q3.Where[0].(*bgp.Union)
+	if !ok || len(u.Branches) != 2 || !u.All {
+		t.Fatalf("union = %+v", q3.Where[0])
+	}
+	if got := q3.Vars(); !reflect.DeepEqual(got, []string{"s", "v"}) {
+		t.Fatalf("vars = %v", got)
+	}
+}
+
+// TestParseRoundTrip renders parsed queries back to text and re-parses
+// them: the structures must be identical. Covers the twelve paper queries,
+// hand cases, and a sweep of generated queries.
+func TestParseRoundTrip(t *testing.T) {
+	f := loadFixture(t)
+	var texts []string
+	for _, q := range core.BenchmarkQueries() {
+		text, err := bgp.PaperText(q, f.ds.Graph.Dict, f.cat.Consts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		texts = append(texts, text)
+	}
+	texts = append(texts,
+		`SELECT * WHERE { ?s <p> "a literal with \"escapes\" and \\ slashes" }`,
+		`SELECT DISTINCT ?a WHERE { ?a ?p ?b . FILTER (?b != "end") }`,
+		// A literal ending in a backslash: the escaped backslash must not
+		// be read as an escaped closing quote.
+		(&bgp.Query{Where: []bgp.Element{bgp.Pattern{
+			S: bgp.Var("s"), P: bgp.IRI("p"), O: bgp.Lit(`trailing\`),
+		}}}).Text(),
+	)
+	for _, text := range texts {
+		q1, err := bgp.Parse(text)
+		if err != nil {
+			t.Fatalf("parse %q: %v", text, err)
+		}
+		q2, err := bgp.Parse(q1.Text())
+		if err != nil {
+			t.Fatalf("reparse %q: %v", q1.Text(), err)
+		}
+		if !reflect.DeepEqual(q1, q2) {
+			t.Fatalf("round trip diverged:\n%s\n%s", text, q1.Text())
+		}
+	}
+	gen := bgp.NewGenerator(f.ds.Graph, bgp.GenConfig{Seed: 3})
+	for i := 0; i < 12; i++ {
+		q, _ := gen.Query(i)
+		back, err := bgp.Parse(q.Text())
+		if err != nil {
+			t.Fatalf("generated query %d %q: %v", i, q.Text(), err)
+		}
+		if !reflect.DeepEqual(q, back) {
+			t.Fatalf("generated query %d round trip diverged: %s", i, q.Text())
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		``,
+		`WHERE { ?s ?p ?o }`,
+		`SELECT WHERE { ?s ?p ?o }`,
+		`SELECT * WHERE { }`,
+		`SELECT * WHERE { ?s ?p }`,
+		`SELECT * WHERE { ?s ?p ?o`,
+		`SELECT * WHERE { ?s <unterminated ?o }`,
+		`SELECT * WHERE { ?s "unterminated ?o }`,
+		`SELECT * WHERE { ?s ?p ?o } trailing`,
+		`SELECT * WHERE { ?s ?p ?o } GROUP BY`,
+		`SELECT * WHERE { ?s ?p ?o } HAVING (COUNT > x)`,
+		`SELECT * WHERE { FILTER (?a != ?b) }`,
+		`SELECT * WHERE { { ?a <p> ?b } }`,
+		`SELECT * WHERE { { ?a <p> ?b } UNION { ?a <p> ?b } UNION ALL { ?a <p> ?b } }`,
+		`SELECT * WHERE { ?s ! ?o }`,
+		`SELECT ? WHERE { ?s ?p ?o }`,
+	}
+	for _, text := range cases {
+		if _, err := bgp.Parse(text); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", text)
+		}
+	}
+}

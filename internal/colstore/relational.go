@@ -114,6 +114,12 @@ func (r Relational) FilterIn(x *rel.Rel, col int, set map[uint64]bool) *rel.Rel 
 	return r.filter(x, func(row []uint64) bool { return set[row[col]] })
 }
 
+// FilterEqCol keeps rows whose columns a and b hold equal values — the
+// residual equality predicate of cyclic basic graph patterns.
+func (r Relational) FilterEqCol(x *rel.Rel, a, b int) *rel.Rel {
+	return r.filter(x, func(row []uint64) bool { return row[a] == row[b] })
+}
+
 // GroupCount groups by keyCols and appends a count column.
 func (r Relational) GroupCount(x *rel.Rel, keyCols ...int) *rel.Rel {
 	switch len(keyCols) {
@@ -140,7 +146,14 @@ func (r Relational) Union(a, b *rel.Rel) *rel.Rel {
 // dispatch per input — the per-table unions of the vertically-partitioned
 // plans, each tuple moved once.
 func (r Relational) UnionAll(w int, parts []*rel.Rel) *rel.Rel {
-	out := rel.New(w)
+	return r.UnionAllPar(w, parts, 1)
+}
+
+// UnionAllPar is UnionAll with the data movement fanned over a pool of
+// workers. The charges are identical — simulated times model the paper's
+// single-threaded systems — and each part copies to a precomputed offset,
+// so the output is byte-identical to the sequential merge.
+func (r Relational) UnionAllPar(w int, parts []*rel.Rel, workers int) *rel.Rel {
 	var total int64
 	for _, p := range parts {
 		r.E.node()
@@ -148,10 +161,9 @@ func (r Relational) UnionAll(w int, parts []*rel.Rel) *rel.Rel {
 			panic(fmt.Sprintf("colstore: union-all of widths %d and %d", w, p.W))
 		}
 		total += int64(p.Len())
-		out.Data = append(out.Data, p.Data...)
 	}
 	r.E.Store.ChargeCPU(total * int64(w) * r.E.Costs.UnionValue)
-	return out
+	return rel.ConcatParallel(w, parts, workers)
 }
 
 // Distinct removes duplicate rows, keeping first occurrences in order.

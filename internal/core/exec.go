@@ -34,10 +34,16 @@ type PhysicalOps interface {
 	FilterEq(r *rel.Rel, col int, v uint64) *rel.Rel
 	FilterNe(r *rel.Rel, col int, v uint64) *rel.Rel
 	FilterIn(r *rel.Rel, col int, set map[uint64]bool) *rel.Rel
+	// FilterEqCol keeps rows whose columns a and b are equal — the residual
+	// predicate of cyclic basic graph patterns.
+	FilterEqCol(r *rel.Rel, a, b int) *rel.Rel
 	GroupCount(r *rel.Rel, keyCols ...int) *rel.Rel
 	HavingGT(r *rel.Rel, col int, min uint64) *rel.Rel
 	Union(a, b *rel.Rel) *rel.Rel
 	UnionAll(w int, parts []*rel.Rel) *rel.Rel
+	// UnionAllPar is UnionAll with the tuple movement fanned over workers;
+	// charges and output are identical to UnionAll, only host time changes.
+	UnionAllPar(w int, parts []*rel.Rel, workers int) *rel.Rel
 	Distinct(r *rel.Rel) *rel.Rel
 	// PrepareHashJoin hashes a build side once for repeated probing — the
 	// partitioned joins probe every property table against one build.
@@ -160,24 +166,36 @@ func ExecuteTraced(src PhysicalSource, q Query, opt ExecOptions) (*rel.Rel, *Tra
 	if err != nil {
 		return nil, nil, err
 	}
-	ex := &executor{
-		src:  src,
-		ops:  src.Ops(),
-		q:    q,
-		opt:  opt,
-		tr:   &Trace{},
-		memo: make(map[Node]batch),
-		req:  requiredVars(p.Root),
-		uses: useCounts(p.Root),
-	}
-	b, err := ex.eval(p.Root)
+	out, _, tr, err := ExecutePlan(src, p.Root, opt)
 	if err != nil {
 		return nil, nil, fmt.Errorf("core: %v: %w", q, err)
 	}
-	if b.rel.W != q.ResultWidth() {
-		return nil, nil, fmt.Errorf("core: %v plan produced width %d, want %d", q, b.rel.W, q.ResultWidth())
+	if out.W != q.ResultWidth() {
+		return nil, nil, fmt.Errorf("core: %v plan produced width %d, want %d", q, out.W, q.ResultWidth())
 	}
-	return b.rel, ex.tr, nil
+	return out, tr, nil
+}
+
+// ExecutePlan lowers and runs an arbitrary logical plan rooted at root —
+// the entry point the BGP compiler uses. It returns the result relation,
+// its column names (plan variable names, in output order), and the lowering
+// trace. Unlike ExecuteTraced it makes no benchmark-specific checks: any
+// well-formed operator DAG over the plan vocabulary executes.
+func ExecutePlan(src PhysicalSource, root Node, opt ExecOptions) (*rel.Rel, []string, *Trace, error) {
+	ex := &executor{
+		src:  src,
+		ops:  src.Ops(),
+		opt:  opt,
+		tr:   &Trace{},
+		memo: make(map[Node]batch),
+		req:  requiredVars(root),
+		uses: useCounts(root),
+	}
+	b, err := ex.eval(root)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return b.rel, b.cols, ex.tr, nil
 }
 
 // batch is an intermediate result: a relation, its column names (variable
@@ -201,12 +219,21 @@ func (b batch) col(name string) (int, error) {
 type executor struct {
 	src  PhysicalSource
 	ops  PhysicalOps
-	q    Query
 	opt  ExecOptions
 	tr   *Trace
 	memo map[Node]batch
 	req  map[Node]map[string]bool
 	uses map[Node]int
+}
+
+// unionAll merges fan-out parts, parallelizing the tuple movement when the
+// worker-pool mode is on (the previously sequential tail of the parallel
+// per-property scans). Output and charges are identical either way.
+func (ex *executor) unionAll(w int, parts []*rel.Rel) *rel.Rel {
+	if ex.opt.Workers > 1 && len(parts) > 1 {
+		return ex.ops.UnionAllPar(w, parts, ex.opt.Workers)
+	}
+	return ex.ops.UnionAll(w, parts)
 }
 
 // useCounts returns how many parents reference each node — shared
@@ -224,6 +251,8 @@ func useCounts(root Node) map[Node]int {
 			walk(x.L)
 			walk(x.R)
 		case *FilterNe:
+			walk(x.In)
+		case *FilterEqCols:
 			walk(x.In)
 		case *Distinct:
 			walk(x.In)
@@ -262,6 +291,8 @@ func columnsOf(n Node) []string {
 		}
 		return out
 	case *FilterNe:
+		return columnsOf(x.In)
+	case *FilterEqCols:
 		return columnsOf(x.In)
 	case *Distinct:
 		return columnsOf(x.In)
@@ -335,6 +366,8 @@ func requiredVars(root Node) map[Node]map[string]bool {
 			add(x.R, append(keep(rc), shared...))
 		case *FilterNe:
 			add(x.In, append(all, x.Col))
+		case *FilterEqCols:
+			add(x.In, append(all, x.A, x.B))
 		case *Distinct:
 			// Duplicate elimination depends on every column.
 			add(x.In, columnsOf(x.In))
@@ -366,6 +399,8 @@ func (ex *executor) eval(n Node) (batch, error) {
 		b, err = ex.evalJoin(x)
 	case *FilterNe:
 		b, err = ex.evalFilterNe(x)
+	case *FilterEqCols:
+		b, err = ex.evalFilterEqCols(x)
 	case *Distinct:
 		b, err = ex.evalDistinct(x)
 	case *Union:
@@ -494,7 +529,7 @@ func needOf(slots []slot) ScanCols {
 
 func (ex *executor) evalAccess(a *Access) (batch, error) {
 	tp := a.Pattern
-	restricted := a.Restrict && ex.q.Restricted()
+	restricted := a.Restrict
 	slots := ex.keptSlots(a)
 
 	if tp.P.Bound() {
@@ -548,7 +583,7 @@ func (ex *executor) evalAccess(a *Access) (batch, error) {
 		}
 		cols := slotCols(slots)
 		ex.tr.UnionParts += len(tagged)
-		out := ex.ops.UnionAll(len(cols), tagged)
+		out := ex.unionAll(len(cols), tagged)
 		return batch{rel: out, cols: cols}, nil
 	}
 
@@ -658,7 +693,7 @@ func (ex *executor) partitionedJoinSide(n Node) (*Access, *FilterNe) {
 // Join distributes over union, so the result is the same bag.
 func (ex *executor) evalPartitionedJoin(other batch, a *Access, f *FilterNe) (batch, error) {
 	tp := a.Pattern
-	restricted := a.Restrict && ex.q.Restricted()
+	restricted := a.Restrict
 	slots := ex.keptSlots(a)
 	accCols := slotCols(slots)
 	var shared []string
@@ -715,7 +750,7 @@ func (ex *executor) evalPartitionedJoin(other batch, a *Access, f *FilterNe) (ba
 	}
 	ex.tr.UnionParts += len(parts)
 	ex.tr.Joins = append(ex.tr.Joins, JoinChoice{Var: v, Merge: false})
-	joined := ex.ops.UnionAll(other.rel.W+len(accCols), parts)
+	joined := ex.unionAll(other.rel.W+len(accCols), parts)
 	// Drop the access side's copy of the join column.
 	keep := make([]int, 0, other.rel.W+len(accCols)-1)
 	cols := make([]string, 0, other.rel.W+len(accCols)-1)
@@ -813,6 +848,23 @@ func (ex *executor) evalFilterNe(f *FilterNe) (batch, error) {
 		return batch{}, err
 	}
 	out := ex.ops.FilterNe(in.rel, c, uint64(f.Value))
+	return batch{rel: out, cols: in.cols, sorted: in.sorted}, nil
+}
+
+func (ex *executor) evalFilterEqCols(f *FilterEqCols) (batch, error) {
+	in, err := ex.eval(f.In)
+	if err != nil {
+		return batch{}, err
+	}
+	a, err := in.col(f.A)
+	if err != nil {
+		return batch{}, err
+	}
+	b, err := in.col(f.B)
+	if err != nil {
+		return batch{}, err
+	}
+	out := ex.ops.FilterEqCol(in.rel, a, b)
 	return batch{rel: out, cols: in.cols, sorted: in.sorted}, nil
 }
 

@@ -52,6 +52,15 @@ type FilterNe struct {
 	Value rdf.ID
 }
 
+// FilterEqCols keeps rows whose columns A and B hold equal values — the
+// residual equality predicate the BGP compiler emits when a pattern shares
+// more than one variable with the rest of the join tree (cyclic basic graph
+// patterns): the join runs on one variable, the others are checked here.
+type FilterEqCols struct {
+	In   Node
+	A, B string
+}
+
 // Distinct removes duplicate rows (SQL UNION's set semantics).
 type Distinct struct {
 	In Node
@@ -85,14 +94,15 @@ type Project struct {
 	As   []string
 }
 
-func (*Access) node()   {}
-func (*Join) node()     {}
-func (*FilterNe) node() {}
-func (*Distinct) node() {}
-func (*Union) node()    {}
-func (*Group) node()    {}
-func (*Having) node()   {}
-func (*Project) node()  {}
+func (*Access) node()       {}
+func (*Join) node()         {}
+func (*FilterNe) node()     {}
+func (*FilterEqCols) node() {}
+func (*Distinct) node()     {}
+func (*Union) node()        {}
+func (*Group) node()        {}
+func (*Having) node()       {}
+func (*Project) node()      {}
 
 // Plan is the complete logical plan of one benchmark query.
 type Plan struct {
@@ -110,8 +120,12 @@ func PlanFor(q Query, c Constants) (*Plan, error) {
 		return nil, fmt.Errorf("core: invalid query %v", q)
 	}
 	pats := PatternsOf(q.ID, c)
+	// Restrict is decided here, at plan-build time: the marker is set only
+	// when the executed query is a restricted variant, so the executor can
+	// honour it without knowing which benchmark query it runs (arbitrary
+	// BGP plans reuse the same executor).
 	acc := func(i int, restrict bool) *Access {
-		return &Access{Pattern: pats[i], Restrict: restrict}
+		return &Access{Pattern: pats[i], Restrict: restrict && q.Restricted()}
 	}
 	var root Node
 	switch q.ID {
@@ -208,6 +222,8 @@ func (p *Plan) Accesses() []*Access {
 			walk(x.L)
 			walk(x.R)
 		case *FilterNe:
+			walk(x.In)
+		case *FilterEqCols:
 			walk(x.In)
 		case *Distinct:
 			walk(x.In)

@@ -59,6 +59,51 @@ func ComputeStats(g *Graph) *Stats {
 	return st
 }
 
+// PropDetail holds per-property cardinalities beyond the raw triple count:
+// how many distinct subjects and objects occur under the property. Together
+// with Stats' per-role frequency maps these are the selectivity inputs of
+// the BGP compiler's cost model (a pattern binding the subject under
+// property p matches on average PropFreq[p]/Subjects triples).
+type PropDetail struct {
+	Subjects int
+	Objects  int
+}
+
+// PropDetails computes, for every property of the graph, the number of
+// distinct subjects and distinct objects occurring under it.
+func PropDetails(g *Graph) map[ID]PropDetail {
+	subj := make(map[ID]map[ID]struct{})
+	obj := make(map[ID]map[ID]struct{})
+	for _, t := range g.Triples {
+		s, ok := subj[t.P]
+		if !ok {
+			s = make(map[ID]struct{})
+			subj[t.P] = s
+		}
+		s[t.S] = struct{}{}
+		o, ok := obj[t.P]
+		if !ok {
+			o = make(map[ID]struct{})
+			obj[t.P] = o
+		}
+		o[t.O] = struct{}{}
+	}
+	out := make(map[ID]PropDetail, len(subj))
+	for p, s := range subj {
+		out[p] = PropDetail{Subjects: len(s), Objects: len(obj[p])}
+	}
+	return out
+}
+
+// PropertyCard returns the number of triples carrying property id.
+func (st *Stats) PropertyCard(id ID) int { return st.PropFreq[id] }
+
+// SubjectCard returns the number of triples whose subject is id.
+func (st *Stats) SubjectCard(id ID) int { return st.SubjFreq[id] }
+
+// ObjectCard returns the number of triples whose object is id.
+func (st *Stats) ObjectCard(id ID) int { return st.ObjFreq[id] }
+
 // TopK returns the k most frequent identifiers in freq, most frequent first.
 // Ties break by identifier for determinism.
 func TopK(freq map[ID]int, k int) []ID {

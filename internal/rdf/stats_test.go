@@ -43,6 +43,32 @@ func TestComputeStats(t *testing.T) {
 	}
 }
 
+func TestPropDetails(t *testing.T) {
+	g := statGraph()
+	st := ComputeStats(g)
+	pd := PropDetails(g)
+	typ, _ := g.Dict.Lookup(NewIRI("type"))
+	records, _ := g.Dict.Lookup(NewIRI("records"))
+	if d := pd[typ]; d.Subjects != 2 || d.Objects != 1 {
+		t.Fatalf("type detail = %+v", d)
+	}
+	if d := pd[records]; d.Subjects != 1 || d.Objects != 1 {
+		t.Fatalf("records detail = %+v", d)
+	}
+	if len(pd) != st.DistinctProperties {
+		t.Fatalf("PropDetails has %d properties, stats say %d", len(pd), st.DistinctProperties)
+	}
+	if st.PropertyCard(typ) != 2 {
+		t.Fatalf("PropertyCard(type) = %d", st.PropertyCard(typ))
+	}
+	s1, _ := g.Dict.Lookup(NewIRI("s1"))
+	s2, _ := g.Dict.Lookup(NewIRI("s2"))
+	if st.SubjectCard(s1) != 3 || st.ObjectCard(s2) != 1 {
+		t.Fatalf("per-constant cards wrong: subj(s1)=%d obj(s2)=%d",
+			st.SubjectCard(s1), st.ObjectCard(s2))
+	}
+}
+
 func TestTopK(t *testing.T) {
 	freq := map[ID]int{1: 5, 2: 9, 3: 9, 4: 1}
 	got := TopK(freq, 3)

@@ -8,6 +8,7 @@ package rel
 import (
 	"fmt"
 	"sort"
+	"sync"
 )
 
 // Rel is a fixed-width relation of uint64 attributes. Row i occupies
@@ -118,6 +119,52 @@ func Equal(a, b *Rel) bool {
 		}
 	}
 	return true
+}
+
+// ConcatParallel concatenates same-width relations into one, copying the
+// parts with up to workers goroutines. Each part lands at a precomputed
+// offset, so the output is byte-identical to sequential concatenation
+// regardless of scheduling — the merge tail of the executor's per-property
+// fan-out, parallelized without losing determinism.
+func ConcatParallel(w int, parts []*Rel, workers int) *Rel {
+	out := New(w)
+	offs := make([]int, len(parts)+1)
+	for i, p := range parts {
+		if p.W != w {
+			panic(fmt.Sprintf("rel: concat of widths %d and %d", w, p.W))
+		}
+		offs[i+1] = offs[i] + len(p.Data)
+	}
+	if offs[len(parts)] == 0 {
+		return out
+	}
+	out.Data = make([]uint64, offs[len(parts)])
+	if workers > len(parts) {
+		workers = len(parts)
+	}
+	if workers <= 1 {
+		for i, p := range parts {
+			copy(out.Data[offs[i]:offs[i+1]], p.Data)
+		}
+		return out
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for n := 0; n < workers; n++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				copy(out.Data[offs[i]:offs[i+1]], parts[i].Data)
+			}
+		}()
+	}
+	for i := range parts {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return out
 }
 
 // PreparedJoin is a hash join whose build side is hashed once for repeated

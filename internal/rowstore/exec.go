@@ -186,6 +186,12 @@ func (e *Engine) FilterIn(r *rel.Rel, col int, set map[uint64]bool) *rel.Rel {
 	return e.filter(r, func(row []uint64) bool { return set[row[col]] })
 }
 
+// FilterEqCol keeps rows whose columns a and b hold equal values — the
+// residual equality predicate of cyclic basic graph patterns.
+func (e *Engine) FilterEqCol(r *rel.Rel, a, b int) *rel.Rel {
+	return e.filter(r, func(row []uint64) bool { return row[a] == row[b] })
+}
+
 func (e *Engine) filter(r *rel.Rel, pred func([]uint64) bool) *rel.Rel {
 	e.node()
 	out := rel.New(r.W)
@@ -381,7 +387,14 @@ func (e *Engine) Union(a, b *rel.Rel) *rel.Rel {
 // partitioned plans ("each query contains more than two hundred unions and
 // joins"). Each tuple is moved once, unlike a left fold of binary unions.
 func (e *Engine) UnionAll(w int, parts []*rel.Rel) *rel.Rel {
-	out := rel.New(w)
+	return e.UnionAllPar(w, parts, 1)
+}
+
+// UnionAllPar is UnionAll with the data movement fanned over a pool of
+// workers. The charges are identical — simulated times model the paper's
+// single-threaded systems — and each part copies to a precomputed offset,
+// so the output is byte-identical to the sequential merge.
+func (e *Engine) UnionAllPar(w int, parts []*rel.Rel, workers int) *rel.Rel {
 	var total int64
 	for _, p := range parts {
 		e.node()
@@ -389,10 +402,9 @@ func (e *Engine) UnionAll(w int, parts []*rel.Rel) *rel.Rel {
 			panic(fmt.Sprintf("rowstore: union-all of widths %d and %d", w, p.W))
 		}
 		total += int64(p.Len())
-		out.Data = append(out.Data, p.Data...)
 	}
 	e.Store.ChargeCPU(total * e.Costs.UnionTuple)
-	return out
+	return rel.ConcatParallel(w, parts, workers)
 }
 
 // Distinct removes duplicate rows.
