@@ -19,6 +19,9 @@
 //	fig7      scale-up experiment (property splitting, 222 → 1000)
 //	parallel  host-time speedup of the worker-pool execution mode
 //	workloads generated random-BGP workload through the query compiler
+//	serve     serving-layer throughput/latency benchmark (QPS, p50/p95/p99,
+//	          plan-cache hit ratio, cached-vs-cold speedup); -serve-report
+//	          writes the JSON report
 //	sql       generated SQL for both schemes, with union/join counts
 //	gen       write the generated data set as N-Triples to stdout
 //	all       every experiment in paper order
@@ -31,6 +34,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -58,9 +62,14 @@ func main() {
 		bgpText     = flag.String("bgp", "", "compile and run this BGP query on all four schemes (see internal/bgp for the syntax), instead of an experiment")
 		bgpCount    = flag.Int("bgp-count", 12, "number of generated queries for the workloads experiment")
 		bgpSeed     = flag.Int64("bgp-seed", 0, "workload-generator seed (defaults to -seed)")
+		srvClients  = flag.Int("serve-clients", 4, "closed-loop concurrent clients per scheme for the serve experiment")
+		srvOps      = flag.Int("serve-ops", 50, "timed operations per client for the serve experiment")
+		srvQueries  = flag.Int("serve-queries", 8, "distinct generated queries for the serve experiment")
+		srvCache    = flag.Int("serve-cache", 64, "plan-cache capacity for the serve experiment")
+		srvReport   = flag.String("serve-report", "", "write the serve experiment's JSON report to this file")
 	)
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: swanbench [flags] <experiment>\nexperiments: table1 fig1 table2 table4 table5 fig5 table6 table7 fig6 fig7 parallel workloads sql gen all\nflags:\n")
+		fmt.Fprintf(os.Stderr, "usage: swanbench [flags] <experiment>\nexperiments: table1 fig1 table2 table4 table5 fig5 table6 table7 fig6 fig7 parallel workloads serve sql gen all\nflags:\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -161,6 +170,26 @@ func main() {
 			res, err := bench.RunBGPWorkload(w, systems, *bgpCount, wseed, bench.Cold)
 			fail(err)
 			fmt.Print(bench.FormatBGPWorkload(res, systems, bench.Cold))
+		case "serve":
+			wseed := *bgpSeed
+			if wseed == 0 {
+				wseed = *seed
+			}
+			section(fmt.Sprintf("Serving: %d clients × %d ops over %d queries (seed %d) per scheme", *srvClients, *srvOps, *srvQueries, wseed))
+			systems, err := bench.BGPSystems(w)
+			fail(err)
+			report, err := bench.RunServe(w, systems, bench.ServeOptions{
+				Clients: *srvClients, Ops: *srvOps, Queries: *srvQueries,
+				Seed: wseed, CacheSize: *srvCache,
+			})
+			fail(err)
+			fmt.Print(bench.FormatServe(report))
+			if *srvReport != "" {
+				data, err := json.MarshalIndent(report, "", "  ")
+				fail(err)
+				fail(os.WriteFile(*srvReport, append(data, '\n'), 0o644))
+				fmt.Fprintf(os.Stderr, "serve report written to %s\n", *srvReport)
+			}
 		case "sql":
 			section("Generated SQL (triple-store, then vertically-partitioned)")
 			names := make([]string, 0, len(w.Cat.AllProps))
@@ -183,7 +212,7 @@ func main() {
 	}
 
 	if flag.Arg(0) == "all" {
-		for _, name := range []string{"table1", "fig1", "table2", "table4", "table5", "fig5", "table6", "table7", "fig6", "fig7", "parallel", "workloads"} {
+		for _, name := range []string{"table1", "fig1", "table2", "table4", "table5", "fig5", "table6", "table7", "fig6", "fig7", "parallel", "workloads", "serve"} {
 			run(name)
 		}
 		return
@@ -195,8 +224,7 @@ func main() {
 // order and estimated cost, runs it on all four schemes (cold and hot),
 // and decodes a sample of the result through the dictionary.
 func runUserBGP(w *bench.Workload, text string) {
-	est := bgp.NewEstimator(w.DS.Graph, w.Cat.Interesting)
-	compiled, err := bgp.CompileText(text, w.DS.Graph.Dict, est)
+	compiled, err := bgp.CompileText(text, w.DS.Graph.Dict, w.Estimator())
 	fail(err)
 	section("BGP query")
 	fmt.Printf("query:     %s\n", text)

@@ -8,8 +8,8 @@
 // environment (internal/simio), the two engines (internal/rowstore with
 // internal/btree, and internal/colstore), the storage schemes, the
 // declarative query-plan layer and its shared executor (internal/core),
-// the BGP query compiler (internal/bgp), and the experiment harness
-// (internal/bench).
+// the BGP query compiler (internal/bgp), the query-serving subsystem
+// (internal/serve), and the experiment harness (internal/bench).
 //
 // Every benchmark query is declared once as a logical plan
 // (core.PlanFor) and lowered onto all four storage schemes by one
@@ -20,9 +20,14 @@
 // internal/bgp compiles arbitrary basic-graph-pattern queries — stated in
 // a small text syntax — into the same plan vocabulary, choosing join
 // orders from data-set statistics, and generates seeded random workloads
-// (swanbench's -bgp flag and workloads experiment). DESIGN.md documents
-// the architecture, the system inventory and the substitutions for
-// non-redistributable resources.
+// (swanbench's -bgp flag and workloads experiment). On top of both,
+// internal/serve is the concurrent serving layer: an LRU plan cache over
+// canonicalized query text (hits skip parsing and join ordering), bounded
+// admission, request-context cancellation through core.ExecutePlanCtx,
+// and a JSON-over-HTTP front-end (cmd/swanserve); the swanbench serve
+// experiment measures its throughput, latency percentiles and cache
+// amortization. DESIGN.md documents the architecture, the system
+// inventory and the substitutions for non-redistributable resources.
 //
 // The root package holds the benchmark suite: one testing.B benchmark per
 // table and figure of the paper (bench_test.go) plus ablation benchmarks for

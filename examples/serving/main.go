@@ -1,0 +1,91 @@
+// Serving-layer walkthrough: wrap all four loaded schemes behind one
+// serve.Service, prepare a query once, execute it everywhere, and watch
+// the plan cache turn repeat traffic into pure execution — plus a request
+// timeout cancelling mid-plan.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"blackswan/internal/bench"
+	"blackswan/internal/datagen"
+	"blackswan/internal/serve"
+)
+
+func main() {
+	// 1. One workload, four schemes (both engines × both storage schemes).
+	w, err := bench.NewWorkload(datagen.Config{
+		Triples: 20_000, Properties: 40, Interesting: 28, Seed: 42,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	systems, err := bench.BGPSystems(w)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. The service: plan cache, admission control, request contexts.
+	svc, err := bench.NewService(w, systems, serve.Config{
+		MaxConcurrent: 4, CacheSize: 64,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. Prepare once — parse and join ordering happen here — then execute
+	// the immutable, scheme-independent handle on every target.
+	text := `SELECT ?s ?t WHERE {
+		?s <barton/origin> <barton/info:marcorg/DLC> .
+		?s <barton/records> ?x .
+		?x <barton/type> ?t
+	}`
+	prepared, err := svc.Prepare(text)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("prepared %q\n  columns %v, estimated cost %.0f\n\n",
+		prepared.Text, prepared.Compiled.Cols, prepared.Compiled.Cost)
+
+	ctx := context.Background()
+	for _, name := range svc.Systems() {
+		res, err := svc.Exec(ctx, prepared, name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-18s %5d rows in %8v (cached plan: %v)\n",
+			name, res.Rows.Len(), res.Latency.Round(time.Microsecond), res.Cached)
+	}
+
+	// 4. Repeat traffic through the text path hits the cache: the second
+	// call skips parsing and join ordering (see the miss counter hold).
+	for i := 0; i < 3; i++ {
+		if _, err := svc.ExecText(ctx, text, svc.Systems()[0]); err != nil {
+			log.Fatal(err)
+		}
+	}
+	st := svc.Stats()
+	fmt.Printf("\nafter repeats: %d queries served, cache %d hits / %d misses (ratio %.2f)\n",
+		st.Queries, st.Cache.Hits, st.Cache.Misses, st.Cache.HitRatio())
+
+	// 5. A request deadline cancels execution at the next operator
+	// boundary — the serving layer never wedges on a slow query.
+	tctx, cancel := context.WithTimeout(ctx, time.Nanosecond)
+	defer cancel()
+	if _, err := svc.ExecText(tctx, text, svc.Systems()[0]); err != nil {
+		fmt.Printf("1ns deadline: %v\n", err)
+	}
+
+	// 6. Decoded rows, as the HTTP front-end returns them.
+	res, err := svc.ExecText(ctx, text, svc.Systems()[0])
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nsample rows:")
+	for _, row := range svc.DecodeRows(res, 3) {
+		fmt.Printf("  %v\n", row)
+	}
+}

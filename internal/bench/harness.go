@@ -7,8 +7,10 @@ package bench
 import (
 	"fmt"
 	"math"
+	"sync"
 	"time"
 
+	"blackswan/internal/bgp"
 	"blackswan/internal/colstore"
 	"blackswan/internal/core"
 	"blackswan/internal/datagen"
@@ -158,6 +160,20 @@ const BartonTriples = 50_255_599
 type Workload struct {
 	DS  *datagen.Dataset
 	Cat core.Catalog
+
+	estOnce sync.Once
+	est     *bgp.Estimator
+}
+
+// Estimator returns the workload's BGP cost estimator (rdf.Stats plus
+// per-property cardinalities), computed once per workload — building it
+// costs two full-graph scans, and every consumer (compiler, serving
+// layer, experiments) wants the same one.
+func (w *Workload) Estimator() *bgp.Estimator {
+	w.estOnce.Do(func() {
+		w.est = bgp.NewEstimator(w.DS.Graph, w.Cat.Interesting)
+	})
+	return w.est
 }
 
 // machine adapts a hardware profile to the workload's scale (see

@@ -1,0 +1,79 @@
+package bench
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestRunServe smoke-tests the serving experiment end to end on the shared
+// workload: every scheme reports throughput and percentiles, the cache
+// counters prove the timed phase compiled nothing, and the report
+// round-trips through JSON (the CI artifact format).
+func TestRunServe(t *testing.T) {
+	w := testWorkload(t)
+	systems, err := BGPSystems(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A cache smaller than the working set would thrash by design; the
+	// experiment must reject the combination rather than report a false
+	// counter-proof failure mid-run.
+	if _, err := RunServe(w, systems, ServeOptions{Queries: 8, CacheSize: 4}); err == nil {
+		t.Fatal("RunServe accepted CacheSize < Queries")
+	}
+
+	opt := ServeOptions{Clients: 3, Ops: 6, Queries: 4, Seed: 5}
+	report, err := RunServe(w, systems, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !report.Identical {
+		t.Fatal("cached results not byte-identical to cold")
+	}
+	if !report.CompiledOnce {
+		t.Fatalf("cache counters: %d misses for %d queries", report.CacheMisses, report.DistinctQueries)
+	}
+	if report.CacheMisses != int64(opt.Queries) {
+		t.Fatalf("misses = %d, want %d", report.CacheMisses, opt.Queries)
+	}
+	if report.HitRatio <= 0.5 {
+		t.Fatalf("hit ratio = %.3f, want > 0.5", report.HitRatio)
+	}
+	if len(report.Systems) != len(systems) {
+		t.Fatalf("%d system rows, want %d", len(report.Systems), len(systems))
+	}
+	for _, s := range report.Systems {
+		if s.Ops != opt.Clients*opt.Ops {
+			t.Fatalf("%s: %d ops, want %d", s.System, s.Ops, opt.Clients*opt.Ops)
+		}
+		if s.QPS <= 0 {
+			t.Fatalf("%s: QPS = %f", s.System, s.QPS)
+		}
+		if s.P50Ms < 0 || s.P95Ms < s.P50Ms || s.P99Ms < s.P95Ms {
+			t.Fatalf("%s: non-monotone percentiles %f/%f/%f", s.System, s.P50Ms, s.P95Ms, s.P99Ms)
+		}
+		if s.ColdMs <= 0 || s.CachedMs <= 0 || s.Speedup <= 0 {
+			t.Fatalf("%s: cold/cached/speedup = %f/%f/%f", s.System, s.ColdMs, s.CachedMs, s.Speedup)
+		}
+	}
+
+	out := FormatServe(report)
+	for _, want := range []string{"QPS", "p50", "hit ratio", "compiled once per query: true"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("FormatServe lacks %q:\n%s", want, out)
+		}
+	}
+
+	data, err := json.Marshal(report)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back ServeReport
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.CacheHits != report.CacheHits || len(back.Systems) != len(report.Systems) {
+		t.Fatal("JSON round trip lost fields")
+	}
+}

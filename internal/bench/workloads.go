@@ -68,7 +68,7 @@ type BGPResult struct {
 // results are deterministic. Every query's result is verified identical
 // across schemes before timings are reported.
 func RunBGPWorkload(w *Workload, systems []*System, n int, seed int64, mode Mode) ([]BGPResult, error) {
-	est := bgp.NewEstimator(w.DS.Graph, w.Cat.Interesting)
+	est := w.Estimator()
 	gen := bgp.NewGenerator(w.DS.Graph, bgp.GenConfig{Seed: seed})
 	results := make([]BGPResult, n)
 	for i := 0; i < n; i++ {

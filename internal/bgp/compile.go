@@ -1,6 +1,7 @@
 package bgp
 
 import (
+	"errors"
 	"fmt"
 
 	"blackswan/internal/core"
@@ -33,6 +34,17 @@ func (e *UnknownTermError) Error() string {
 	return fmt.Sprintf("bgp: term %s not in dictionary (no triple can match)", e.Term)
 }
 
+// CompileError marks a semantic compilation failure: the query lexes and
+// parses, but cannot be compiled — an unbound selected variable, invalid
+// aggregation, a disconnected pattern group, mismatched union columns.
+// Like ParseError and UnknownTermError it is the client's mistake, not the
+// system's; the serving layer relies on the distinction for its HTTP
+// statuses. The message is unchanged by the wrapper.
+type CompileError struct{ Err error }
+
+func (e *CompileError) Error() string { return e.Err.Error() }
+func (e *CompileError) Unwrap() error { return e.Err }
+
 // CompileText parses and compiles a query in one step.
 func CompileText(text string, dict *rdf.Dictionary, est *Estimator) (*Compiled, error) {
 	q, err := Parse(text)
@@ -52,7 +64,13 @@ func Compile(q *Query, dict *rdf.Dictionary, est *Estimator) (*Compiled, error) 
 	c := &compiler{dict: dict, est: est, access: map[accessKey]*core.Access{}}
 	root, cols, err := c.compileQuery(q)
 	if err != nil {
-		return nil, err
+		// Keep the already-typed dictionary error; everything else from
+		// compilation is a semantic client error.
+		var ute *UnknownTermError
+		if errors.As(err, &ute) {
+			return nil, err
+		}
+		return nil, &CompileError{Err: err}
 	}
 	return &Compiled{
 		Root: root, Cols: cols, Order: c.order,

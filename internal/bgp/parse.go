@@ -9,10 +9,43 @@ import (
 	"blackswan/internal/rdf"
 )
 
+// ParseError is a syntax error with its position in the query text — the
+// diagnostic the serving layer returns to clients. Offset is the byte
+// offset into the text; Line and Col are 1-based (Col counts bytes).
+type ParseError struct {
+	Msg    string
+	Offset int
+	Line   int
+	Col    int
+}
+
+// Error renders "bgp: <msg> at line L, column C".
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("bgp: %s at line %d, column %d", e.Msg, e.Line, e.Col)
+}
+
+// errAt builds a positioned error for byte offset off of src.
+func errAt(src string, off int, format string, args ...any) *ParseError {
+	if off > len(src) {
+		off = len(src)
+	}
+	line, col := 1, 1
+	for _, c := range []byte(src[:off]) {
+		if c == '\n' {
+			line++
+			col = 1
+		} else {
+			col++
+		}
+	}
+	return &ParseError{Msg: fmt.Sprintf(format, args...), Offset: off, Line: line, Col: col}
+}
+
 // Parse reads one query in the package's text syntax (see the package
-// comment for the grammar).
+// comment for the grammar). Syntax errors are *ParseError values carrying
+// the line, column and byte offset of the offending token.
 func Parse(text string) (*Query, error) {
-	p := &parser{}
+	p := &parser{src: text}
 	if err := p.lex(text); err != nil {
 		return nil, err
 	}
@@ -21,7 +54,7 @@ func Parse(text string) (*Query, error) {
 		return nil, err
 	}
 	if !p.eof() {
-		return nil, fmt.Errorf("bgp: trailing input at %q", p.peek())
+		return nil, p.errHere("trailing input at %q", p.peek())
 	}
 	return q, nil
 }
@@ -36,8 +69,15 @@ func MustParse(text string) *Query {
 	return q
 }
 
+// token is one lexed token with the byte offset it starts at.
+type token struct {
+	text string
+	off  int
+}
+
 type parser struct {
-	toks []string
+	src  string
+	toks []token
 	pos  int
 }
 
@@ -52,20 +92,20 @@ func (p *parser) lex(s string) error {
 		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
 			i++
 		case c == '{' || c == '}' || c == '(' || c == ')' || c == '.' || c == '*' || c == '>':
-			p.toks = append(p.toks, string(c))
+			p.toks = append(p.toks, token{string(c), i})
 			i++
 		case c == '!':
 			if i+1 >= len(s) || s[i+1] != '=' {
-				return fmt.Errorf("bgp: stray '!' at offset %d", i)
+				return errAt(s, i, "stray '!'")
 			}
-			p.toks = append(p.toks, "!=")
+			p.toks = append(p.toks, token{"!=", i})
 			i += 2
 		case c == '<':
 			j := strings.IndexByte(s[i:], '>')
 			if j < 0 {
-				return fmt.Errorf("bgp: unterminated IRI at offset %d", i)
+				return errAt(s, i, "unterminated IRI")
 			}
-			p.toks = append(p.toks, s[i:i+j+1])
+			p.toks = append(p.toks, token{s[i : i+j+1], i})
 			i += j + 1
 		case c == '"':
 			j := i + 1
@@ -75,9 +115,9 @@ func (p *parser) lex(s string) error {
 				j++
 			}
 			if j >= len(s) {
-				return fmt.Errorf("bgp: unterminated literal at offset %d", i)
+				return errAt(s, i, "unterminated literal")
 			}
-			p.toks = append(p.toks, s[i:j+1])
+			p.toks = append(p.toks, token{s[i : j+1], i})
 			i = j + 1
 		case c == '?':
 			j := i + 1
@@ -85,19 +125,19 @@ func (p *parser) lex(s string) error {
 				j++
 			}
 			if j == i+1 {
-				return fmt.Errorf("bgp: empty variable name at offset %d", i)
+				return errAt(s, i, "empty variable name")
 			}
-			p.toks = append(p.toks, s[i:j])
+			p.toks = append(p.toks, token{s[i:j], i})
 			i = j
 		case ident(rune(c)):
 			j := i
 			for j < len(s) && ident(rune(s[j])) {
 				j++
 			}
-			p.toks = append(p.toks, s[i:j])
+			p.toks = append(p.toks, token{s[i:j], i})
 			i = j
 		default:
-			return fmt.Errorf("bgp: unexpected character %q at offset %d", c, i)
+			return errAt(s, i, "unexpected character %q", c)
 		}
 	}
 	return nil
@@ -113,7 +153,20 @@ func (p *parser) peek() string {
 	if p.eof() {
 		return ""
 	}
-	return p.toks[p.pos]
+	return p.toks[p.pos].text
+}
+
+// here returns the byte offset of the current token (end of input at EOF).
+func (p *parser) here() int {
+	if p.eof() {
+		return len(p.src)
+	}
+	return p.toks[p.pos].off
+}
+
+// errHere builds a positioned error at the current token.
+func (p *parser) errHere(format string, args ...any) *ParseError {
+	return errAt(p.src, p.here(), format, args...)
 }
 
 func (p *parser) next() string {
@@ -133,8 +186,9 @@ func (p *parser) kw(w string) bool {
 }
 
 func (p *parser) expect(tok string) error {
+	off := p.here()
 	if got := p.next(); !strings.EqualFold(got, tok) {
-		return fmt.Errorf("bgp: expected %q, got %q", tok, got)
+		return errAt(p.src, off, "expected %q, got %q", tok, got)
 	}
 	return nil
 }
@@ -182,7 +236,7 @@ func (p *parser) parseSelect() (*Query, error) {
 			}
 		}
 		if len(q.Select) == 0 {
-			return nil, fmt.Errorf("bgp: empty selection before %q", p.peek())
+			return nil, p.errHere("empty selection before %q", p.peek())
 		}
 	}
 	if err := p.expect("WHERE"); err != nil {
@@ -201,7 +255,7 @@ func (p *parser) parseSelect() (*Query, error) {
 			q.GroupBy = append(q.GroupBy, p.next()[1:])
 		}
 		if len(q.GroupBy) == 0 {
-			return nil, fmt.Errorf("bgp: GROUP BY without keys")
+			return nil, p.errHere("GROUP BY without keys")
 		}
 	}
 	if p.kw("HAVING") {
@@ -210,9 +264,10 @@ func (p *parser) parseSelect() (*Query, error) {
 				return nil, err
 			}
 		}
+		off := p.here()
 		n, err := strconv.ParseUint(p.next(), 10, 64)
 		if err != nil {
-			return nil, fmt.Errorf("bgp: HAVING threshold: %v", err)
+			return nil, errAt(p.src, off, "HAVING threshold: %v", err)
 		}
 		if err := p.expect(")"); err != nil {
 			return nil, err
@@ -230,14 +285,15 @@ func (p *parser) parseBlock() ([]Element, error) {
 	var elems []Element
 	for {
 		if p.peek() == "}" {
+			off := p.here()
 			p.next()
 			if len(elems) == 0 {
-				return nil, fmt.Errorf("bgp: empty block")
+				return nil, errAt(p.src, off, "empty block")
 			}
 			return elems, nil
 		}
 		if p.eof() {
-			return nil, fmt.Errorf("bgp: unterminated block")
+			return nil, p.errHere("unterminated block")
 		}
 		e, err := p.parseElement()
 		if err != nil {
@@ -264,12 +320,13 @@ func (p *parser) parseElement() (Element, error) {
 		if err := p.expect("!="); err != nil {
 			return nil, err
 		}
+		off := p.here()
 		t, err := p.parseTerm()
 		if err != nil {
 			return nil, err
 		}
 		if t.IsVar() {
-			return nil, fmt.Errorf("bgp: FILTER compares against a constant, got ?%s", t.Var)
+			return nil, errAt(p.src, off, "FILTER compares against a constant, got ?%s", t.Var)
 		}
 		if err := p.expect(")"); err != nil {
 			return nil, err
@@ -286,6 +343,7 @@ func (p *parser) parseElement() (Element, error) {
 // either a sub-select in braces or a plain block (meaning SELECT *).
 func (p *parser) parseUnion() (Element, error) {
 	u := &Union{}
+	start := p.here()
 	first := true
 	for {
 		br, err := p.parseBranch()
@@ -301,17 +359,17 @@ func (p *parser) parseUnion() (Element, error) {
 			u.All = all
 			first = false
 		} else if all != u.All {
-			return nil, fmt.Errorf("bgp: mixed UNION and UNION ALL in one chain")
+			return nil, p.errHere("mixed UNION and UNION ALL in one chain")
 		}
 	}
 	if len(u.Branches) < 2 {
-		return nil, fmt.Errorf("bgp: braced group without UNION")
+		return nil, errAt(p.src, start, "braced group without UNION")
 	}
 	return u, nil
 }
 
 func (p *parser) parseBranch() (*Query, error) {
-	if p.pos+1 < len(p.toks) && p.toks[p.pos] == "{" && strings.EqualFold(p.toks[p.pos+1], "SELECT") {
+	if p.pos+1 < len(p.toks) && p.toks[p.pos].text == "{" && strings.EqualFold(p.toks[p.pos+1].text, "SELECT") {
 		p.next()
 		q, err := p.parseSelect()
 		if err != nil {
@@ -346,17 +404,19 @@ func (p *parser) parseTriple() (Element, error) {
 }
 
 func (p *parser) parseVar() (string, error) {
+	off := p.here()
 	t := p.next()
 	if !strings.HasPrefix(t, "?") {
-		return "", fmt.Errorf("bgp: expected variable, got %q", t)
+		return "", errAt(p.src, off, "expected variable, got %q", t)
 	}
 	return t[1:], nil
 }
 
 func (p *parser) parseTerm() (Term, error) {
+	off := p.here()
 	tok := p.next()
 	if tok == "" {
-		return Term{}, fmt.Errorf("bgp: unexpected end of input in triple pattern")
+		return Term{}, errAt(p.src, off, "unexpected end of input in triple pattern")
 	}
 	if strings.HasPrefix(tok, "?") {
 		return Var(tok[1:]), nil
@@ -364,9 +424,35 @@ func (p *parser) parseTerm() (Term, error) {
 	if tok[0] == '<' || tok[0] == '"' {
 		t, err := rdf.ParseTerm(tok)
 		if err != nil {
-			return Term{}, fmt.Errorf("bgp: %v", err)
+			return Term{}, errAt(p.src, off, "%v", err)
 		}
 		return Term{Value: t.Value, Kind: t.Kind}, nil
 	}
-	return Term{}, fmt.Errorf("bgp: expected term, got %q", tok)
+	return Term{}, errAt(p.src, off, "expected term, got %q", tok)
+}
+
+// CanonicalText returns the lexically-canonical form of a query text: the
+// token stream joined with single spaces, so any two layouts of the same
+// token sequence — extra whitespace, newlines, missing separators like
+// "{?s" — share one canonical form. The transformation tokenizes but never
+// parses, orders no joins and resolves no terms, so a serving layer can
+// canonicalize a cache key without paying the work the cache skips; Parse
+// treats the original and canonical texts identically. Text that does not
+// lex is returned verbatim: it can never compile, so its key is only ever
+// looked up, never stored. Texts that differ beyond layout (even by
+// keyword case) keep distinct canonical forms.
+func CanonicalText(text string) string {
+	p := &parser{src: text}
+	if err := p.lex(text); err != nil {
+		return text
+	}
+	var b strings.Builder
+	b.Grow(len(text))
+	for i, t := range p.toks {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString(t.text)
+	}
+	return b.String()
 }

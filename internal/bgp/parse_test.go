@@ -1,7 +1,9 @@
 package bgp_test
 
 import (
+	"errors"
 	"reflect"
+	"strings"
 	"testing"
 
 	"blackswan/internal/bgp"
@@ -122,8 +124,98 @@ func TestParseErrors(t *testing.T) {
 		`SELECT ? WHERE { ?s ?p ?o }`,
 	}
 	for _, text := range cases {
-		if _, err := bgp.Parse(text); err == nil {
+		_, err := bgp.Parse(text)
+		if err == nil {
 			t.Errorf("Parse(%q) succeeded, want error", text)
+			continue
 		}
+		// Every syntax error is a positioned *ParseError.
+		var pe *bgp.ParseError
+		if !errors.As(err, &pe) {
+			t.Errorf("Parse(%q) error %v is not a *ParseError", text, err)
+			continue
+		}
+		if pe.Line < 1 || pe.Col < 1 || pe.Offset < 0 || pe.Offset > len(text) {
+			t.Errorf("Parse(%q): implausible position %+v", text, pe)
+		}
+	}
+}
+
+// TestParseErrorPositions pins the line/column/offset arithmetic: the
+// reported position must point at the offending token, also across lines.
+func TestParseErrorPositions(t *testing.T) {
+	cases := []struct {
+		text       string
+		line, col  int
+		msgPortion string
+	}{
+		{"SELECT * WHERE { ?s ?p }", 1, 24, "expected term"},
+		{"SELECT * WHERE {\n  ?s ?p\n}", 3, 1, "expected term"},
+		{"SELECT * WHERE {\n  ?s <unterminated ?o\n}", 2, 6, "unterminated IRI"},
+		{"SELECT * WHERE { ?s ?p ?o }\ntrailing", 2, 1, "trailing input"},
+		{"SELECT * WHERE { ?s ! ?o }", 1, 21, "stray '!'"},
+	}
+	for _, tc := range cases {
+		_, err := bgp.Parse(tc.text)
+		if err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", tc.text)
+			continue
+		}
+		var pe *bgp.ParseError
+		if !errors.As(err, &pe) {
+			t.Errorf("Parse(%q) error %v is not a *ParseError", tc.text, err)
+			continue
+		}
+		if pe.Line != tc.line || pe.Col != tc.col {
+			t.Errorf("Parse(%q): position %d:%d, want %d:%d (%v)",
+				tc.text, pe.Line, pe.Col, tc.line, tc.col, pe)
+		}
+		if !strings.Contains(pe.Msg, tc.msgPortion) {
+			t.Errorf("Parse(%q): message %q lacks %q", tc.text, pe.Msg, tc.msgPortion)
+		}
+		want := tc.text[:pe.Offset]
+		lines := strings.Split(want, "\n")
+		if len(lines) != tc.line || len(lines[len(lines)-1]) != tc.col-1 {
+			t.Errorf("Parse(%q): offset %d inconsistent with line %d col %d",
+				tc.text, pe.Offset, pe.Line, pe.Col)
+		}
+	}
+}
+
+// TestCanonicalText asserts layout-only variants share one canonical form,
+// literals and IRIs survive verbatim, and Parse agrees with the canonical
+// text.
+func TestCanonicalText(t *testing.T) {
+	a := "SELECT ?s ?t WHERE { ?s <origin> <DLC> . ?s <records> ?x . ?x <type> ?t }"
+	variants := []string{
+		a,
+		"  SELECT   ?s ?t\nWHERE {\n  ?s <origin> <DLC> .\n  ?s <records> ?x .\n  ?x <type> ?t\n}\n",
+		"\tSELECT ?s\t?t WHERE {?s <origin> <DLC> . ?s <records> ?x . ?x <type> ?t }",
+	}
+	want := bgp.CanonicalText(a)
+	for _, v := range variants {
+		if got := bgp.CanonicalText(v); got != want {
+			t.Errorf("CanonicalText(%q) = %q, want %q", v, got, want)
+		}
+		q1, err := bgp.Parse(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		q2, err := bgp.Parse(bgp.CanonicalText(v))
+		if err != nil {
+			t.Fatalf("canonical text of %q does not parse: %v", v, err)
+		}
+		if !reflect.DeepEqual(q1, q2) {
+			t.Errorf("canonicalization changed the parse of %q", v)
+		}
+	}
+	// Whitespace inside literals is content, not layout.
+	lit := `SELECT * WHERE { ?s <p> "two  spaces\n and \"quotes\"" }`
+	if got := bgp.CanonicalText(lit); !strings.Contains(got, `"two  spaces\n and \"quotes\""`) {
+		t.Errorf("CanonicalText mangled a literal: %q", got)
+	}
+	// Distinct queries keep distinct canonical forms.
+	if bgp.CanonicalText("SELECT ?a WHERE { ?a <p> ?b }") == bgp.CanonicalText("SELECT ?b WHERE { ?a <p> ?b }") {
+		t.Error("distinct queries canonicalized to the same text")
 	}
 }

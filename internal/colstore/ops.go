@@ -222,17 +222,25 @@ func (e *Engine) BuildSet(vals []uint64) map[uint64]bool {
 // GroupCount groups parallel key vectors (1 or 2) and returns keys+count
 // rows, sorted for determinism.
 func (e *Engine) GroupCount(keys ...[]uint64) *rel.Rel {
+	return e.GroupCountPar(1, keys...)
+}
+
+// GroupCountPar is GroupCount with the counting chunked over workers
+// goroutines. The charges are identical — simulated times model the
+// paper's single-threaded systems — and the chunk tallies merge by
+// summation before the sort, so the output is byte-identical to the
+// sequential operator.
+func (e *Engine) GroupCountPar(workers int, keys ...[]uint64) *rel.Rel {
 	e.node()
 	switch len(keys) {
 	case 1:
 		e.Store.ChargeCPU(int64(len(keys[0])) * e.Costs.GroupValue)
-		counts := make(map[uint64]uint64, 64)
-		for _, v := range keys[0] {
-			counts[v]++
-		}
+		counts := rel.CountGroups(len(keys[0]), workers, func(i int) [2]uint64 {
+			return [2]uint64{keys[0][i]}
+		})
 		out := rel.New(2)
 		for k, n := range counts {
-			out.Append(k, n)
+			out.Append(k[0], n)
 		}
 		out.Sort()
 		return out
@@ -241,10 +249,9 @@ func (e *Engine) GroupCount(keys ...[]uint64) *rel.Rel {
 			panic("colstore: GroupCount key vectors differ in length")
 		}
 		e.Store.ChargeCPU(int64(len(keys[0])) * 2 * e.Costs.GroupValue)
-		counts := make(map[[2]uint64]uint64, 64)
-		for i := range keys[0] {
-			counts[[2]uint64{keys[0][i], keys[1][i]}]++
-		}
+		counts := rel.CountGroups(len(keys[0]), workers, func(i int) [2]uint64 {
+			return [2]uint64{keys[0][i], keys[1][i]}
+		})
 		out := rel.New(3)
 		for k, n := range counts {
 			out.Append(k[0], k[1], n)

@@ -1,0 +1,120 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+
+	"blackswan/internal/colstore"
+	"blackswan/internal/rdf"
+	"blackswan/internal/rowstore"
+	"blackswan/internal/simio"
+)
+
+// TestExecutePlanCtxCancel asserts a cancelled context aborts execution on
+// every scheme with ctx.Err(), both when cancelled up front and when the
+// deadline has already expired.
+func TestExecutePlanCtxCancel(t *testing.T) {
+	fx, srcs := planFixture(t)
+	p, err := PlanFor(Query{ID: Q3}, fx.cat.Consts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, src := range srcs {
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		if _, _, _, err := ExecutePlanCtx(ctx, src, p.Root, ExecOptions{}); !errors.Is(err, context.Canceled) {
+			t.Errorf("%s: cancelled context returned %v, want context.Canceled", name, err)
+		}
+		// An already-expired deadline must surface as DeadlineExceeded.
+		dctx, dcancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+		if _, _, _, err := ExecutePlanCtx(dctx, src, p.Root, ExecOptions{}); !errors.Is(err, context.DeadlineExceeded) {
+			t.Errorf("%s: expired context returned %v, want context.DeadlineExceeded", name, err)
+		}
+		dcancel()
+		// A live context still executes normally through the same path.
+		if _, _, _, err := ExecutePlanCtx(context.Background(), src, p.Root, ExecOptions{}); err != nil {
+			t.Errorf("%s: background context failed: %v", name, err)
+		}
+	}
+}
+
+// TestGroupCountParByteIdentical asserts the chunked parallel GroupCount
+// tail produces byte-identical output and identical simulated charges on
+// every scheme: the aggregation queries run sequentially and with a worker
+// pool against stores whose clocks the test controls.
+func TestGroupCountParByteIdentical(t *testing.T) {
+	fx := newCrafted(t)
+	type sys struct {
+		name  string
+		store *simio.Store
+		src   PhysicalSource
+	}
+	var systems []sys
+	{
+		store := newStore()
+		db, err := LoadRowTriple(rowstore.NewEngine(store), fx.g, fx.cat, rdf.PSO, rdf.AllOrders())
+		if err != nil {
+			t.Fatal(err)
+		}
+		systems = append(systems, sys{"rowtriple", store, db})
+	}
+	{
+		store := newStore()
+		db, err := LoadRowVert(rowstore.NewEngine(store), fx.g, fx.cat)
+		if err != nil {
+			t.Fatal(err)
+		}
+		systems = append(systems, sys{"rowvert", store, db})
+	}
+	{
+		store := newStore()
+		db, err := LoadColTriple(colstore.NewEngine(store), fx.g, fx.cat, rdf.PSO)
+		if err != nil {
+			t.Fatal(err)
+		}
+		systems = append(systems, sys{"coltriple", store, db})
+	}
+	{
+		store := newStore()
+		db, err := LoadColVert(colstore.NewEngine(store), fx.g, fx.cat)
+		if err != nil {
+			t.Fatal(err)
+		}
+		systems = append(systems, sys{"colvert", store, db})
+	}
+	for _, q := range []Query{{ID: Q1}, {ID: Q2}, {ID: Q3}, {ID: Q3, Star: true}, {ID: Q6}} {
+		p, err := PlanFor(q, fx.cat.Consts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, s := range systems {
+			// Hot runs: cold I/O accounting depends on scan interleaving
+			// under Workers > 1 (see ExecOptions), so the charge comparison
+			// warms the pool first; CPU charges are order-independent sums.
+			run := func(workers int) ([]uint64, time.Duration, time.Duration) {
+				s.store.DropCaches()
+				if _, _, _, err := ExecutePlan(s.src, p.Root, ExecOptions{}); err != nil {
+					t.Fatalf("%s %v warmup: %v", s.name, q, err)
+				}
+				s.store.Clock().Reset()
+				out, _, _, err := ExecutePlan(s.src, p.Root, ExecOptions{Workers: workers})
+				if err != nil {
+					t.Fatalf("%s %v workers=%d: %v", s.name, q, workers, err)
+				}
+				return out.Data, s.store.Clock().Real(), s.store.Clock().User()
+			}
+			seq, seqReal, seqUser := run(1)
+			par, parReal, parUser := run(4)
+			if !reflect.DeepEqual(seq, par) {
+				t.Errorf("%s %v: parallel GroupCount output differs from sequential", s.name, q)
+			}
+			if seqReal != parReal || seqUser != parUser {
+				t.Errorf("%s %v: parallel charges differ: real %v vs %v, user %v vs %v",
+					s.name, q, seqReal, parReal, seqUser, parUser)
+			}
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -38,6 +39,10 @@ type PhysicalOps interface {
 	// predicate of cyclic basic graph patterns.
 	FilterEqCol(r *rel.Rel, a, b int) *rel.Rel
 	GroupCount(r *rel.Rel, keyCols ...int) *rel.Rel
+	// GroupCountPar is GroupCount with the counting chunked over workers
+	// (per-chunk local tallies, merged, then sorted); charges and output
+	// are identical to GroupCount, only host time changes.
+	GroupCountPar(r *rel.Rel, workers int, keyCols ...int) *rel.Rel
 	HavingGT(r *rel.Rel, col int, min uint64) *rel.Rel
 	Union(a, b *rel.Rel) *rel.Rel
 	UnionAll(w int, parts []*rel.Rel) *rel.Rel
@@ -145,7 +150,8 @@ type Trace struct {
 	PartitionScans int
 	// UnionParts counts relations merged by access-level unions.
 	UnionParts int
-	// Parallel reports whether any fan-out used the worker pool.
+	// Parallel reports whether any operator actually fanned work over the
+	// worker pool (per-property scans, union merges, group counting).
 	Parallel bool
 }
 
@@ -182,7 +188,17 @@ func ExecuteTraced(src PhysicalSource, q Query, opt ExecOptions) (*rel.Rel, *Tra
 // trace. Unlike ExecuteTraced it makes no benchmark-specific checks: any
 // well-formed operator DAG over the plan vocabulary executes.
 func ExecutePlan(src PhysicalSource, root Node, opt ExecOptions) (*rel.Rel, []string, *Trace, error) {
+	return ExecutePlanCtx(context.Background(), src, root, opt)
+}
+
+// ExecutePlanCtx is ExecutePlan with cancellation: the executor checks ctx
+// before every operator and between the per-property scans of a fan-out, so
+// a cancelled or expired context aborts the plan at the next operator
+// boundary and returns ctx.Err(). This is the entry point of the serving
+// layer, which threads each client's request context through here.
+func ExecutePlanCtx(ctx context.Context, src PhysicalSource, root Node, opt ExecOptions) (*rel.Rel, []string, *Trace, error) {
 	ex := &executor{
+		ctx:  ctx,
 		src:  src,
 		ops:  src.Ops(),
 		opt:  opt,
@@ -217,6 +233,7 @@ func (b batch) col(name string) (int, error) {
 }
 
 type executor struct {
+	ctx  context.Context
 	src  PhysicalSource
 	ops  PhysicalOps
 	opt  ExecOptions
@@ -231,6 +248,7 @@ type executor struct {
 // per-property scans). Output and charges are identical either way.
 func (ex *executor) unionAll(w int, parts []*rel.Rel) *rel.Rel {
 	if ex.opt.Workers > 1 && len(parts) > 1 {
+		ex.tr.Parallel = true
 		return ex.ops.UnionAllPar(w, parts, ex.opt.Workers)
 	}
 	return ex.ops.UnionAll(w, parts)
@@ -387,6 +405,9 @@ func requiredVars(root Node) map[Node]map[string]bool {
 }
 
 func (ex *executor) eval(n Node) (batch, error) {
+	if err := ex.ctx.Err(); err != nil {
+		return batch{}, err
+	}
 	if b, ok := ex.memo[n]; ok {
 		return b, nil
 	}
@@ -615,6 +636,13 @@ func (ex *executor) scanProps(props []rdf.ID, s, o rdf.ID, need ScanCols, tag fu
 	parts := make([]*rel.Rel, len(props))
 	errs := make([]error, len(props))
 	one := func(i int) {
+		// Wide fan-outs are the long-running part of a plan: checking the
+		// context per scan lets cancellation land between property tables
+		// rather than only between operators.
+		if err := ex.ctx.Err(); err != nil {
+			errs[i] = err
+			return
+		}
 		part, err := ex.src.ScanProp(props[i], s, o, need)
 		if err != nil {
 			errs[i] = err
@@ -920,7 +948,16 @@ func (ex *executor) evalGroup(g *Group) (batch, error) {
 			return batch{}, err
 		}
 	}
-	out := ex.ops.GroupCount(in.rel, keys...)
+	// The chunked count only parallelizes with more than one row (the
+	// engines clamp workers to the row count); below that it is the
+	// sequential operator and the trace must say so.
+	var out *rel.Rel
+	if ex.opt.Workers > 1 && in.rel.Len() > 1 {
+		ex.tr.Parallel = true
+		out = ex.ops.GroupCountPar(in.rel, ex.opt.Workers, keys...)
+	} else {
+		out = ex.ops.GroupCount(in.rel, keys...)
+	}
 	cols := append(append([]string(nil), g.Keys...), CountCol)
 	// GroupCount sorts its output lexicographically on all columns.
 	return batch{rel: out, cols: cols, sorted: g.Keys[0]}, nil

@@ -167,6 +167,49 @@ func ConcatParallel(w int, parts []*Rel, workers int) *Rel {
 	return out
 }
 
+// CountGroups tallies group sizes over rows 0..n-1, keyed by up to two
+// uint64s per row (unused key slots stay zero), chunking the scan over
+// workers goroutines when workers > 1. Each chunk counts into a private
+// map and the maps are merged by summation, so the result is identical to
+// a sequential count regardless of scheduling — callers that sort their
+// emitted rows stay byte-identical to the sequential operator. This is the
+// counting core both engines' GroupCountPar share.
+func CountGroups(n, workers int, keyAt func(i int) [2]uint64) map[[2]uint64]uint64 {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		counts := make(map[[2]uint64]uint64, 64)
+		for i := 0; i < n; i++ {
+			counts[keyAt(i)]++
+		}
+		return counts
+	}
+	locals := make([]map[[2]uint64]uint64, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * n / workers
+		hi := (w + 1) * n / workers
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			m := make(map[[2]uint64]uint64, 64)
+			for i := lo; i < hi; i++ {
+				m[keyAt(i)]++
+			}
+			locals[w] = m
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	merged := locals[0]
+	for _, m := range locals[1:] {
+		for k, c := range m {
+			merged[k] += c
+		}
+	}
+	return merged
+}
+
 // PreparedJoin is a hash join whose build side is hashed once for repeated
 // probing — the primitive behind the plan executor's partitioned joins,
 // where one build side meets every per-property table. Implementations are

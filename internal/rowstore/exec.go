@@ -337,21 +337,28 @@ func (e *Engine) SemiJoinIn(r *rel.Rel, col int, keys *rel.Rel, keyCol int) *rel
 
 // GroupCount groups r by keyCols and appends a count column.
 func (e *Engine) GroupCount(r *rel.Rel, keyCols ...int) *rel.Rel {
+	return e.GroupCountPar(r, 1, keyCols...)
+}
+
+// GroupCountPar is GroupCount with the counting chunked over workers
+// goroutines. The charges are identical — simulated times model the
+// paper's single-threaded systems — and the chunk tallies merge by
+// summation before the sort, so the output is byte-identical to the
+// sequential operator.
+func (e *Engine) GroupCountPar(r *rel.Rel, workers int, keyCols ...int) *rel.Rel {
 	e.node()
 	if len(keyCols) == 0 || len(keyCols) > 2 {
 		panic(fmt.Sprintf("rowstore: GroupCount on %d keys", len(keyCols)))
 	}
 	e.Store.ChargeCPU(int64(r.Len()) * e.Costs.GroupTuple)
-	counts := make(map[[2]uint64]uint64, 64)
-	n := r.Len()
-	for i := 0; i < n; i++ {
+	counts := rel.CountGroups(r.Len(), workers, func(i int) [2]uint64 {
 		row := r.Row(i)
 		var k [2]uint64
 		for j, c := range keyCols {
 			k[j] = row[c]
 		}
-		counts[k]++
-	}
+		return k
+	})
 	out := rel.New(len(keyCols) + 1)
 	for k, cnt := range counts {
 		vals := make([]uint64, 0, 3)

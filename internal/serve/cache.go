@@ -1,0 +1,104 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+)
+
+// planCache is the LRU plan cache. Keys are canonical query texts (see
+// bgp.CanonicalText); values are immutable *Prepared handles, so a cached
+// entry is shared by every concurrent execution and every target scheme —
+// compiled plans carry no scheme state, the executor lowers them per
+// request. The cache is the serving layer's parse-and-order amortizer:
+// hits skip both, misses compile and (bounded by cap) evict the coldest
+// entry.
+type planCache struct {
+	mu    sync.Mutex
+	cap   int        // <= 0 disables caching
+	lru   *list.List // of cacheEntry, front = hottest
+	index map[string]*list.Element
+
+	hits, misses, evictions int64
+}
+
+type cacheEntry struct {
+	key string
+	p   *Prepared
+}
+
+// CacheStats is the plan cache's counter snapshot. Misses count compile
+// paths (get returned nothing), so hits+misses equals prepare calls and
+// Misses-Entries bounds recompiles of evicted plans.
+type CacheStats struct {
+	Entries   int   `json:"entries"`
+	Capacity  int   `json:"capacity"`
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Evictions int64 `json:"evictions"`
+}
+
+// HitRatio returns hits / (hits+misses), 0 when idle.
+func (c CacheStats) HitRatio() float64 {
+	total := c.Hits + c.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(c.Hits) / float64(total)
+}
+
+func newPlanCache(capacity int) *planCache {
+	return &planCache{
+		cap:   capacity,
+		lru:   list.New(),
+		index: make(map[string]*list.Element),
+	}
+}
+
+// get returns the cached plan for key, bumping its recency. A miss is
+// counted here — the caller is about to compile.
+func (c *planCache) get(key string) (*Prepared, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.index[key]; ok {
+		c.lru.MoveToFront(el)
+		c.hits++
+		return el.Value.(cacheEntry).p, true
+	}
+	c.misses++
+	return nil, false
+}
+
+// put installs a compiled plan, evicting from the cold end over capacity.
+// Concurrent compilations of the same key may race here; the last one
+// wins, which is harmless — the handles are interchangeable.
+func (c *planCache) put(key string, p *Prepared) {
+	if c.cap <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.index[key]; ok {
+		el.Value = cacheEntry{key: key, p: p}
+		c.lru.MoveToFront(el)
+		return
+	}
+	c.index[key] = c.lru.PushFront(cacheEntry{key: key, p: p})
+	for c.lru.Len() > c.cap {
+		back := c.lru.Back()
+		delete(c.index, back.Value.(cacheEntry).key)
+		c.lru.Remove(back)
+		c.evictions++
+	}
+}
+
+func (c *planCache) stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Entries:   c.lru.Len(),
+		Capacity:  c.cap,
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+	}
+}

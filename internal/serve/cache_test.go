@@ -1,0 +1,126 @@
+package serve_test
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"blackswan/internal/serve"
+)
+
+// TestEvictionBoundedAndRecompile proves the cache stays within its
+// capacity (bounded memory), counts evictions, and recompiles evicted
+// plans on miss with unchanged results.
+func TestEvictionBoundedAndRecompile(t *testing.T) {
+	_, sys, _ := fixture(t)
+	svc := newService(t, serve.Config{CacheSize: 2})
+	texts := queryTexts(t, 3)
+	ctx := context.Background()
+	system := sys[0].Name
+
+	// References before any eviction.
+	ref := make(map[string][]uint64)
+	for _, text := range texts {
+		res, err := svc.ExecText(ctx, text, system)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref[text] = res.Rows.Data
+	}
+
+	// Cycling 3 queries through 2 slots in LRU order evicts on every
+	// access: each arrival pushes out the next query in the cycle.
+	const rounds = 4
+	for r := 0; r < rounds; r++ {
+		for _, text := range texts {
+			res, err := svc.ExecText(ctx, text, system)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := res.Rows.Data
+			want := ref[text]
+			if len(got) != len(want) {
+				t.Fatal("recompiled plan changed the result size")
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatal("recompiled plan changed the result bytes")
+				}
+			}
+		}
+	}
+
+	st := svc.Stats().Cache
+	if st.Entries > 2 {
+		t.Fatalf("cache holds %d entries, capacity 2", st.Entries)
+	}
+	if st.Capacity != 2 {
+		t.Fatalf("capacity = %d, want 2", st.Capacity)
+	}
+	if st.Evictions == 0 {
+		t.Fatal("no evictions despite exceeding capacity")
+	}
+	// Every access in the cycle misses (the working set exceeds capacity),
+	// so misses prove recompile-on-miss happened repeatedly.
+	total := int64((rounds + 1) * len(texts))
+	if st.Hits+st.Misses != total {
+		t.Fatalf("hits+misses = %d, want %d", st.Hits+st.Misses, total)
+	}
+	if st.Misses <= int64(len(texts)) {
+		t.Fatalf("misses = %d, want > %d (evicted plans must recompile)", st.Misses, len(texts))
+	}
+}
+
+// TestCacheDisabled asserts a negative CacheSize turns every execution
+// into a compile (the cold baseline the benchmark uses).
+func TestCacheDisabled(t *testing.T) {
+	_, sys, _ := fixture(t)
+	svc := newService(t, serve.Config{CacheSize: -1})
+	texts := queryTexts(t, 1)
+	ctx := context.Background()
+	for i := 0; i < 3; i++ {
+		res, err := svc.ExecText(ctx, texts[0], sys[0].Name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Cached {
+			t.Fatal("cache-disabled service returned a cached plan")
+		}
+	}
+	st := svc.Stats().Cache
+	if st.Hits != 0 || st.Misses != 3 || st.Entries != 0 {
+		t.Fatalf("disabled cache counters: %+v", st)
+	}
+}
+
+// TestCanonicalKeyUnifiesLayouts asserts two layouts of the same query
+// share one cache entry: the second execution is a hit even though the
+// text differs byte-wise.
+func TestCanonicalKeyUnifiesLayouts(t *testing.T) {
+	_, sys, _ := fixture(t)
+	svc := newService(t, serve.Config{})
+	texts := queryTexts(t, 1)
+	ctx := context.Background()
+	system := sys[0].Name
+
+	first, err := svc.ExecText(ctx, texts[0], system)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Cached {
+		t.Fatal("first execution cannot be a hit")
+	}
+	// Reformat outside any literal: pad the edges and stretch the keyword
+	// whitespace (generated texts always start with "SELECT ").
+	sloppy := "  \n" + strings.Replace(texts[0], "SELECT ", "SELECT\n\t ", 1) + "\n  "
+	res, err := svc.ExecText(ctx, sloppy, system)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Cached {
+		t.Fatal("reformatted query missed the cache despite identical tokens")
+	}
+	if st := svc.Stats().Cache; st.Entries != 1 {
+		t.Fatalf("entries = %d, want 1", st.Entries)
+	}
+}

@@ -1,0 +1,161 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strconv"
+	"time"
+
+	"blackswan/internal/bgp"
+)
+
+// The HTTP front-end: a minimal JSON API over a Service.
+//
+//	GET|POST /query?q=<text>&system=<name>[&limit=n][&timeout=d]
+//	GET      /systems
+//	GET      /stats
+//
+// /query executes q on the named system (default: the service's first
+// target) and returns the decoded rows. limit caps the rows decoded into
+// the response (default 100, limit=-1 for all; rowCount always reports the
+// full result size). timeout is a Go duration (e.g. 250ms) bounding the
+// request, demonstrating cancellation through the executor. Malformed
+// queries come back as 400 with the parse position (line, column, offset),
+// unknown systems as 404, cancelled or expired requests as 504.
+
+// QueryResponse is the /query success payload.
+type QueryResponse struct {
+	System    string     `json:"system"`
+	Columns   []string   `json:"columns"`
+	Rows      [][]string `json:"rows"`
+	RowCount  int        `json:"rowCount"`
+	Truncated bool       `json:"truncated,omitempty"`
+	Cached    bool       `json:"cached"`
+	LatencyMs float64    `json:"latencyMs"`
+	QueuedMs  float64    `json:"queuedMs"`
+}
+
+// ErrorResponse is the JSON error payload; Line/Col/Offset are present for
+// parse errors (Line and Col are 1-based, so zero means absent; Offset is
+// a pointer because byte offset 0 is a valid position).
+type ErrorResponse struct {
+	Error  string `json:"error"`
+	Line   int    `json:"line,omitempty"`
+	Col    int    `json:"col,omitempty"`
+	Offset *int   `json:"offset,omitempty"`
+}
+
+// StatsResponse is the /stats payload.
+type StatsResponse struct {
+	Snapshot
+	Systems []string `json:"systems"`
+}
+
+// NewHandler returns the HTTP front-end of s.
+func NewHandler(s *Service) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/query", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet && r.Method != http.MethodPost {
+			writeError(w, http.StatusMethodNotAllowed, ErrorResponse{Error: "use GET or POST"})
+			return
+		}
+		q := r.FormValue("q")
+		if q == "" {
+			writeError(w, http.StatusBadRequest, ErrorResponse{Error: "missing q parameter"})
+			return
+		}
+		system := r.FormValue("system")
+		if system == "" {
+			system = s.targets[0].Name
+		}
+		limit := 100
+		if v := r.FormValue("limit"); v != "" {
+			n, err := strconv.Atoi(v)
+			if err != nil {
+				writeError(w, http.StatusBadRequest, ErrorResponse{Error: "bad limit: " + err.Error()})
+				return
+			}
+			limit = n
+		}
+		ctx := r.Context()
+		if v := r.FormValue("timeout"); v != "" {
+			d, err := time.ParseDuration(v)
+			if err != nil {
+				writeError(w, http.StatusBadRequest, ErrorResponse{Error: "bad timeout: " + err.Error()})
+				return
+			}
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, d)
+			defer cancel()
+		}
+		res, err := s.ExecText(ctx, q, system)
+		if err != nil {
+			writeError(w, statusOf(err), errorResponseOf(err))
+			return
+		}
+		rows := s.DecodeRows(res, limit)
+		writeJSON(w, http.StatusOK, QueryResponse{
+			System:    res.System,
+			Columns:   res.Cols,
+			Rows:      rows,
+			RowCount:  res.Rows.Len(),
+			Truncated: len(rows) < res.Rows.Len(),
+			Cached:    res.Cached,
+			LatencyMs: float64(res.Latency.Microseconds()) / 1e3,
+			QueuedMs:  float64(res.Queued.Microseconds()) / 1e3,
+		})
+	})
+	mux.HandleFunc("/systems", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.Systems())
+	})
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, StatsResponse{Snapshot: s.Stats(), Systems: s.Systems()})
+	})
+	return mux
+}
+
+// statusOf maps service errors to HTTP statuses: parse and compile
+// problems are the client's (400), unknown systems are 404, context ends
+// are 504, the rest is 500.
+func statusOf(err error) int {
+	var pe *bgp.ParseError
+	var ue *bgp.UnknownTermError
+	var ce *bgp.CompileError
+	var se *UnknownSystemError
+	switch {
+	case errors.As(err, &pe), errors.As(err, &ue), errors.As(err, &ce):
+		return http.StatusBadRequest
+	case errors.As(err, &se):
+		return http.StatusNotFound
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// errorResponseOf renders err, attaching the parse position when there is
+// one — the client-facing diagnostic the positioned parser exists for.
+func errorResponseOf(err error) ErrorResponse {
+	resp := ErrorResponse{Error: err.Error()}
+	var pe *bgp.ParseError
+	if errors.As(err, &pe) {
+		off := pe.Offset
+		resp.Line, resp.Col, resp.Offset = pe.Line, pe.Col, &off
+	}
+	return resp
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, resp ErrorResponse) {
+	writeJSON(w, status, resp)
+}

@@ -1,0 +1,154 @@
+package serve_test
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"testing"
+
+	"blackswan/internal/serve"
+)
+
+func httpFixture(t *testing.T) (*serve.Service, *httptest.Server) {
+	t.Helper()
+	svc := newService(t, serve.Config{})
+	srv := httptest.NewServer(serve.NewHandler(svc))
+	t.Cleanup(srv.Close)
+	return svc, srv
+}
+
+func getJSON(t *testing.T, rawURL string, wantStatus int, out any) {
+	t.Helper()
+	resp, err := http.Get(rawURL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != wantStatus {
+		t.Fatalf("GET %s: status %d, want %d", rawURL, resp.StatusCode, wantStatus)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("GET %s: content type %q", rawURL, ct)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestHTTPQuery drives the happy path: a query executes, rows come back
+// decoded, and the repeat is served from the plan cache.
+func TestHTTPQuery(t *testing.T) {
+	_, sys, _ := fixture(t)
+	svc, srv := httpFixture(t)
+	texts := queryTexts(t, 1)
+	system := sys[0].Name
+
+	// The service-level reference for the same text.
+	want, err := svc.ExecText(context.Background(), texts[0], system)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	u := srv.URL + "/query?q=" + url.QueryEscape(texts[0]) + "&system=" + url.QueryEscape(system) + "&limit=-1"
+	var qr serve.QueryResponse
+	getJSON(t, u, http.StatusOK, &qr)
+	if qr.System != system {
+		t.Fatalf("system = %q, want %q", qr.System, system)
+	}
+	if qr.RowCount != want.Rows.Len() || len(qr.Rows) != want.Rows.Len() {
+		t.Fatalf("rowCount = %d (%d decoded), want %d", qr.RowCount, len(qr.Rows), want.Rows.Len())
+	}
+	if len(qr.Columns) != len(want.Cols) {
+		t.Fatalf("columns = %v, want %v", qr.Columns, want.Cols)
+	}
+	for _, row := range qr.Rows {
+		if len(row) != len(qr.Columns) {
+			t.Fatalf("row width %d, want %d", len(row), len(qr.Columns))
+		}
+		for _, cell := range row {
+			if cell == "" {
+				t.Fatal("undecoded empty cell in response")
+			}
+		}
+	}
+	// Repeat: now a cache hit.
+	var again serve.QueryResponse
+	getJSON(t, u, http.StatusOK, &again)
+	if !again.Cached {
+		t.Fatal("repeat HTTP query missed the plan cache")
+	}
+}
+
+// TestHTTPParseDiagnostics sends a malformed multi-line query and expects
+// a 400 with the parse position — the serving layer's client-facing
+// diagnostic.
+func TestHTTPParseDiagnostics(t *testing.T) {
+	_, srv := httpFixture(t)
+	bad := "SELECT * WHERE {\n  ?s ?p\n}"
+	var er serve.ErrorResponse
+	getJSON(t, srv.URL+"/query?q="+url.QueryEscape(bad), http.StatusBadRequest, &er)
+	if er.Error == "" {
+		t.Fatal("empty error message")
+	}
+	if er.Line != 3 || er.Col != 1 {
+		t.Fatalf("position %d:%d, want 3:1 (%+v)", er.Line, er.Col, er)
+	}
+	if er.Offset == nil || *er.Offset == 0 {
+		t.Fatalf("missing offset: %+v", er)
+	}
+
+	// An error at byte 0 still carries its offset (0 is a valid position).
+	getJSON(t, srv.URL+"/query?q="+url.QueryEscape("*"), http.StatusBadRequest, &er)
+	if er.Offset == nil || *er.Offset != 0 || er.Line != 1 || er.Col != 1 {
+		t.Fatalf("offset-0 error mispositioned: %+v", er)
+	}
+}
+
+// TestHTTPErrors covers the remaining error statuses: missing q, unknown
+// system, and an expired timeout.
+func TestHTTPErrors(t *testing.T) {
+	_, sys, _ := fixture(t)
+	_, srv := httpFixture(t)
+	texts := queryTexts(t, 1)
+	q := url.QueryEscape(texts[0])
+
+	var er serve.ErrorResponse
+	getJSON(t, srv.URL+"/query", http.StatusBadRequest, &er)
+	getJSON(t, srv.URL+"/query?q="+q+"&system=nope", http.StatusNotFound, &er)
+	getJSON(t, srv.URL+"/query?q="+q+"&limit=x", http.StatusBadRequest, &er)
+	// Semantic compile errors are the client's too: parses, cannot compile.
+	semantic := url.QueryEscape("SELECT ?x WHERE { ?s ?p ?o }")
+	getJSON(t, srv.URL+"/query?q="+semantic, http.StatusBadRequest, &er)
+	// As is a constant term missing from the dictionary.
+	unknown := url.QueryEscape("SELECT ?s WHERE { ?s <no/such/property> ?o }")
+	getJSON(t, srv.URL+"/query?q="+unknown, http.StatusBadRequest, &er)
+	// timeout=0s is expired on arrival: the request rejects with 504
+	// before (or during) execution.
+	getJSON(t, srv.URL+"/query?q="+q+"&system="+url.QueryEscape(sys[0].Name)+"&timeout=0s",
+		http.StatusGatewayTimeout, &er)
+}
+
+// TestHTTPSystemsAndStats exercises the discovery and metrics endpoints.
+func TestHTTPSystemsAndStats(t *testing.T) {
+	_, sys, _ := fixture(t)
+	_, srv := httpFixture(t)
+	texts := queryTexts(t, 1)
+
+	var names []string
+	getJSON(t, srv.URL+"/systems", http.StatusOK, &names)
+	if len(names) != len(sys) {
+		t.Fatalf("systems = %v, want %d entries", names, len(sys))
+	}
+
+	getJSON(t, srv.URL+"/query?q="+url.QueryEscape(texts[0]), http.StatusOK, new(serve.QueryResponse))
+	var st serve.StatsResponse
+	getJSON(t, srv.URL+"/stats", http.StatusOK, &st)
+	if st.Queries < 1 {
+		t.Fatalf("stats report %d queries after serving one", st.Queries)
+	}
+	if len(st.Systems) != len(sys) {
+		t.Fatalf("stats systems = %v", st.Systems)
+	}
+}

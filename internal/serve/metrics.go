@@ -1,0 +1,115 @@
+package serve
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// Metrics holds the service-level counters: lock-free atomics on the hot
+// path, snapshotted for reporting. Latencies feed a power-of-two histogram
+// (bucket i covers [2^(i-1), 2^i) nanoseconds), precise enough for the
+// p50/p95/p99 a serving dashboard wants without per-request allocation;
+// exact percentiles for benchmarking come from the bench harness, which
+// records every latency itself.
+type Metrics struct {
+	queries  atomic.Int64 // successfully served executions
+	cachedQ  atomic.Int64 // of which ran a cached plan
+	errors   atomic.Int64 // failed prepares or executions
+	rejects  atomic.Int64 // admissions abandoned (context ended waiting)
+	rows     atomic.Int64 // total result rows served
+	inFlight atomic.Int64 // currently admitted executions
+	maxIn    atomic.Int64 // high-water mark of inFlight
+	latSum   atomic.Int64 // summed latency ns of served executions
+	lat      [64]atomic.Int64
+}
+
+func (m *Metrics) admitted() {
+	n := m.inFlight.Add(1)
+	for {
+		max := m.maxIn.Load()
+		if n <= max || m.maxIn.CompareAndSwap(max, n) {
+			return
+		}
+	}
+}
+
+func (m *Metrics) released() { m.inFlight.Add(-1) }
+func (m *Metrics) rejected() { m.rejects.Add(1) }
+func (m *Metrics) failed()   { m.errors.Add(1) }
+
+func (m *Metrics) served(latency time.Duration, rows int64, cached bool) {
+	m.queries.Add(1)
+	if cached {
+		m.cachedQ.Add(1)
+	}
+	m.rows.Add(rows)
+	ns := latency.Nanoseconds()
+	if ns < 0 {
+		ns = 0
+	}
+	m.latSum.Add(ns)
+	m.lat[bits.Len64(uint64(ns))].Add(1)
+}
+
+// Snapshot is one consistent-enough reading of the service counters (each
+// counter is read atomically; the set is not a transaction).
+type Snapshot struct {
+	Queries     int64         `json:"queries"`
+	CachedPlans int64         `json:"cachedPlanExecutions"`
+	Errors      int64         `json:"errors"`
+	Rejected    int64         `json:"rejected"`
+	Rows        int64         `json:"rows"`
+	InFlight    int64         `json:"inFlight"`
+	MaxInFlight int64         `json:"maxInFlight"`
+	MeanLatency time.Duration `json:"meanLatencyNs"`
+	P50         time.Duration `json:"p50Ns"`
+	P95         time.Duration `json:"p95Ns"`
+	P99         time.Duration `json:"p99Ns"`
+	Cache       CacheStats    `json:"cache"`
+}
+
+func (m *Metrics) snapshot() Snapshot {
+	var hist [64]int64
+	var total int64
+	for i := range m.lat {
+		hist[i] = m.lat[i].Load()
+		total += hist[i]
+	}
+	s := Snapshot{
+		Queries:     m.queries.Load(),
+		CachedPlans: m.cachedQ.Load(),
+		Errors:      m.errors.Load(),
+		Rejected:    m.rejects.Load(),
+		Rows:        m.rows.Load(),
+		InFlight:    m.inFlight.Load(),
+		MaxInFlight: m.maxIn.Load(),
+	}
+	if total > 0 {
+		s.MeanLatency = time.Duration(m.latSum.Load() / total)
+		s.P50 = histQuantile(&hist, total, 0.50)
+		s.P95 = histQuantile(&hist, total, 0.95)
+		s.P99 = histQuantile(&hist, total, 0.99)
+	}
+	return s
+}
+
+// histQuantile returns the upper bound of the bucket the q-quantile lands
+// in — a ≤2× overestimate, stable and monotone.
+func histQuantile(hist *[64]int64, total int64, q float64) time.Duration {
+	want := int64(q * float64(total))
+	if want < 1 {
+		want = 1
+	}
+	var seen int64
+	for i, n := range hist {
+		seen += n
+		if seen >= want {
+			if i >= 63 {
+				return time.Duration(int64(1) << 62)
+			}
+			return time.Duration(int64(1) << i)
+		}
+	}
+	return 0
+}

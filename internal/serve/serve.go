@@ -1,0 +1,312 @@
+// Package serve is the query-serving subsystem: it wraps one or more
+// loaded storage schemes behind a concurrent Prepare/Exec interface, the
+// step from batch benchmark to system under live query traffic.
+//
+// Three mechanisms make serving cheap and bounded:
+//
+//   - a plan cache: compiled plans are immutable and scheme-independent
+//     (the compiler resolves terms against the workload dictionary and
+//     orders joins from workload statistics, not from any scheme), so one
+//     LRU entry keyed by the lexically-canonical query text serves every
+//     scheme, and a cache hit skips parsing and join ordering entirely —
+//     hit/miss/eviction counters prove it;
+//   - admission control: a bounded slot pool admits at most MaxConcurrent
+//     executions, each running with core.ExecOptions{Workers: ExecWorkers},
+//     so N clients never oversubscribe the host with N×Workers goroutines;
+//     waiting clients honour context cancellation;
+//   - request contexts: the client's context threads through
+//     core.ExecutePlanCtx, so a cancelled or expired request aborts at the
+//     next operator (or per-property scan) boundary.
+//
+// Every execution returns per-query metrics (latency, admission wait, row
+// count, cache state) and feeds the service-level counters and latency
+// histogram behind Stats. The HTTP front-end in http.go exposes the same
+// service over JSON, with positioned parse diagnostics for bad queries.
+package serve
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sort"
+	"time"
+
+	"blackswan/internal/bgp"
+	"blackswan/internal/core"
+	"blackswan/internal/rdf"
+	"blackswan/internal/rel"
+)
+
+// Target is one servable storage scheme: a loaded database exposed through
+// the core physical-access interface under a stable client-facing name.
+type Target struct {
+	Name string
+	Src  core.PhysicalSource
+}
+
+// Config tunes a Service. The zero value is usable: GOMAXPROCS admission
+// slots, single-worker executions, a 256-entry plan cache.
+type Config struct {
+	// MaxConcurrent bounds concurrently admitted executions; further Exec
+	// calls wait (admission control) until a slot frees or their context
+	// ends. Defaults to GOMAXPROCS.
+	MaxConcurrent int
+	// ExecWorkers is the core.ExecOptions worker count each admitted
+	// execution runs with. MaxConcurrent×ExecWorkers bounds the service's
+	// worst-case execution goroutines, so the two together size the host.
+	// Defaults to 1.
+	ExecWorkers int
+	// CacheSize bounds the plan cache in entries. 0 defaults to 256; a
+	// negative value disables caching (every execution compiles — the
+	// cold baseline the benchmark compares against).
+	CacheSize int
+}
+
+// DefaultCacheSize is the plan-cache capacity when Config.CacheSize is 0.
+const DefaultCacheSize = 256
+
+// Service serves BGP queries against its targets. All methods are safe for
+// concurrent use; the underlying stores serialize their accounting, so
+// concurrent executions on one scheme are correct (simulated charges sum
+// as if queries queued on the paper's single-threaded systems — serving
+// throughput is a host-time quantity, not a simulated one).
+type Service struct {
+	dict    *rdf.Dictionary
+	est     *bgp.Estimator
+	cfg     Config
+	targets []Target
+	byName  map[string]int
+	names   []string // target names, sorted once at construction
+	cache   *planCache
+	sem     chan struct{}
+	metrics *Metrics
+}
+
+// New builds a service over the given targets. The dictionary and
+// estimator are the workload-level compile inputs shared by every target
+// (the same values the targets were loaded from).
+func New(dict *rdf.Dictionary, est *bgp.Estimator, cfg Config, targets ...Target) (*Service, error) {
+	if len(targets) == 0 {
+		return nil, fmt.Errorf("serve: no targets")
+	}
+	if cfg.MaxConcurrent <= 0 {
+		cfg.MaxConcurrent = runtime.GOMAXPROCS(0)
+	}
+	if cfg.ExecWorkers <= 0 {
+		cfg.ExecWorkers = 1
+	}
+	if cfg.CacheSize == 0 {
+		cfg.CacheSize = DefaultCacheSize
+	}
+	s := &Service{
+		dict:    dict,
+		est:     est,
+		cfg:     cfg,
+		targets: targets,
+		byName:  make(map[string]int, len(targets)),
+		cache:   newPlanCache(cfg.CacheSize),
+		sem:     make(chan struct{}, cfg.MaxConcurrent),
+		metrics: &Metrics{},
+	}
+	for i, t := range targets {
+		if t.Src == nil {
+			return nil, fmt.Errorf("serve: target %q has no source", t.Name)
+		}
+		if _, dup := s.byName[t.Name]; dup {
+			return nil, fmt.Errorf("serve: duplicate target %q", t.Name)
+		}
+		s.byName[t.Name] = i
+		s.names = append(s.names, t.Name)
+	}
+	sort.Strings(s.names)
+	return s, nil
+}
+
+// Systems returns the target names, sorted.
+func (s *Service) Systems() []string {
+	return append([]string(nil), s.names...)
+}
+
+// Dict returns the dictionary results decode through.
+func (s *Service) Dict() *rdf.Dictionary { return s.dict }
+
+// Prepared is a compiled query handle: an immutable, scheme-independent
+// plan plus its output schema. Executing a Prepared — whether obtained
+// from Prepare or from a cache hit inside ExecText — never parses or
+// orders joins again.
+type Prepared struct {
+	// Text is the canonical query text, the plan-cache key.
+	Text string
+	// Compiled is the compiler's output: plan root, column names, count-
+	// column markers, join order and cost diagnostics.
+	Compiled *bgp.Compiled
+}
+
+// Prepare compiles text (or returns the cached compilation) and installs
+// it in the plan cache. The returned handle can be executed any number of
+// times on any target.
+func (s *Service) Prepare(text string) (*Prepared, error) {
+	p, _, err := s.prepare(text)
+	return p, err
+}
+
+// prepare additionally reports whether the plan came from the cache. A
+// failed compilation counts into the error metrics here, so Prepare and
+// ExecText agree on what Stats().Errors means.
+func (s *Service) prepare(text string) (*Prepared, bool, error) {
+	canon := bgp.CanonicalText(text)
+	if p, ok := s.cache.get(canon); ok {
+		return p, true, nil
+	}
+	// Compile the client's original text, not the canonical key: the token
+	// streams are identical, but error positions must point into the text
+	// the client actually sent.
+	c, err := bgp.CompileText(text, s.dict, s.est)
+	if err != nil {
+		s.metrics.failed()
+		return nil, false, err
+	}
+	p := &Prepared{Text: canon, Compiled: c}
+	s.cache.put(canon, p)
+	return p, false, nil
+}
+
+// Result is one executed query with its per-query metrics.
+type Result struct {
+	// System is the target the query ran on.
+	System string
+	// Cols names the output columns; Rows holds the dictionary-encoded
+	// result (counts excepted — see Counts).
+	Cols []string
+	Rows *rel.Rel
+	// Counts marks output columns holding aggregate counts (plain numbers
+	// rather than dictionary identifiers).
+	Counts map[string]bool
+	// Cached reports whether the plan came from the cache: a true value
+	// means this execution skipped parsing and join ordering.
+	Cached bool
+	// Queued is the admission wait; Latency the total host time including
+	// the wait (compilation excluded — prepare happens before admission).
+	Queued  time.Duration
+	Latency time.Duration
+}
+
+// ExecText prepares (through the cache) and executes text on the named
+// target — the serving fast path: one map lookup replaces parse and join
+// ordering when the query has been seen before. The target is validated
+// first, so requests bound for an unknown system never pay compilation or
+// occupy cache entries.
+func (s *Service) ExecText(ctx context.Context, text, system string) (*Result, error) {
+	ti, err := s.target(system)
+	if err != nil {
+		return nil, err
+	}
+	p, cached, err := s.prepare(text)
+	if err != nil {
+		return nil, err
+	}
+	return s.exec(ctx, p, ti, cached)
+}
+
+// Exec executes a prepared handle on the named target. The result is
+// marked Cached: the handle exists, so parse and ordering are paid off.
+func (s *Service) Exec(ctx context.Context, p *Prepared, system string) (*Result, error) {
+	ti, err := s.target(system)
+	if err != nil {
+		return nil, err
+	}
+	return s.exec(ctx, p, ti, true)
+}
+
+// target resolves a system name, counting and typing the failure.
+func (s *Service) target(system string) (int, error) {
+	ti, ok := s.byName[system]
+	if !ok {
+		s.metrics.failed()
+		return 0, &UnknownSystemError{System: system, Known: s.Systems()}
+	}
+	return ti, nil
+}
+
+func (s *Service) exec(ctx context.Context, p *Prepared, ti int, cached bool) (*Result, error) {
+	t := s.targets[ti]
+	start := time.Now()
+	// Admission: block until a slot frees or the request context ends. The
+	// up-front check makes an already-ended context reject deterministically
+	// (a two-way select with both cases ready picks at random).
+	if err := ctx.Err(); err != nil {
+		s.metrics.rejected()
+		return nil, err
+	}
+	select {
+	case s.sem <- struct{}{}:
+	case <-ctx.Done():
+		s.metrics.rejected()
+		return nil, ctx.Err()
+	}
+	queued := time.Since(start)
+	s.metrics.admitted()
+	defer func() {
+		s.metrics.released()
+		<-s.sem
+	}()
+	out, _, _, err := core.ExecutePlanCtx(ctx, t.Src, p.Compiled.Root, core.ExecOptions{Workers: s.cfg.ExecWorkers})
+	latency := time.Since(start)
+	if err != nil {
+		s.metrics.failed()
+		return nil, fmt.Errorf("serve: %s: %w", t.Name, err)
+	}
+	s.metrics.served(latency, int64(out.Len()), cached)
+	return &Result{
+		System:  t.Name,
+		Cols:    p.Compiled.Cols,
+		Rows:    out,
+		Counts:  p.Compiled.Counts,
+		Cached:  cached,
+		Queued:  queued,
+		Latency: latency,
+	}, nil
+}
+
+// UnknownSystemError reports an Exec against a target the service does not
+// wrap.
+type UnknownSystemError struct {
+	System string
+	Known  []string
+}
+
+func (e *UnknownSystemError) Error() string {
+	return fmt.Sprintf("serve: unknown system %q (have %v)", e.System, e.Known)
+}
+
+// DecodeRows renders up to limit rows of a result through the service's
+// dictionary: IRIs and literals in N-Triples syntax, aggregate counts as
+// plain numbers. limit < 0 decodes everything.
+func (s *Service) DecodeRows(r *Result, limit int) [][]string {
+	n := r.Rows.Len()
+	if limit >= 0 && n > limit {
+		n = limit
+	}
+	out := make([][]string, n)
+	for i := 0; i < n; i++ {
+		row := r.Rows.Row(i)
+		cells := make([]string, len(row))
+		for j, v := range row {
+			if j < len(r.Cols) && r.Counts[r.Cols[j]] {
+				cells[j] = fmt.Sprint(v)
+				continue
+			}
+			cells[j] = s.dict.Term(rdf.ID(v)).String()
+		}
+		out[i] = cells
+	}
+	return out
+}
+
+// Stats merges the service counters and the plan-cache counters into one
+// snapshot.
+func (s *Service) Stats() Snapshot {
+	snap := s.metrics.snapshot()
+	snap.Cache = s.cache.stats()
+	return snap
+}
