@@ -22,6 +22,10 @@
 //	serve     serving-layer throughput/latency benchmark (QPS, p50/p95/p99,
 //	          plan-cache hit ratio, cached-vs-cold speedup); -serve-report
 //	          writes the JSON report
+//	load      bulk-ingest benchmark: sequential loader vs the parallel
+//	          pipeline (triples/sec, per-stage breakdown, deterministic
+//	          byte-identity and cross-build query equivalence);
+//	          -load-report writes the JSON report
 //	sql       generated SQL for both schemes, with union/join counts
 //	gen       write the generated data set as N-Triples to stdout
 //	all       every experiment in paper order
@@ -67,9 +71,13 @@ func main() {
 		srvQueries  = flag.Int("serve-queries", 8, "distinct generated queries for the serve experiment")
 		srvCache    = flag.Int("serve-cache", 64, "plan-cache capacity for the serve experiment")
 		srvReport   = flag.String("serve-report", "", "write the serve experiment's JSON report to this file")
+		loadWorkers = flag.Int("load-workers", 0, "parallel worker count for the load experiment (defaults to NumCPU)")
+		loadChunk   = flag.Int("load-chunk", 0, "scan-stage chunk bytes for the load experiment (defaults to 1MiB)")
+		loadQuick   = flag.Bool("load-quick", false, "skip the load experiment's scheme-build/query-equivalence phase")
+		loadReport  = flag.String("load-report", "", "write the load experiment's JSON report to this file")
 	)
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: swanbench [flags] <experiment>\nexperiments: table1 fig1 table2 table4 table5 fig5 table6 table7 fig6 fig7 parallel workloads serve sql gen all\nflags:\n")
+		fmt.Fprintf(os.Stderr, "usage: swanbench [flags] <experiment>\nexperiments: table1 fig1 table2 table4 table5 fig5 table6 table7 fig6 fig7 parallel workloads serve load sql gen all\nflags:\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -190,6 +198,23 @@ func main() {
 				fail(os.WriteFile(*srvReport, append(data, '\n'), 0o644))
 				fmt.Fprintf(os.Stderr, "serve report written to %s\n", *srvReport)
 			}
+		case "load":
+			workers := *loadWorkers
+			if workers <= 0 {
+				workers = runtime.NumCPU()
+			}
+			section(fmt.Sprintf("Load: bulk ingest, sequential vs %d workers", workers))
+			report, err := bench.RunLoad(w, bench.LoadOptions{
+				Workers: workers, ChunkBytes: *loadChunk, SkipQueries: *loadQuick,
+			})
+			fail(err)
+			fmt.Print(bench.FormatLoad(report))
+			if *loadReport != "" {
+				data, err := json.MarshalIndent(report, "", "  ")
+				fail(err)
+				fail(os.WriteFile(*loadReport, append(data, '\n'), 0o644))
+				fmt.Fprintf(os.Stderr, "load report written to %s\n", *loadReport)
+			}
 		case "sql":
 			section("Generated SQL (triple-store, then vertically-partitioned)")
 			names := make([]string, 0, len(w.Cat.AllProps))
@@ -212,7 +237,7 @@ func main() {
 	}
 
 	if flag.Arg(0) == "all" {
-		for _, name := range []string{"table1", "fig1", "table2", "table4", "table5", "fig5", "table6", "table7", "fig6", "fig7", "parallel", "workloads", "serve"} {
+		for _, name := range []string{"table1", "fig1", "table2", "table4", "table5", "fig5", "table6", "table7", "fig6", "fig7", "parallel", "workloads", "serve", "load"} {
 			run(name)
 		}
 		return

@@ -9,25 +9,37 @@
 //
 // Endpoints (see internal/serve):
 //
-//	GET /query?q=<bgp text>&system=<name>[&limit=n][&timeout=d]
-//	GET /systems
-//	GET /stats
+//	GET  /query?q=<bgp text>&system=<name>[&limit=n][&timeout=d]
+//	GET  /systems
+//	GET  /stats
+//	POST /reload[?seed=N][&triples=N][&props=N]
+//
+// /reload regenerates the dataset with the given parameters (defaulting
+// to the process flags), loads it into all four schemes, and atomically
+// swaps it in under live traffic: in-flight queries finish on the old
+// snapshot, new requests see the new data, and the plan cache restarts
+// empty. Reloads serialize; queries never block on one.
 //
 // Example:
 //
 //	swanserve &
 //	curl 'localhost:8080/query?q=SELECT%20%3Fs%20WHERE%20%7B%20%3Fs%20%3Fp%20%3Fo%20%7D&limit=3'
+//	curl -X POST 'localhost:8080/reload?seed=7'
 //
 // Malformed queries return HTTP 400 with the parse position (line, column,
 // byte offset); unknown systems 404; expired request timeouts 504.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"net/http"
 	"os"
 	"runtime"
+	"strconv"
+	"sync"
+	"time"
 
 	"blackswan/internal/bench"
 	"blackswan/internal/datagen"
@@ -60,9 +72,66 @@ func main() {
 	})
 	fail(err)
 
+	mux := http.NewServeMux()
+	mux.Handle("/", serve.NewHandler(svc))
+	var reloadMu sync.Mutex // one dataset build at a time; queries keep flowing
+	mux.HandleFunc("/reload", func(rw http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(rw, `{"error":"use POST"}`, http.StatusMethodNotAllowed)
+			return
+		}
+		cfg := datagen.Config{
+			Triples: intParam(r, "triples", *triples), Properties: intParam(r, "props", *props),
+			Interesting: *interesting, Seed: int64(intParam(r, "seed", int(*seed))),
+		}
+		reloadMu.Lock()
+		defer reloadMu.Unlock()
+		start := time.Now()
+		// Bad generation parameters are the client's mistake (400); a
+		// failure while building or swapping the dataset is ours (500).
+		status := http.StatusBadRequest
+		nw, err := bench.NewWorkload(cfg)
+		if err == nil {
+			status = http.StatusInternalServerError
+			var nsys []*bench.System
+			if nsys, err = bench.BGPSystems(nw); err == nil {
+				var targets []serve.Target
+				if targets, err = bench.ServeTargets(nsys); err == nil {
+					err = svc.Swap(nw.DS.Graph.Dict, nw.Estimator(), targets...)
+				}
+			}
+		}
+		if err != nil {
+			rw.Header().Set("Content-Type", "application/json")
+			rw.WriteHeader(status)
+			_ = json.NewEncoder(rw).Encode(map[string]string{"error": err.Error()})
+			return
+		}
+		fmt.Fprintf(os.Stderr, "reloaded %d triples (seed %d) in %s; snapshot swapped\n",
+			nw.DS.Graph.Len(), cfg.Seed, time.Since(start).Round(time.Millisecond))
+		rw.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(rw).Encode(map[string]any{
+			"triples": nw.DS.Graph.Len(), "seed": cfg.Seed,
+			"loadSecs": time.Since(start).Seconds(), "systems": svc.Systems(),
+		})
+	})
+
 	fmt.Fprintf(os.Stderr, "serving %v on %s (cache %d entries, %d admission slots × %d workers)\n",
 		svc.Systems(), *addr, *cacheSize, *maxConc, *workers)
-	fail(http.ListenAndServe(*addr, serve.NewHandler(svc)))
+	fail(http.ListenAndServe(*addr, mux))
+}
+
+// intParam reads an integer query parameter, falling back to def.
+func intParam(r *http.Request, name string, def int) int {
+	v := r.FormValue(name)
+	if v == "" {
+		return def
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		return def
+	}
+	return n
 }
 
 func fail(err error) {

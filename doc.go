@@ -9,7 +9,8 @@
 // internal/btree, and internal/colstore), the storage schemes, the
 // declarative query-plan layer and its shared executor (internal/core),
 // the BGP query compiler (internal/bgp), the query-serving subsystem
-// (internal/serve), and the experiment harness (internal/bench).
+// (internal/serve), the parallel bulk-ingest pipeline (internal/ingest),
+// and the experiment harness (internal/bench).
 //
 // Every benchmark query is declared once as a logical plan
 // (core.PlanFor) and lowered onto all four storage schemes by one
@@ -26,8 +27,15 @@
 // admission, request-context cancellation through core.ExecutePlanCtx,
 // and a JSON-over-HTTP front-end (cmd/swanserve); the swanbench serve
 // experiment measures its throughput, latency percentiles and cache
-// amortization. DESIGN.md documents the architecture, the system
-// inventory and the substitutions for non-redistributable resources.
+// amortization. Feeding all of it, internal/ingest bulk-loads N-Triples
+// through a pipelined parallel loader over a sharded dictionary
+// (rdf.ShardedDictionary behind the rdf.Dict interface), with a
+// deterministic mode byte-identical to the sequential reader, concurrent
+// four-scheme builds over one shared partition, and a live dataset swap
+// in the serving layer (serve.Service.Swap, swanserve's POST /reload);
+// the swanbench load experiment measures ingest throughput per stage.
+// DESIGN.md documents the architecture, the system inventory and the
+// substitutions for non-redistributable resources.
 //
 // The root package holds the benchmark suite: one testing.B benchmark per
 // table and figure of the paper (bench_test.go) plus ablation benchmarks for

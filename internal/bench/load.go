@@ -1,0 +1,321 @@
+package bench
+
+import (
+	"bytes"
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"time"
+
+	"blackswan/internal/colstore"
+	"blackswan/internal/core"
+	"blackswan/internal/datagen"
+	"blackswan/internal/ingest"
+	"blackswan/internal/rdf"
+	"blackswan/internal/rel"
+	"blackswan/internal/rowstore"
+	"blackswan/internal/simio"
+)
+
+// The load experiment: the bulk-ingest benchmark. The workload's graph is
+// serialized to N-Triples once, then loaded three ways — the sequential
+// reader (rdf.ReadNTriples, the paper-pipeline baseline), the parallel
+// ingest pipeline in deterministic mode, and the parallel pipeline in
+// fast (sharded-dictionary) mode — reporting triples/sec and the
+// per-stage breakdown for each. Correctness gates before any number is
+// reported: deterministic mode must be byte-identical to the sequential
+// loader (graph, dictionary, stats), fast mode term-equivalent, and the
+// schemes built from the deterministic graph must answer every benchmark
+// query exactly like schemes built from the sequential one.
+
+// LoadOptions configures the load experiment.
+type LoadOptions struct {
+	// Workers is the parallel pipeline's parse-stage width (and the
+	// partition width of the scheme-build stage). Default NumCPU.
+	Workers int
+	// ChunkBytes is the scan stage's chunk target. Default 1 MiB.
+	ChunkBytes int
+	// SkipQueries skips the scheme-build/query-equivalence phase (the
+	// slowest part; the byte-identity checks always run).
+	SkipQueries bool
+}
+
+func (o LoadOptions) withDefaults() LoadOptions {
+	if o.Workers <= 0 {
+		o.Workers = runtime.NumCPU()
+	}
+	return o
+}
+
+// LoadReport is the experiment's full result — the BENCH_load artifact.
+type LoadReport struct {
+	Triples int   `json:"triples"`
+	Lines   int64 `json:"lines"`
+	Bytes   int64 `json:"bytes"`
+	Workers int   `json:"workers"`
+
+	// Wall seconds and throughput per mode.
+	SeqSecs float64 `json:"seqSecs"`
+	SeqTPS  float64 `json:"seqTriplesPerSec"`
+	DetSecs float64 `json:"detSecs"`
+	DetTPS  float64 `json:"detTriplesPerSec"`
+	ParSecs float64 `json:"parSecs"`
+	ParTPS  float64 `json:"parTriplesPerSec"`
+	// Speedups over the sequential baseline.
+	DetSpeedup float64 `json:"detSpeedup"`
+	ParSpeedup float64 `json:"parSpeedup"`
+
+	// Per-stage breakdowns of the two pipeline runs.
+	Det *ingest.Stats `json:"det"`
+	Par *ingest.Stats `json:"par"`
+
+	// Correctness gates (an emitted report always has them true — a
+	// violation aborts the run with an error instead).
+	DeterministicIdentical bool `json:"deterministicIdentical"`
+	FastTermEquivalent     bool `json:"fastTermEquivalent"`
+	QueriesIdentical       bool `json:"queriesIdentical"`
+
+	// Scheme-build phase (deterministic graph, shared parallel partition,
+	// concurrent builds).
+	PartitionSecs float64            `json:"partitionSecs"`
+	BuildWallSecs float64            `json:"buildWallSecs"`
+	BuildSecs     map[string]float64 `json:"buildSecs"`
+	QueriesRun    int                `json:"queriesRun"`
+}
+
+// WorkloadFromGraph derives a workload from an externally loaded
+// Barton-shaped graph (normalized here): the vocabulary resolves by
+// lexical form, the property roster from the data, and the interesting
+// list as the specials plus the most frequent remaining properties — the
+// same shape the generator's administrator selection has. This is how
+// re-ingested N-Triples dumps (whose identifier space differs from the
+// generator's) become loadable, queryable workloads.
+func WorkloadFromGraph(g *rdf.Graph) (*Workload, error) {
+	g.Normalize()
+	d := g.Dict
+	v := datagen.Vocab{
+		Type:        d.LookupIRI(datagen.TypeIRI),
+		Records:     d.LookupIRI(datagen.RecordsIRI),
+		Origin:      d.LookupIRI(datagen.OriginIRI),
+		Language:    d.LookupIRI(datagen.LanguageIRI),
+		Point:       d.LookupIRI(datagen.PointIRI),
+		Encoding:    d.LookupIRI(datagen.EncodingIRI),
+		Text:        d.LookupIRI(datagen.TextIRI),
+		Date:        d.LookupIRI(datagen.DateIRI),
+		DLC:         d.LookupIRI(datagen.DLCIRI),
+		French:      d.LookupIRI(datagen.FrenchIRI),
+		End:         d.LookupLiteral(datagen.EndLiteral),
+		Conferences: d.LookupIRI(datagen.ConferencesIRI),
+	}
+	st := rdf.ComputeStats(g)
+	ranked := rdf.TopK(st.PropFreq, len(st.PropFreq))
+	specials := []rdf.ID{v.Type, v.Records, v.Origin, v.Language, v.Point, v.Encoding}
+	interesting := append([]rdf.ID(nil), specials...)
+	seen := make(map[rdf.ID]bool, len(specials))
+	for _, p := range specials {
+		if p == rdf.NoID {
+			return nil, fmt.Errorf("bench: graph is not Barton-shaped: a special property is missing")
+		}
+		seen[p] = true
+	}
+	for _, p := range ranked {
+		if len(interesting) >= 28 {
+			break
+		}
+		if !seen[p] {
+			seen[p] = true
+			interesting = append(interesting, p)
+		}
+	}
+	ds := &datagen.Dataset{
+		Graph:       g,
+		Vocab:       v,
+		PropsByRank: ranked,
+		Interesting: interesting,
+		Config:      datagen.Config{Triples: g.Len()},
+	}
+	cat, err := CatalogOf(ds)
+	if err != nil {
+		return nil, err
+	}
+	return &Workload{DS: ds, Cat: cat}, nil
+}
+
+// buildLoadedSchemes runs the ingest build stage over a loaded graph.
+func buildLoadedSchemes(w *Workload, g *rdf.Graph, cat core.Catalog, workers int) (*ingest.Schemes, error) {
+	store := func() *simio.Store {
+		return simio.NewStore(simio.Config{Machine: w.machine(simio.MachineB()), PoolBytes: bigPool()})
+	}
+	return ingest.BuildSchemes(g, cat, ingest.Engines{
+		RowTriple: rowstore.NewEngine(store()),
+		RowVert:   rowstore.NewEngine(store()),
+		ColTriple: colstore.NewEngine(store()),
+		ColVert:   colstore.NewEngine(store()),
+	}, ingest.BuildOptions{Workers: workers, Cluster: rdf.PSO, Secondaries: rdf.AllOrders()})
+}
+
+// RunLoad runs the bulk-ingest experiment on the workload's data set.
+func RunLoad(w *Workload, opt LoadOptions) (*LoadReport, error) {
+	opt = opt.withDefaults()
+
+	// Serialize once: the input every loader parses.
+	var buf bytes.Buffer
+	if err := rdf.WriteNTriples(&buf, w.DS.Graph); err != nil {
+		return nil, fmt.Errorf("bench: load: serialize: %w", err)
+	}
+	nt := buf.Bytes()
+
+	report := &LoadReport{Workers: opt.Workers, Bytes: int64(len(nt))}
+
+	// Sequential baseline: the paper-pipeline loader.
+	t0 := time.Now()
+	seqG, err := rdf.ReadNTriples(bytes.NewReader(nt))
+	if err != nil {
+		return nil, fmt.Errorf("bench: load: sequential: %w", err)
+	}
+	seqWall := time.Since(t0)
+	report.Triples = seqG.Len()
+	report.SeqSecs = seqWall.Seconds()
+	if seqWall > 0 {
+		report.SeqTPS = float64(seqG.Len()) / seqWall.Seconds()
+	}
+
+	// Parallel, deterministic: must reproduce the baseline byte for byte.
+	detG, detSt, err := ingest.Load(bytes.NewReader(nt), ingest.Options{
+		Workers: opt.Workers, ChunkBytes: opt.ChunkBytes, Deterministic: true,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("bench: load: deterministic: %w", err)
+	}
+	if !rdf.GraphsIdentical(seqG, detG) {
+		return nil, fmt.Errorf("bench: load: deterministic parallel load is not byte-identical to the sequential loader")
+	}
+	report.DeterministicIdentical = true
+	report.Det = detSt
+	report.DetSecs = detSt.Wall.Seconds()
+	report.DetTPS = detSt.TriplesPerSec()
+	report.Lines = detSt.Lines
+
+	// Parallel, fast mode: identifier assignment differs, decoded data may
+	// not.
+	parG, parSt, err := ingest.Load(bytes.NewReader(nt), ingest.Options{
+		Workers: opt.Workers, ChunkBytes: opt.ChunkBytes,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("bench: load: parallel: %w", err)
+	}
+	if parG.Len() != seqG.Len() || parG.Dict.Len() != seqG.Dict.Len() || parG.Dict.Bytes() != seqG.Dict.Bytes() {
+		return nil, fmt.Errorf("bench: load: fast parallel load changed totals: %d triples / %d terms, want %d / %d",
+			parG.Len(), parG.Dict.Len(), seqG.Len(), seqG.Dict.Len())
+	}
+	sa, sb := rdf.ComputeStats(seqG), rdf.ComputeStats(parG)
+	if sa.DistinctProperties != sb.DistinctProperties || sa.DistinctSubjects != sb.DistinctSubjects ||
+		sa.DistinctObjects != sb.DistinctObjects || sa.SubjectObjectOverlap != sb.SubjectObjectOverlap ||
+		sa.DataSetBytes != sb.DataSetBytes {
+		return nil, fmt.Errorf("bench: load: fast parallel load changed the Table 1 statistics")
+	}
+	report.FastTermEquivalent = true
+	report.Par = parSt
+	report.ParSecs = parSt.Wall.Seconds()
+	report.ParTPS = parSt.TriplesPerSec()
+	if report.DetSecs > 0 {
+		report.DetSpeedup = report.SeqSecs / report.DetSecs
+	}
+	if report.ParSecs > 0 {
+		report.ParSpeedup = report.SeqSecs / report.ParSecs
+	}
+
+	if opt.SkipQueries {
+		return report, nil
+	}
+
+	// Scheme-build phase: both graphs through the concurrent build, then
+	// every benchmark query must agree between the two sets of schemes.
+	seqW, err := WorkloadFromGraph(seqG)
+	if err != nil {
+		return nil, err
+	}
+	detG.Normalize() // same bytes as seqG, so the same normalization
+	seqSchemes, err := buildLoadedSchemes(w, seqG, seqW.Cat, 1)
+	if err != nil {
+		return nil, fmt.Errorf("bench: load: sequential build: %w", err)
+	}
+	t1 := time.Now()
+	detSchemes, err := buildLoadedSchemes(w, detG, seqW.Cat, opt.Workers)
+	if err != nil {
+		return nil, fmt.Errorf("bench: load: parallel build: %w", err)
+	}
+	buildWall := time.Since(t1)
+	report.PartitionSecs = detSchemes.PartitionTime.Seconds()
+	report.BuildWallSecs = buildWall.Seconds()
+	report.BuildSecs = make(map[string]float64, len(detSchemes.BuildTimes))
+	for label, d := range detSchemes.BuildTimes {
+		report.BuildSecs[label] = d.Seconds()
+	}
+
+	pairs := []struct {
+		name     string
+		seq, det core.Database
+	}{
+		{"rowtriple", seqSchemes.RowTriple, detSchemes.RowTriple},
+		{"rowvert", seqSchemes.RowVert, detSchemes.RowVert},
+		{"coltriple", seqSchemes.ColTriple, detSchemes.ColTriple},
+		{"colvert", seqSchemes.ColVert, detSchemes.ColVert},
+	}
+	for _, q := range core.BenchmarkQueries() {
+		for _, pair := range pairs {
+			a, err := pair.seq.Run(q)
+			if err != nil {
+				return nil, fmt.Errorf("bench: load: %s %v on sequential-built scheme: %w", pair.name, q, err)
+			}
+			b, err := pair.det.Run(q)
+			if err != nil {
+				return nil, fmt.Errorf("bench: load: %s %v on parallel-built scheme: %w", pair.name, q, err)
+			}
+			if !rel.Equal(a, b) {
+				return nil, fmt.Errorf("bench: load: %s %v differs between sequential- and parallel-built schemes", pair.name, q)
+			}
+		}
+		report.QueriesRun++
+	}
+	report.QueriesIdentical = true
+	return report, nil
+}
+
+// FormatLoad renders the report for the console.
+func FormatLoad(r *LoadReport) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "bulk ingest of %d triples (%d lines, %.1f MiB) with %d workers on %d CPU(s)\n",
+		r.Triples, r.Lines, float64(r.Bytes)/(1<<20), r.Workers, runtime.NumCPU())
+	fmt.Fprintf(&b, "deterministic byte-identical: %v; fast mode term-equivalent: %v\n\n",
+		r.DeterministicIdentical, r.FastTermEquivalent)
+	fmt.Fprintf(&b, "%-26s %10s %14s %9s\n", "loader", "wall (s)", "triples/sec", "speedup")
+	fmt.Fprintf(&b, "%-26s %10.3f %14.0f %9s\n", "sequential (rdf reader)", r.SeqSecs, r.SeqTPS, "1.00x")
+	fmt.Fprintf(&b, "%-26s %10.3f %14.0f %8.2fx\n", "parallel, deterministic", r.DetSecs, r.DetTPS, r.DetSpeedup)
+	fmt.Fprintf(&b, "%-26s %10.3f %14.0f %8.2fx\n", "parallel, fast", r.ParSecs, r.ParTPS, r.ParSpeedup)
+	stage := func(name string, st *ingest.Stats) {
+		fmt.Fprintf(&b, "\n%s stages (busy time): scan %.3fs, parse %.3fs across %d workers, assemble %.3fs over %d chunks\n",
+			name, st.ScanBusy.Seconds(), st.ParseBusy.Seconds(), st.Workers, st.AssembleBusy.Seconds(), st.Chunks)
+	}
+	if r.Det != nil {
+		stage("deterministic", r.Det)
+	}
+	if r.Par != nil {
+		stage("fast", r.Par)
+	}
+	if r.BuildSecs != nil {
+		fmt.Fprintf(&b, "\nscheme builds (concurrent, shared partition %.3fs, wall %.3fs):\n", r.PartitionSecs, r.BuildWallSecs)
+		labels := make([]string, 0, len(r.BuildSecs))
+		for label := range r.BuildSecs {
+			labels = append(labels, label)
+		}
+		sort.Strings(labels)
+		for _, label := range labels {
+			fmt.Fprintf(&b, "  %-20s %8.3fs\n", label, r.BuildSecs[label])
+		}
+		fmt.Fprintf(&b, "all %d benchmark queries identical across sequential- and parallel-built schemes: %v\n",
+			r.QueriesRun, r.QueriesIdentical)
+	}
+	return b.String()
+}

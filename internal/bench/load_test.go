@@ -1,0 +1,61 @@
+package bench
+
+import (
+	"encoding/json"
+	"testing"
+
+	"blackswan/internal/datagen"
+	"blackswan/internal/rdf"
+)
+
+// TestRunLoadSmoke runs the full load experiment — three loaders, the
+// byte-identity gates, the concurrent scheme builds, the 12-query
+// equivalence — on a small workload, and round-trips the JSON artifact.
+func TestRunLoadSmoke(t *testing.T) {
+	w, err := NewWorkload(datagen.Config{Triples: 5000, Properties: 20, Interesting: 8, Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := RunLoad(w, LoadOptions{Workers: 4, ChunkBytes: 32 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !report.DeterministicIdentical || !report.FastTermEquivalent || !report.QueriesIdentical {
+		t.Fatalf("correctness gates not all true: %+v", report)
+	}
+	if report.Triples != w.DS.Graph.Len() {
+		t.Fatalf("Triples = %d, want %d", report.Triples, w.DS.Graph.Len())
+	}
+	if report.QueriesRun != 12 {
+		t.Fatalf("QueriesRun = %d, want 12", report.QueriesRun)
+	}
+	if report.SeqTPS <= 0 || report.ParTPS <= 0 || report.DetTPS <= 0 {
+		t.Fatalf("throughput missing: seq %.0f det %.0f par %.0f", report.SeqTPS, report.DetTPS, report.ParTPS)
+	}
+	if len(report.BuildSecs) != 4 {
+		t.Fatalf("BuildSecs has %d schemes, want 4", len(report.BuildSecs))
+	}
+	data, err := json.Marshal(report)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back LoadReport
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Triples != report.Triples || back.ParTPS != report.ParTPS || len(back.BuildSecs) != 4 {
+		t.Fatal("JSON artifact did not round-trip")
+	}
+	if FormatLoad(report) == "" {
+		t.Fatal("FormatLoad produced nothing")
+	}
+}
+
+// TestWorkloadFromGraphRejectsNonBarton checks the shape guard.
+func TestWorkloadFromGraphRejectsNonBarton(t *testing.T) {
+	g := rdf.NewGraph()
+	g.Add(rdf.NewIRI("s"), rdf.NewIRI("p"), rdf.NewIRI("o"))
+	if _, err := WorkloadFromGraph(g); err == nil {
+		t.Fatal("WorkloadFromGraph accepted a graph without the Barton vocabulary")
+	}
+}

@@ -46,7 +46,7 @@ func (e *CompileError) Error() string { return e.Err.Error() }
 func (e *CompileError) Unwrap() error { return e.Err }
 
 // CompileText parses and compiles a query in one step.
-func CompileText(text string, dict *rdf.Dictionary, est *Estimator) (*Compiled, error) {
+func CompileText(text string, dict rdf.Dict, est *Estimator) (*Compiled, error) {
 	q, err := Parse(text)
 	if err != nil {
 		return nil, err
@@ -60,7 +60,7 @@ func CompileText(text string, dict *rdf.Dictionary, est *Estimator) (*Compiled, 
 // directly or transitively, with the rest — and identical patterns are
 // compiled once (common subexpressions execute once, also across union
 // branches).
-func Compile(q *Query, dict *rdf.Dictionary, est *Estimator) (*Compiled, error) {
+func Compile(q *Query, dict rdf.Dict, est *Estimator) (*Compiled, error) {
 	c := &compiler{dict: dict, est: est, access: map[accessKey]*core.Access{}}
 	root, cols, err := c.compileQuery(q)
 	if err != nil {
@@ -121,7 +121,7 @@ type accessKey struct {
 }
 
 type compiler struct {
-	dict   *rdf.Dictionary
+	dict   rdf.Dict
 	est    *Estimator
 	access map[accessKey]*core.Access // hash-consed accesses (CSE)
 	order  []string

@@ -176,7 +176,7 @@ func TestRandomBGPsCrossScheme(t *testing.T) {
 }
 
 // resolvePatterns maps a query's textual patterns to core patterns.
-func resolvePatterns(t *testing.T, q *bgp.Query, dict *rdf.Dictionary) []core.TriplePattern {
+func resolvePatterns(t *testing.T, q *bgp.Query, dict rdf.Dict) []core.TriplePattern {
 	t.Helper()
 	ref := func(tm bgp.Term) core.TermRef {
 		if tm.IsVar() {

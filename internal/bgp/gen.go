@@ -70,7 +70,7 @@ type Generator struct {
 	// contains at least the anchor).
 	anchors       []rdf.ID
 	anchorTriples map[rdf.ID][]rdf.Triple
-	dict          *rdf.Dictionary
+	dict          rdf.Dict
 }
 
 const (

@@ -13,7 +13,7 @@ import (
 // Compiling the text reproduces PlanFor's results on every scheme — the
 // proof that the general compiler subsumes the hand-written plan catalog.
 // The star variants are the same text without the RESTRICT markers.
-func PaperText(q core.Query, d *rdf.Dictionary, c core.Constants) (string, error) {
+func PaperText(q core.Query, d rdf.Dict, c core.Constants) (string, error) {
 	if !q.Valid() {
 		return "", fmt.Errorf("bgp: invalid query %v", q)
 	}

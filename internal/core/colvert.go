@@ -28,17 +28,25 @@ type ColVert struct {
 
 // LoadColVert loads one table per property in cat.AllProps.
 func LoadColVert(eng *colstore.Engine, g *rdf.Graph, cat Catalog) (*ColVert, error) {
-	return loadColVert(eng, g, cat, cat.AllProps, "MonetDB/vert-SO")
+	return loadColVert(eng, g, cat, cat.AllProps, "MonetDB/vert-SO", nil)
+}
+
+// LoadColVertParts is LoadColVert with a prebuilt per-property partition
+// (see PartitionByProp), shared with the other loaders by the bulk-ingest
+// path. The shared slices are copied before sorting, so the partition
+// survives concurrent loads. A nil parts map partitions here.
+func LoadColVertParts(eng *colstore.Engine, g *rdf.Graph, cat Catalog, parts map[rdf.ID][]rdf.Triple) (*ColVert, error) {
+	return loadColVert(eng, g, cat, cat.AllProps, "MonetDB/vert-SO", parts)
 }
 
 // LoadColVertRestricted loads only the interesting properties, as the
 // original C-Store experiment did ("C-Store is loaded with data associated
 // with 28 properties, hence the small size").
 func LoadColVertRestricted(eng *colstore.Engine, g *rdf.Graph, cat Catalog) (*ColVert, error) {
-	return loadColVert(eng, g, cat, cat.Interesting, "C-Store/vert-SO")
+	return loadColVert(eng, g, cat, cat.Interesting, "C-Store/vert-SO", nil)
 }
 
-func loadColVert(eng *colstore.Engine, g *rdf.Graph, cat Catalog, props []rdf.ID, label string) (*ColVert, error) {
+func loadColVert(eng *colstore.Engine, g *rdf.Graph, cat Catalog, props []rdf.ID, label string, shared map[rdf.ID][]rdf.Triple) (*ColVert, error) {
 	if err := cat.Validate(); err != nil {
 		return nil, err
 	}
@@ -46,11 +54,20 @@ func loadColVert(eng *colstore.Engine, g *rdf.Graph, cat Catalog, props []rdf.ID
 	for _, p := range props {
 		want[p] = true
 	}
-	// Partition and sort each table on (subject, object).
+	// Partition each table's triples; sorting happens per table below. A
+	// shared partition is borrowed (copy-on-sort), a local one is owned.
 	parts := make(map[rdf.ID][]rdf.Triple)
-	for _, t := range g.Triples {
-		if want[t.P] {
-			parts[t.P] = append(parts[t.P], t)
+	if shared != nil {
+		for _, p := range props {
+			// Copy: the shared slices are order-contracted views other
+			// loaders read concurrently.
+			parts[p] = append([]rdf.Triple(nil), shared[p]...)
+		}
+	} else {
+		for _, t := range g.Triples {
+			if want[t.P] {
+				parts[t.P] = append(parts[t.P], t)
+			}
 		}
 	}
 	d := &ColVert{eng: eng, cat: cat, tables: make(map[rdf.ID]*colstore.Table, len(props)), loaded: props, label: label}

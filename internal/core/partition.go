@@ -1,0 +1,57 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+
+	"blackswan/internal/rdf"
+)
+
+// PartitionByProp splits ts into per-property triple lists, preserving the
+// input's relative order within every property — the order contract both
+// vertically-partitioned loaders build on. With workers > 1 the split runs
+// as a two-phase parallel scan: contiguous ranges partition locally, then
+// the local maps concatenate in range order, which reproduces the
+// sequential result exactly (the equivalence is test-enforced). The
+// returned slices are shared views the caller must not mutate when the
+// same partition feeds several loaders; loaders that sort copy first.
+func PartitionByProp(ts []rdf.Triple, workers int) map[rdf.ID][]rdf.Triple {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(ts) {
+		workers = len(ts)
+	}
+	if workers <= 1 {
+		out := make(map[rdf.ID][]rdf.Triple)
+		for _, t := range ts {
+			out[t.P] = append(out[t.P], t)
+		}
+		return out
+	}
+	locals := make([]map[rdf.ID][]rdf.Triple, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := len(ts) * w / workers
+		hi := len(ts) * (w + 1) / workers
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			local := make(map[rdf.ID][]rdf.Triple)
+			for _, t := range ts[lo:hi] {
+				local[t.P] = append(local[t.P], t)
+			}
+			locals[w] = local
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	// Merge in range order: per property, earlier ranges precede later
+	// ones, so concatenation restores the sequential order.
+	out := make(map[rdf.ID][]rdf.Triple, len(locals[0]))
+	for _, local := range locals {
+		for p, part := range local {
+			out[p] = append(out[p], part...)
+		}
+	}
+	return out
+}

@@ -1,0 +1,53 @@
+package core
+
+import (
+	"testing"
+
+	"blackswan/internal/datagen"
+	"blackswan/internal/rdf"
+)
+
+// TestPartitionByPropParallelMatchesSequential checks the order contract:
+// any worker count yields exactly the sequential partition — same
+// properties, same triples, same relative order.
+func TestPartitionByPropParallelMatchesSequential(t *testing.T) {
+	ds, err := datagen.Generate(datagen.Config{Triples: 5000, Properties: 20, Interesting: 8, Seed: 3})
+	if err != nil {
+		t.Fatalf("datagen: %v", err)
+	}
+	ts := ds.Graph.Triples
+	want := PartitionByProp(ts, 1)
+	for _, workers := range []int{2, 3, 8, 64} {
+		got := PartitionByProp(ts, workers)
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d: %d properties, want %d", workers, len(got), len(want))
+		}
+		for p, wp := range want {
+			gp, ok := got[p]
+			if !ok {
+				t.Fatalf("workers=%d: property %d missing", workers, p)
+			}
+			if len(gp) != len(wp) {
+				t.Fatalf("workers=%d: property %d has %d triples, want %d", workers, p, len(gp), len(wp))
+			}
+			for i := range wp {
+				if gp[i] != wp[i] {
+					t.Fatalf("workers=%d: property %d triple %d = %v, want %v (order broken)",
+						workers, p, i, gp[i], wp[i])
+				}
+			}
+		}
+	}
+}
+
+// TestPartitionByPropDegenerate covers empty and tiny inputs.
+func TestPartitionByPropDegenerate(t *testing.T) {
+	if got := PartitionByProp(nil, 8); len(got) != 0 {
+		t.Fatalf("nil input gave %d partitions", len(got))
+	}
+	one := []rdf.Triple{{S: 1, P: 2, O: 3}}
+	got := PartitionByProp(one, 8)
+	if len(got) != 1 || len(got[2]) != 1 || got[2][0] != one[0] {
+		t.Fatalf("single-triple partition wrong: %v", got)
+	}
+}

@@ -29,13 +29,42 @@ type RowVert struct {
 
 // LoadRowVert partitions the graph by property and loads one table each.
 func LoadRowVert(eng *rowstore.Engine, g *rdf.Graph, cat Catalog) (*RowVert, error) {
+	return LoadRowVertParts(eng, g, cat, nil)
+}
+
+// LoadRowVertParts is LoadRowVert with a prebuilt per-property partition
+// (see PartitionByProp) — the bulk-ingest path computes the partition once,
+// in parallel, and feeds it to both vertically-partitioned loaders. A nil
+// parts map partitions here, sequentially.
+func LoadRowVertParts(eng *rowstore.Engine, g *rdf.Graph, cat Catalog, parts map[rdf.ID][]rdf.Triple) (*RowVert, error) {
 	if err := cat.Validate(); err != nil {
 		return nil, err
 	}
-	parts := partitionByProperty(g)
-	d := &RowVert{eng: eng, cat: cat, tables: make(map[rdf.ID]*rowstore.Table, len(parts))}
+	// Per-property (s, o) relations: converted from a shared partition
+	// when the bulk-ingest path provides one, built in a single pass over
+	// the graph otherwise.
+	rels := make(map[rdf.ID]*rel.Rel)
+	if parts != nil {
+		for p, ts := range parts {
+			rows := rel.NewCap(2, len(ts))
+			for _, t := range ts {
+				rows.Data = append(rows.Data, uint64(t.S), uint64(t.O))
+			}
+			rels[p] = rows
+		}
+	} else {
+		for _, t := range g.Triples {
+			r, ok := rels[t.P]
+			if !ok {
+				r = rel.New(2)
+				rels[t.P] = r
+			}
+			r.Data = append(r.Data, uint64(t.S), uint64(t.O))
+		}
+	}
+	d := &RowVert{eng: eng, cat: cat, tables: make(map[rdf.ID]*rowstore.Table, len(rels))}
 	for _, p := range cat.AllProps {
-		rows, ok := parts[p]
+		rows, ok := rels[p]
 		if !ok {
 			return nil, fmt.Errorf("core: catalog property %d has no triples", p)
 		}
@@ -51,20 +80,6 @@ func LoadRowVert(eng *rowstore.Engine, g *rdf.Graph, cat Catalog) (*RowVert, err
 		d.tables[p] = t
 	}
 	return d, nil
-}
-
-// partitionByProperty splits the graph into per-property (s, o) relations.
-func partitionByProperty(g *rdf.Graph) map[rdf.ID]*rel.Rel {
-	parts := make(map[rdf.ID]*rel.Rel)
-	for _, t := range g.Triples {
-		r, ok := parts[t.P]
-		if !ok {
-			r = rel.New(2)
-			parts[t.P] = r
-		}
-		r.Data = append(r.Data, uint64(t.S), uint64(t.O))
-	}
-	return parts
 }
 
 // Label implements Database.

@@ -1,0 +1,90 @@
+package ingest_test
+
+import (
+	"testing"
+
+	"blackswan/internal/bench"
+	"blackswan/internal/colstore"
+	"blackswan/internal/core"
+	"blackswan/internal/datagen"
+	"blackswan/internal/ingest"
+	"blackswan/internal/rdf"
+	"blackswan/internal/rel"
+	"blackswan/internal/rowstore"
+	"blackswan/internal/simio"
+)
+
+func buildStore() *simio.Store {
+	return simio.NewStore(simio.Config{Machine: simio.MachineB(), PoolBytes: 1 << 30})
+}
+
+// TestBuildSchemesMatchesSequentialLoads loads one generated dataset both
+// ways — the concurrent shared-partition path and the four sequential
+// loaders — and requires every benchmark query to return identical rows.
+func TestBuildSchemesMatchesSequentialLoads(t *testing.T) {
+	ds, err := datagen.Generate(datagen.Config{Triples: 5000, Properties: 20, Interesting: 8, Seed: 5})
+	if err != nil {
+		t.Fatalf("datagen: %v", err)
+	}
+	cat, err := bench.CatalogOf(ds)
+	if err != nil {
+		t.Fatalf("catalog: %v", err)
+	}
+	g := ds.Graph
+
+	schemes, err := ingest.BuildSchemes(g, cat, ingest.Engines{
+		RowTriple: rowstore.NewEngine(buildStore()),
+		RowVert:   rowstore.NewEngine(buildStore()),
+		ColTriple: colstore.NewEngine(buildStore()),
+		ColVert:   colstore.NewEngine(buildStore()),
+	}, ingest.BuildOptions{Workers: 4, Cluster: rdf.PSO, Secondaries: rdf.AllOrders()})
+	if err != nil {
+		t.Fatalf("BuildSchemes: %v", err)
+	}
+	if len(schemes.BuildTimes) != 4 {
+		t.Fatalf("BuildTimes has %d entries, want 4: %v", len(schemes.BuildTimes), schemes.BuildTimes)
+	}
+
+	seqRowTriple, err := core.LoadRowTriple(rowstore.NewEngine(buildStore()), g, cat, rdf.PSO, rdf.AllOrders())
+	if err != nil {
+		t.Fatal(err)
+	}
+	seqRowVert, err := core.LoadRowVert(rowstore.NewEngine(buildStore()), g, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seqColTriple, err := core.LoadColTriple(colstore.NewEngine(buildStore()), g, cat, rdf.PSO)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seqColVert, err := core.LoadColVert(colstore.NewEngine(buildStore()), g, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	pairs := []struct {
+		name string
+		par  core.Database
+		seq  core.Database
+	}{
+		{"rowtriple", schemes.RowTriple, seqRowTriple},
+		{"rowvert", schemes.RowVert, seqRowVert},
+		{"coltriple", schemes.ColTriple, seqColTriple},
+		{"colvert", schemes.ColVert, seqColVert},
+	}
+	for _, q := range core.BenchmarkQueries() {
+		for _, pair := range pairs {
+			pr, err := pair.par.Run(q)
+			if err != nil {
+				t.Fatalf("%s %v (parallel build): %v", pair.name, q, err)
+			}
+			sr, err := pair.seq.Run(q)
+			if err != nil {
+				t.Fatalf("%s %v (sequential build): %v", pair.name, q, err)
+			}
+			if !rel.Equal(pr, sr) {
+				t.Fatalf("%s %v: parallel-built scheme disagrees with sequential", pair.name, q)
+			}
+		}
+	}
+}

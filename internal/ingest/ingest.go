@@ -1,0 +1,337 @@
+// Package ingest is the parallel bulk-load subsystem: it takes an
+// N-Triples stream to a dictionary-encoded graph — and on to all four
+// loaded storage schemes — using every core the host has, where the
+// sequential loader in package rdf serializes on one parser and one
+// intern mutex.
+//
+// Loading is a three-stage pipeline:
+//
+//  1. scan: the input splits into line-aligned chunks of roughly
+//     ChunkBytes (a line never splits, however long — multi-megabyte
+//     literal lines just grow their chunk), each stamped with its absolute
+//     starting line number;
+//  2. parse + intern: Workers goroutines parse chunks concurrently; in
+//     the default (fast) mode each worker interns terms directly into a
+//     shared rdf.ShardedDictionary, whose hash-partitioned intern maps and
+//     atomic ID counter keep the global identifier space dense without a
+//     global lock;
+//  3. assemble: chunks rejoin in input order, so the triple sequence is
+//     always deterministic; in Deterministic mode interning itself moves
+//     here, sequential and in input order into a plain rdf.Dictionary,
+//     which makes the whole load byte-identical to rdf.ReadNTriples
+//     (rdf.GraphsIdentical — the determinism contract) at the cost of
+//     serializing the intern step.
+//
+// Malformed statements fail the load with a *rdf.SyntaxError carrying the
+// absolute line number, no matter which worker hit them. BuildSchemes
+// continues the pipeline past the graph: one parallel per-property
+// partition (core.PartitionByProp) feeds concurrent builds of all four
+// storage schemes.
+package ingest
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"blackswan/internal/rdf"
+)
+
+// Options tunes a bulk load. The zero value is a good default: GOMAXPROCS
+// workers, 1 MiB chunks, fast (nondeterministic-ID) mode, 64 dictionary
+// shards.
+type Options struct {
+	// Workers is the parse-stage parallelism. <= 0 defaults to
+	// GOMAXPROCS; 1 runs the whole pipeline inline (the sequential
+	// baseline, equivalent to rdf.ReadNTriples).
+	Workers int
+	// ChunkBytes is the scan stage's target chunk size. <= 0 defaults to
+	// 1 MiB.
+	ChunkBytes int
+	// Deterministic moves interning to the ordered assemble stage: the
+	// result is byte-identical to the sequential loader (same triples,
+	// same identifiers, same dictionary), parsing still parallel.
+	Deterministic bool
+	// Shards is the ShardedDictionary shard count for fast mode. <= 0
+	// defaults to rdf.DefaultShards.
+	Shards int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.ChunkBytes <= 0 {
+		o.ChunkBytes = 1 << 20
+	}
+	if o.Shards <= 0 {
+		o.Shards = rdf.DefaultShards
+	}
+	return o
+}
+
+// Stats is the per-stage breakdown of one load. The Busy durations are
+// active processing time per stage — ParseBusy sums across workers, so it
+// exceeds wall time when the pipeline actually ran in parallel.
+type Stats struct {
+	Workers       int           `json:"workers"`
+	Deterministic bool          `json:"deterministic"`
+	Chunks        int           `json:"chunks"`
+	Lines         int64         `json:"lines"`
+	Statements    int64         `json:"statements"`
+	Bytes         int64         `json:"bytes"`
+	ScanBusy      time.Duration `json:"scanBusyNs"`
+	ParseBusy     time.Duration `json:"parseBusyNs"`
+	AssembleBusy  time.Duration `json:"assembleBusyNs"`
+	Wall          time.Duration `json:"wallNs"`
+}
+
+// TriplesPerSec is the load's throughput: statements over wall time.
+func (s *Stats) TriplesPerSec() float64 {
+	if s.Wall <= 0 {
+		return 0
+	}
+	return float64(s.Statements) / s.Wall.Seconds()
+}
+
+// stmt is one parsed, not-yet-interned statement (deterministic mode).
+type stmt struct {
+	s, p, o rdf.Term
+}
+
+// parsedChunk is stage 2's output for one chunk.
+type parsedChunk struct {
+	index   int
+	lines   int
+	triples []rdf.Triple // fast mode: already interned
+	stmts   []stmt       // deterministic mode: interned at assembly
+}
+
+// Load parses N-Triples from r into a new graph. The returned graph is
+// validated but not normalized (the same contract as rdf.ReadNTriples:
+// callers decide when to sort and deduplicate). Stats reports the
+// throughput and per-stage breakdown either way, including failed loads'
+// partial progress.
+func Load(r io.Reader, opt Options) (*rdf.Graph, *Stats, error) {
+	opt = opt.withDefaults()
+	st := &Stats{Workers: opt.Workers, Deterministic: opt.Deterministic}
+	start := time.Now()
+	var g *rdf.Graph
+	var err error
+	if opt.Workers == 1 {
+		g, err = loadSequential(r, opt, st)
+	} else {
+		g, err = loadParallel(r, opt, st)
+	}
+	st.Wall = time.Since(start)
+	if err != nil {
+		return nil, st, err
+	}
+	if verr := g.Validate(); verr != nil {
+		return nil, st, verr
+	}
+	return g, st, nil
+}
+
+// loadSequential is the Workers == 1 path: the same chunked scanner and
+// parser, run inline, interning in input order into a single-map
+// dictionary — the baseline the parallel modes are measured against and
+// the graph the deterministic contract is defined by.
+func loadSequential(r io.Reader, opt Options, st *Stats) (*rdf.Graph, error) {
+	g := rdf.NewGraph()
+	ck := newChunker(r, opt.ChunkBytes)
+	for {
+		t0 := time.Now()
+		c, ok, err := ck.next()
+		st.ScanBusy += time.Since(t0)
+		if err != nil {
+			return nil, fmt.Errorf("ingest: read: %w", err)
+		}
+		if !ok {
+			break
+		}
+		t0 = time.Now()
+		pc, perr := parseChunk(c, nil, true)
+		st.ParseBusy += time.Since(t0)
+		if perr != nil {
+			return nil, perr
+		}
+		t0 = time.Now()
+		for _, s := range pc.stmts {
+			g.Add(s.s, s.p, s.o)
+		}
+		st.AssembleBusy += time.Since(t0)
+		st.Chunks++
+		st.Lines += int64(pc.lines)
+		st.Statements += int64(len(pc.stmts))
+	}
+	st.Bytes = ck.bytes
+	return g, nil
+}
+
+// loadParallel runs the three-stage pipeline across Workers goroutines.
+func loadParallel(r io.Reader, opt Options, st *Stats) (*rdf.Graph, error) {
+	var dict rdf.Dict
+	if !opt.Deterministic {
+		dict = rdf.NewShardedDictionary(opt.Shards)
+	}
+
+	chunks := make(chan chunk, opt.Workers*2)
+	results := make(chan parsedChunk, opt.Workers*2)
+	stop := make(chan struct{})
+	var failOnce sync.Once
+	var failErr error
+	fail := func(err error) {
+		failOnce.Do(func() {
+			failErr = err
+			close(stop)
+		})
+	}
+
+	// Stage 1 — scan: split the input into line-aligned chunks.
+	ck := newChunker(r, opt.ChunkBytes)
+	var scanBusy atomic.Int64
+	scanDone := make(chan struct{})
+	go func() {
+		defer close(scanDone)
+		defer close(chunks)
+		for {
+			t0 := time.Now()
+			c, ok, err := ck.next()
+			scanBusy.Add(time.Since(t0).Nanoseconds())
+			if err != nil {
+				fail(fmt.Errorf("ingest: read: %w", err))
+				return
+			}
+			if !ok {
+				return
+			}
+			select {
+			case chunks <- c:
+			case <-stop:
+				return
+			}
+		}
+	}()
+
+	// Stage 2 — parse (and in fast mode intern) concurrently.
+	var parseBusy atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < opt.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				var c chunk
+				var ok bool
+				select {
+				case c, ok = <-chunks:
+					if !ok {
+						return
+					}
+				case <-stop:
+					return
+				}
+				t0 := time.Now()
+				pc, err := parseChunk(c, dict, opt.Deterministic)
+				parseBusy.Add(time.Since(t0).Nanoseconds())
+				if err != nil {
+					fail(err)
+					return
+				}
+				select {
+				case results <- pc:
+				case <-stop:
+					return
+				}
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(results)
+	}()
+
+	// Stage 3 — assemble in input order; deterministic mode interns here.
+	var g *rdf.Graph
+	if opt.Deterministic {
+		g = rdf.NewGraph()
+	} else {
+		g = rdf.NewGraphWith(dict)
+	}
+	pending := make(map[int]parsedChunk)
+	nextIdx := 0
+	for pc := range results {
+		pending[pc.index] = pc
+		for {
+			p, ok := pending[nextIdx]
+			if !ok {
+				break
+			}
+			delete(pending, nextIdx)
+			t0 := time.Now()
+			if opt.Deterministic {
+				for _, s := range p.stmts {
+					g.Add(s.s, s.p, s.o)
+				}
+				st.Statements += int64(len(p.stmts))
+			} else {
+				g.Triples = append(g.Triples, p.triples...)
+				st.Statements += int64(len(p.triples))
+			}
+			st.AssembleBusy += time.Since(t0)
+			st.Chunks++
+			st.Lines += int64(p.lines)
+			nextIdx++
+		}
+	}
+	<-scanDone // the chunker's counters are safe to read once it returned
+	st.ScanBusy = time.Duration(scanBusy.Load())
+	st.ParseBusy = time.Duration(parseBusy.Load())
+	st.Bytes = ck.bytes
+	if failErr != nil {
+		return nil, failErr
+	}
+	return g, nil
+}
+
+// parseChunk parses one chunk's lines. In fast mode (deferIntern false)
+// terms intern into dict as they parse; in deterministic mode they are
+// returned raw for ordered interning by the assemble stage. Parse errors
+// carry the absolute input line.
+func parseChunk(c chunk, dict rdf.Dict, deferIntern bool) (parsedChunk, error) {
+	pc := parsedChunk{index: c.index}
+	data := c.data
+	lineNo := c.firstLine
+	for len(data) > 0 {
+		var line []byte
+		if i := bytes.IndexByte(data, '\n'); i >= 0 {
+			line, data = data[:i], data[i+1:]
+		} else {
+			line, data = data, nil
+		}
+		pc.lines++
+		trimmed := bytes.TrimSpace(line)
+		if len(trimmed) == 0 || trimmed[0] == '#' {
+			lineNo++
+			continue
+		}
+		s, p, o, err := rdf.ParseStatement(string(trimmed))
+		if err != nil {
+			return pc, &rdf.SyntaxError{Line: lineNo, Err: err}
+		}
+		if deferIntern {
+			pc.stmts = append(pc.stmts, stmt{s, p, o})
+		} else {
+			pc.triples = append(pc.triples, rdf.Triple{
+				S: dict.Intern(s), P: dict.Intern(p), O: dict.Intern(o),
+			})
+		}
+		lineNo++
+	}
+	return pc, nil
+}

@@ -1,0 +1,103 @@
+package ingest
+
+import (
+	"bytes"
+	"io"
+)
+
+// chunk is one line-aligned block of input: stage 1's unit of work.
+// firstLine is the 1-based line number of the chunk's first line, so
+// stage-2 parse errors report absolute positions no matter which worker
+// hits them.
+type chunk struct {
+	index     int
+	firstLine int
+	data      []byte
+}
+
+// chunker splits an input stream into line-aligned chunks of roughly
+// targetBytes. It owns no goroutine; next() is called from the scan stage.
+type chunker struct {
+	r      io.Reader
+	target int
+	carry  []byte // partial trailing line of the previous read
+	eof    bool
+	err    error
+
+	index    int
+	nextLine int
+	bytes    int64
+}
+
+func newChunker(r io.Reader, targetBytes int) *chunker {
+	return &chunker{r: r, target: targetBytes, nextLine: 1}
+}
+
+// next returns the next chunk, or ok=false at end of input. A chunk always
+// ends on a line boundary except the final one, which may lack a trailing
+// newline. Lines longer than the target grow the chunk until their
+// newline arrives, so arbitrarily long literal lines never split.
+func (c *chunker) next() (chunk, bool, error) {
+	if c.eof && len(c.carry) == 0 {
+		return chunk{}, false, c.err
+	}
+	buf := make([]byte, 0, c.target+len(c.carry))
+	buf = append(buf, c.carry...)
+	c.carry = nil
+	for !c.eof && len(buf) < c.target {
+		buf = c.fill(buf)
+	}
+	// Extend to the next line boundary: a chunk must not split a line.
+	for !c.eof && bytes.LastIndexByte(buf, '\n') < 0 {
+		buf = c.fill(buf)
+	}
+	if c.err != nil {
+		return chunk{}, false, c.err
+	}
+	if !c.eof {
+		if cut := bytes.LastIndexByte(buf, '\n'); cut >= 0 {
+			c.carry = append(c.carry, buf[cut+1:]...)
+			buf = buf[:cut+1]
+		}
+	}
+	if len(buf) == 0 {
+		return chunk{}, false, nil
+	}
+	ch := chunk{index: c.index, firstLine: c.nextLine, data: buf}
+	c.index++
+	c.nextLine += countLines(buf)
+	c.bytes += int64(len(buf))
+	return ch, true, nil
+}
+
+// fill reads once into buf's spare capacity (growing it only when a long
+// line has exhausted the chunk target), recording EOF or failure. Reading
+// in place keeps the scan stage to one pass over the input bytes — no
+// intermediate block copies.
+func (c *chunker) fill(buf []byte) []byte {
+	const readSize = 64 * 1024
+	if cap(buf)-len(buf) < readSize {
+		next := make([]byte, len(buf), cap(buf)+readSize)
+		copy(next, buf)
+		buf = next
+	}
+	n, err := c.r.Read(buf[len(buf):cap(buf)])
+	buf = buf[:len(buf)+n]
+	if err == io.EOF {
+		c.eof = true
+	} else if err != nil {
+		c.eof = true
+		c.err = err
+	}
+	return buf
+}
+
+// countLines counts the lines of a chunk: one per newline, plus a final
+// unterminated line if present.
+func countLines(data []byte) int {
+	n := bytes.Count(data, []byte{'\n'})
+	if len(data) > 0 && data[len(data)-1] != '\n' {
+		n++
+	}
+	return n
+}

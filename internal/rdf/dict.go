@@ -6,13 +6,57 @@ import (
 	"sync"
 )
 
+// Dict is the dictionary contract every layer above rdf depends on:
+// interning RDF terms to dense identifiers starting at 1 and mapping
+// identifiers back to terms. Two implementations satisfy it — the original
+// single-map Dictionary and the ShardedDictionary the parallel bulk loader
+// interns through — and they are interchangeable everywhere a graph,
+// compiler or serving layer needs one (the equivalence is test-enforced).
+//
+// Implementations must be safe for concurrent use, issue identifiers
+// densely (after N Intern calls of distinct terms, exactly 1..N are
+// assigned), and make Term(id) valid as soon as the Intern call that
+// issued id has returned.
+type Dict interface {
+	// Intern returns the identifier for t, assigning a fresh one on first
+	// use.
+	Intern(t Term) ID
+	// InternIRI is shorthand for Intern(NewIRI(v)).
+	InternIRI(v string) ID
+	// InternLiteral is shorthand for Intern(NewLiteral(v)).
+	InternLiteral(v string) ID
+	// Lookup returns the identifier for t without interning; the second
+	// result reports presence.
+	Lookup(t Term) (ID, bool)
+	// LookupIRI returns the identifier of the IRI v, or NoID if absent.
+	LookupIRI(v string) ID
+	// LookupLiteral returns the identifier of the literal v, or NoID.
+	LookupLiteral(v string) ID
+	// Term returns the term for id; it panics on identifiers the
+	// dictionary never issued.
+	Term(id ID) Term
+	// Len returns the number of distinct terms interned so far.
+	Len() int
+	// Bytes returns the total size of all interned lexical forms.
+	Bytes() int64
+	// IDs returns all identifiers whose term satisfies pred, ascending.
+	IDs(pred func(Term) bool) []ID
+}
+
+var (
+	_ Dict = (*Dictionary)(nil)
+	_ Dict = (*ShardedDictionary)(nil)
+)
+
 // Dictionary interns RDF terms to dense identifiers starting at 1, and maps
 // identifiers back to terms. It corresponds to the "strings in dictionary"
 // structure of the paper's Table 1: every distinct lexical form occupies one
 // slot regardless of how many triples reference it.
 //
 // A Dictionary is safe for concurrent use. Lookups by ID are wait-free after
-// the corresponding Intern call has returned.
+// the corresponding Intern call has returned. All interning serializes on
+// one mutex, which is what caps the sequential loader — the
+// ShardedDictionary removes that bottleneck for parallel ingest.
 type Dictionary struct {
 	mu    sync.RWMutex
 	byKey map[string]ID

@@ -8,13 +8,19 @@ import (
 // storage engines for loading. The triple slice is not required to be sorted
 // or duplicate-free until Normalize is called; loaders call Normalize.
 type Graph struct {
-	Dict    *Dictionary
+	Dict    Dict
 	Triples []Triple
 }
 
-// NewGraph returns an empty graph with a fresh dictionary.
+// NewGraph returns an empty graph with a fresh single-map dictionary.
 func NewGraph() *Graph {
 	return &Graph{Dict: NewDictionary()}
+}
+
+// NewGraphWith returns an empty graph interning through d — the parallel
+// ingest pipeline passes a ShardedDictionary here.
+func NewGraphWith(d Dict) *Graph {
+	return &Graph{Dict: d}
 }
 
 // Add encodes and appends one statement.
@@ -48,6 +54,32 @@ func (g *Graph) Len() int { return len(g.Triples) }
 // Decode returns the three terms of t.
 func (g *Graph) Decode(t Triple) (s, p, o Term) {
 	return g.Dict.Term(t.S), g.Dict.Term(t.P), g.Dict.Term(t.O)
+}
+
+// GraphsIdentical reports whether two graphs are byte-identical: the same
+// triples in the same order over equal dictionaries (every identifier maps
+// to the same term, with equal totals). This is the determinism contract
+// of the parallel bulk loader — its deterministic mode must reproduce the
+// sequential loader's output exactly, regardless of which Dict
+// implementation backs either side.
+func GraphsIdentical(a, b *Graph) bool {
+	if len(a.Triples) != len(b.Triples) {
+		return false
+	}
+	for i := range a.Triples {
+		if a.Triples[i] != b.Triples[i] {
+			return false
+		}
+	}
+	if a.Dict.Len() != b.Dict.Len() || a.Dict.Bytes() != b.Dict.Bytes() {
+		return false
+	}
+	for i := 1; i <= a.Dict.Len(); i++ {
+		if a.Dict.Term(ID(i)) != b.Dict.Term(ID(i)) {
+			return false
+		}
+	}
+	return true
 }
 
 // Validate checks internal consistency: every identifier referenced by a

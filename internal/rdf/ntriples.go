@@ -7,29 +7,52 @@ import (
 	"strings"
 )
 
+// SyntaxError is a positioned N-Triples parse failure: Line is the
+// 1-based input line the malformed statement sits on. Both the sequential
+// reader here and the parallel loader in internal/ingest report through
+// it, so callers can surface the position regardless of which path parsed
+// the file.
+type SyntaxError struct {
+	Line int
+	Err  error
+}
+
+func (e *SyntaxError) Error() string { return fmt.Sprintf("rdf: line %d: %v", e.Line, e.Err) }
+func (e *SyntaxError) Unwrap() error { return e.Err }
+
 // ReadNTriples parses a subset of the N-Triples format from r into a new
 // graph: one statement per line, terms separated by whitespace, a trailing
 // '.', '#' comment lines, and blank lines. Literal datatype/language tags
 // are accepted and discarded (the benchmark never queries them).
+//
+// Lines are read through a bufio.Reader, so statements of any length parse
+// (real RDF dumps carry multi-megabyte literal lines that would overflow a
+// fixed Scanner token limit). Malformed statements fail with a
+// *SyntaxError carrying the line number.
 func ReadNTriples(r io.Reader) (*Graph, error) {
 	g := NewGraph()
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	br := bufio.NewReaderSize(r, 1<<16)
 	lineNo := 0
-	for sc.Scan() {
+	for {
+		raw, err := readLine(br)
+		if err != nil && err != io.EOF {
+			return nil, fmt.Errorf("rdf: read: %w", err)
+		}
+		if err == io.EOF && raw == "" {
+			break
+		}
 		lineNo++
-		line := strings.TrimSpace(sc.Text())
-		if line == "" || strings.HasPrefix(line, "#") {
-			continue
+		line := strings.TrimSpace(raw)
+		if line != "" && !strings.HasPrefix(line, "#") {
+			s, p, o, perr := ParseStatement(line)
+			if perr != nil {
+				return nil, &SyntaxError{Line: lineNo, Err: perr}
+			}
+			g.Add(s, p, o)
 		}
-		s, p, o, err := parseStatement(line)
-		if err != nil {
-			return nil, fmt.Errorf("rdf: line %d: %w", lineNo, err)
+		if err == io.EOF {
+			break
 		}
-		g.Add(s, p, o)
-	}
-	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("rdf: read: %w", err)
 	}
 	if err := g.Validate(); err != nil {
 		return nil, err
@@ -37,8 +60,21 @@ func ReadNTriples(r io.Reader) (*Graph, error) {
 	return g, nil
 }
 
-// parseStatement splits one N-Triples line into its three terms.
-func parseStatement(line string) (s, p, o Term, err error) {
+// readLine reads one line of unbounded length (without the trailing
+// newline). At end of input it returns the final unterminated line, if
+// any, together with io.EOF.
+func readLine(br *bufio.Reader) (string, error) {
+	line, err := br.ReadString('\n')
+	if err == nil || err == io.EOF {
+		return strings.TrimSuffix(line, "\n"), err
+	}
+	return "", err
+}
+
+// ParseStatement splits one N-Triples line into its three terms. The line
+// must be non-empty and not a comment; surrounding whitespace and the
+// trailing '.' are handled here.
+func ParseStatement(line string) (s, p, o Term, err error) {
 	line = strings.TrimSpace(strings.TrimSuffix(strings.TrimSpace(line), "."))
 	toks, err := splitTerms(line)
 	if err != nil {

@@ -2,6 +2,7 @@ package rdf
 
 import (
 	"bytes"
+	"errors"
 	"strings"
 	"testing"
 )
@@ -47,6 +48,55 @@ func TestReadNTriplesErrors(t *testing.T) {
 		if _, err := ReadNTriples(strings.NewReader(in)); err == nil {
 			t.Errorf("accepted malformed input %q", in)
 		}
+	}
+}
+
+// TestReadNTriplesPositionedErrors checks that malformed statements fail
+// with a *SyntaxError carrying the right 1-based line number — blank and
+// comment lines count toward the position.
+func TestReadNTriplesPositionedErrors(t *testing.T) {
+	in := "# header\n" + // line 1
+		"<http://x/s> <http://x/p> <http://x/o> .\n" + // line 2
+		"\n" + // line 3
+		"<http://x/s> <http://x/p> .\n" // line 4: two terms
+	_, err := ReadNTriples(strings.NewReader(in))
+	var se *SyntaxError
+	if !errors.As(err, &se) {
+		t.Fatalf("error %v (%T) is not a *SyntaxError", err, err)
+	}
+	if se.Line != 4 {
+		t.Fatalf("SyntaxError.Line = %d, want 4", se.Line)
+	}
+}
+
+// TestReadNTriplesLongLine feeds a literal line far beyond any fixed
+// scanner buffer: the reader must not fail with a token-length limit.
+func TestReadNTriplesLongLine(t *testing.T) {
+	long := strings.Repeat("x", 1<<20) // 1 MiB literal
+	in := "<http://x/s> <http://x/p> \"" + long + "\" .\n" +
+		"<http://x/s2> <http://x/p> \"short\" .\n"
+	g, err := ReadNTriples(strings.NewReader(in))
+	if err != nil {
+		t.Fatalf("ReadNTriples: %v", err)
+	}
+	if g.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", g.Len())
+	}
+	_, _, o := g.Decode(g.Triples[0])
+	if len(o.Value) != len(long) {
+		t.Fatalf("long literal truncated: %d bytes, want %d", len(o.Value), len(long))
+	}
+}
+
+// TestReadNTriplesNoFinalNewline accepts a final unterminated statement.
+func TestReadNTriplesNoFinalNewline(t *testing.T) {
+	in := "<http://x/s> <http://x/p> <http://x/o> ." // no \n
+	g, err := ReadNTriples(strings.NewReader(in))
+	if err != nil {
+		t.Fatalf("ReadNTriples: %v", err)
+	}
+	if g.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", g.Len())
 	}
 }
 

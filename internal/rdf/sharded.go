@@ -1,0 +1,248 @@
+package rdf
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultShards is the shard count NewShardedDictionary uses for n <= 0.
+// 64 shards keep the per-shard mutexes essentially uncontended at the
+// worker counts a single host can field, at a fixed cost of 64 small maps.
+const DefaultShards = 64
+
+// Terms are stored in fixed-size append-only blocks so the id→term side
+// needs no lock: blocks never move once allocated, only the block *list*
+// grows (behind growMu, republished through an atomic pointer).
+const (
+	dictBlockShift = 12 // 4096 terms per block
+	dictBlockSize  = 1 << dictBlockShift
+	dictBlockMask  = dictBlockSize - 1
+)
+
+type dictBlock [dictBlockSize]Term
+
+// ShardedDictionary is the concurrent dictionary behind parallel bulk
+// ingest: the intern map is hash-partitioned over independently locked
+// shards, while identifiers come from one atomic counter so the global ID
+// space stays dense (1..Len with no gaps) exactly like Dictionary's — the
+// invariant every loaded scheme and the plan compiler rely on.
+//
+// Interning two distinct terms contends only when they hash to the same
+// shard; reverse lookups (Term) take no lock at all. The cost of the split
+// is that identifier order is first-Intern-completion order, so concurrent
+// interning assigns IDs nondeterministically — the ingest pipeline's
+// deterministic mode therefore interns sequentially into a Dictionary
+// instead, and the two implementations are interchangeable behind Dict.
+//
+// A ShardedDictionary is safe for concurrent use. Term(id) is valid as
+// soon as the Intern call that issued id has returned.
+type ShardedDictionary struct {
+	shards []dictShard
+	mask   uint64
+
+	next   atomic.Uint64 // last issued identifier
+	nbytes atomic.Int64
+
+	growMu sync.Mutex
+	blocks atomic.Pointer[[]*dictBlock]
+}
+
+type dictShard struct {
+	mu    sync.RWMutex
+	byKey map[string]ID
+}
+
+// NewShardedDictionary returns an empty dictionary with the given shard
+// count, rounded up to a power of two; n <= 0 selects DefaultShards.
+func NewShardedDictionary(n int) *ShardedDictionary {
+	if n <= 0 {
+		n = DefaultShards
+	}
+	shards := 1
+	for shards < n {
+		shards <<= 1
+	}
+	d := &ShardedDictionary{
+		shards: make([]dictShard, shards),
+		mask:   uint64(shards - 1),
+	}
+	for i := range d.shards {
+		d.shards[i].byKey = make(map[string]ID)
+	}
+	return d
+}
+
+// Shards returns the shard count (always a power of two).
+func (d *ShardedDictionary) Shards() int { return len(d.shards) }
+
+// shardOf hashes an intern key to its shard (FNV-1a).
+func (d *ShardedDictionary) shardOf(k string) *dictShard {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(k); i++ {
+		h ^= uint64(k[i])
+		h *= prime64
+	}
+	return &d.shards[h&d.mask]
+}
+
+// Intern returns the identifier for t, assigning a fresh one on first use.
+// Only the owning shard locks; the fresh identifier comes from the global
+// counter, so density holds across shards.
+func (d *ShardedDictionary) Intern(t Term) ID {
+	k := dictKey(t)
+	sh := d.shardOf(k)
+	sh.mu.RLock()
+	id, ok := sh.byKey[k]
+	sh.mu.RUnlock()
+	if ok {
+		return id
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if id, ok = sh.byKey[k]; ok {
+		return id
+	}
+	id = ID(d.next.Add(1))
+	d.setTerm(id, t)
+	sh.byKey[k] = id
+	d.nbytes.Add(int64(len(t.Value)) + 1)
+	return id
+}
+
+// setTerm stores the term of a freshly issued identifier. Distinct ids
+// write distinct slots, so concurrent setTerm calls from different shards
+// never conflict; only growing the block list synchronizes.
+func (d *ShardedDictionary) setTerm(id ID, t Term) {
+	idx := uint64(id - 1)
+	b := idx >> dictBlockShift
+	blocks := d.blocks.Load()
+	if blocks == nil || uint64(len(*blocks)) <= b {
+		d.grow(b)
+		blocks = d.blocks.Load()
+	}
+	(*blocks)[b][idx&dictBlockMask] = t
+}
+
+// grow extends the block list to cover block index b. Existing blocks are
+// shared between the old and new list, so writers holding slots in them
+// are unaffected.
+func (d *ShardedDictionary) grow(b uint64) {
+	d.growMu.Lock()
+	defer d.growMu.Unlock()
+	old := d.blocks.Load()
+	var cur []*dictBlock
+	if old != nil {
+		cur = *old
+	}
+	if uint64(len(cur)) > b {
+		return // another shard grew past b first
+	}
+	next := make([]*dictBlock, len(cur), b+1)
+	copy(next, cur)
+	for uint64(len(next)) <= b {
+		next = append(next, new(dictBlock))
+	}
+	d.blocks.Store(&next)
+}
+
+// InternIRI is shorthand for Intern(NewIRI(v)).
+func (d *ShardedDictionary) InternIRI(v string) ID { return d.Intern(NewIRI(v)) }
+
+// InternLiteral is shorthand for Intern(NewLiteral(v)).
+func (d *ShardedDictionary) InternLiteral(v string) ID { return d.Intern(NewLiteral(v)) }
+
+// Lookup returns the identifier for t without interning.
+func (d *ShardedDictionary) Lookup(t Term) (ID, bool) {
+	k := dictKey(t)
+	sh := d.shardOf(k)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	id, ok := sh.byKey[k]
+	return id, ok
+}
+
+// LookupIRI returns the identifier of the IRI v, or NoID if absent.
+func (d *ShardedDictionary) LookupIRI(v string) ID {
+	id, ok := d.Lookup(NewIRI(v))
+	if !ok {
+		return NoID
+	}
+	return id
+}
+
+// LookupLiteral returns the identifier of the literal v, or NoID if absent.
+func (d *ShardedDictionary) LookupLiteral(v string) ID {
+	id, ok := d.Lookup(NewLiteral(v))
+	if !ok {
+		return NoID
+	}
+	return id
+}
+
+// Term returns the term for id without locking: blocks are immutable once
+// published, and the slot of an issued id was written before its Intern
+// returned — so any id obtained from Intern, Lookup, Len or IDs reads a
+// fully published slot. (Ids guessed out of thin air while interns are in
+// flight are outside the contract; the quiesced counters below exist so
+// Len-derived scans never do that.)
+func (d *ShardedDictionary) Term(id ID) Term {
+	n := d.next.Load()
+	if id == NoID || uint64(id) > n {
+		panic(fmt.Sprintf("rdf: sharded dictionary lookup of invalid id %d (size %d)", id, n))
+	}
+	idx := uint64(id - 1)
+	blocks := d.blocks.Load()
+	return (*blocks)[idx>>dictBlockShift][idx&dictBlockMask]
+}
+
+// quiesce runs f while holding every shard's read lock. An in-flight
+// Intern publishes its identifier, term slot and byte count entirely
+// under its shard's write lock, so under all read locks the counters are
+// a consistent snapshot: every id at or below next.Load() is fully
+// published, none are torn.
+func (d *ShardedDictionary) quiesce(f func()) {
+	for i := range d.shards {
+		d.shards[i].mu.RLock()
+	}
+	f()
+	for i := range d.shards {
+		d.shards[i].mu.RUnlock()
+	}
+}
+
+// Len returns the number of distinct terms interned so far. The count is
+// a quiesced snapshot: every identifier it covers has completed
+// interning, so Term(id) is valid for all id <= Len().
+func (d *ShardedDictionary) Len() int {
+	var n uint64
+	d.quiesce(func() { n = d.next.Load() })
+	return int(n)
+}
+
+// Bytes returns the total size in bytes of all interned lexical forms,
+// as a quiesced snapshot consistent with Len.
+func (d *ShardedDictionary) Bytes() int64 {
+	var b int64
+	d.quiesce(func() { b = d.nbytes.Load() })
+	return b
+}
+
+// IDs returns all identifiers whose term satisfies pred, in ascending
+// order — the identifier space is dense, so this is one scan of the term
+// blocks up to a quiesced Len (slots below it are immutable, so the scan
+// itself needs no lock).
+func (d *ShardedDictionary) IDs(pred func(Term) bool) []ID {
+	n := d.Len()
+	var out []ID
+	for i := 1; i <= n; i++ {
+		if pred(d.Term(ID(i))) {
+			out = append(out, ID(i))
+		}
+	}
+	return out
+}

@@ -1,0 +1,221 @@
+package rdf
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// shardedCorpus builds n distinct terms mixing IRIs and literals, with
+// lexical collisions across kinds (the same value as IRI and literal must
+// intern separately).
+func shardedCorpus(n int) []Term {
+	terms := make([]Term, 0, n)
+	for i := 0; len(terms) < n; i++ {
+		terms = append(terms, NewIRI(fmt.Sprintf("item/%d", i)))
+		if len(terms) < n {
+			terms = append(terms, NewLiteral(fmt.Sprintf("item/%d", i)))
+		}
+	}
+	return terms
+}
+
+// TestShardedSequentialEquivalence interns one corpus through both
+// implementations in the same order and demands indistinguishable
+// behaviour: same identifiers, same totals, same lookups — the contract
+// that makes the two interchangeable behind Dict.
+func TestShardedSequentialEquivalence(t *testing.T) {
+	corpus := shardedCorpus(10_000) // > one term block, so growth is exercised
+	plain := NewDictionary()
+	sharded := NewShardedDictionary(8)
+	for _, tm := range corpus {
+		a := plain.Intern(tm)
+		b := sharded.Intern(tm)
+		if a != b {
+			t.Fatalf("Intern(%v): plain id %d, sharded id %d", tm, a, b)
+		}
+	}
+	// Re-interning changes nothing.
+	for i, tm := range corpus {
+		if id := sharded.Intern(tm); id != ID(i+1) {
+			t.Fatalf("re-Intern(%v) = %d, want %d", tm, id, i+1)
+		}
+	}
+	if plain.Len() != sharded.Len() {
+		t.Fatalf("Len: plain %d, sharded %d", plain.Len(), sharded.Len())
+	}
+	if plain.Bytes() != sharded.Bytes() {
+		t.Fatalf("Bytes: plain %d, sharded %d", plain.Bytes(), sharded.Bytes())
+	}
+	for i := 1; i <= plain.Len(); i++ {
+		if a, b := plain.Term(ID(i)), sharded.Term(ID(i)); a != b {
+			t.Fatalf("Term(%d): plain %v, sharded %v", i, a, b)
+		}
+	}
+	for _, tm := range corpus {
+		a, aok := plain.Lookup(tm)
+		b, bok := sharded.Lookup(tm)
+		if a != b || aok != bok {
+			t.Fatalf("Lookup(%v): plain (%d,%v), sharded (%d,%v)", tm, a, aok, b, bok)
+		}
+	}
+	if _, ok := sharded.Lookup(NewIRI("absent")); ok {
+		t.Fatal("Lookup of an absent term succeeded")
+	}
+	isLit := func(tm Term) bool { return tm.Kind == Literal }
+	a, b := plain.IDs(isLit), sharded.IDs(isLit)
+	if len(a) != len(b) {
+		t.Fatalf("IDs: plain %d entries, sharded %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("IDs[%d]: plain %d, sharded %d", i, a[i], b[i])
+		}
+	}
+}
+
+// TestShardedConcurrentDense hammers Intern/Lookup/Term from many
+// goroutines over overlapping term sets and then checks the ID-density
+// invariant: exactly the identifiers 1..Len were issued, each term got
+// one, and every reverse lookup round-trips. Run with -race this is also
+// the memory-safety proof for the lock split.
+func TestShardedConcurrentDense(t *testing.T) {
+	const (
+		goroutines = 16
+		distinct   = 5_000
+	)
+	corpus := shardedCorpus(distinct)
+	d := NewShardedDictionary(0) // default shard count
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			// Each goroutine interns the whole corpus in its own order,
+			// so every term races between goroutines, and immediately
+			// verifies its own issued ids.
+			order := rng.Perm(len(corpus))
+			for _, i := range order {
+				id := d.Intern(corpus[i])
+				if id == NoID {
+					t.Errorf("Intern(%v) issued NoID", corpus[i])
+					return
+				}
+				if got := d.Term(id); got != corpus[i] {
+					t.Errorf("Term(%d) = %v, want %v", id, got, corpus[i])
+					return
+				}
+				if lid, ok := d.Lookup(corpus[i]); !ok || lid != id {
+					t.Errorf("Lookup(%v) = (%d,%v), want (%d,true)", corpus[i], lid, ok, id)
+					return
+				}
+			}
+		}(int64(g))
+	}
+	wg.Wait()
+
+	if d.Len() != distinct {
+		t.Fatalf("Len = %d, want %d (duplicate or lost identifiers)", d.Len(), distinct)
+	}
+	// Density: the issued identifiers are a bijection corpus <-> 1..Len.
+	seen := make([]bool, distinct+1)
+	for _, tm := range corpus {
+		id, ok := d.Lookup(tm)
+		if !ok {
+			t.Fatalf("term %v lost", tm)
+		}
+		if id < 1 || int(id) > distinct {
+			t.Fatalf("term %v has out-of-range id %d", tm, id)
+		}
+		if seen[id] {
+			t.Fatalf("id %d issued to two terms", id)
+		}
+		seen[id] = true
+		if got := d.Term(id); got != tm {
+			t.Fatalf("Term(%d) = %v, want %v", id, got, tm)
+		}
+	}
+	var wantBytes int64
+	for _, tm := range corpus {
+		wantBytes += int64(len(tm.Value)) + 1
+	}
+	if d.Bytes() != wantBytes {
+		t.Fatalf("Bytes = %d, want %d", d.Bytes(), wantBytes)
+	}
+}
+
+// TestShardedSnapshotDuringIntern reads Len/Bytes/IDs concurrently with a
+// storm of interning goroutines (run under -race in CI): the snapshot
+// accessors must only ever cover fully published identifiers — every
+// Term(id) for id <= Len() must return a real term, never a torn or zero
+// value, and never panic on an unpublished block.
+func TestShardedSnapshotDuringIntern(t *testing.T) {
+	const (
+		interners = 4
+		perG      = 6_000 // interners×perG crosses several 4096-term blocks
+	)
+	d := NewShardedDictionary(8)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < interners; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				d.Intern(NewIRI(fmt.Sprintf("t/%d/%d", g, i)))
+			}
+		}(g)
+	}
+	readerDone := make(chan error, 1)
+	go func() {
+		defer close(readerDone)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			n := d.Len()
+			for i := 1; i <= n; i++ {
+				if tm := d.Term(ID(i)); tm.Value == "" {
+					readerDone <- fmt.Errorf("Term(%d) returned an empty term below Len=%d", i, n)
+					return
+				}
+			}
+			if got := len(d.IDs(func(Term) bool { return true })); got > d.Len() {
+				readerDone <- fmt.Errorf("IDs returned %d entries, above Len", got)
+				return
+			}
+			_ = d.Bytes()
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	if err := <-readerDone; err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != interners*perG {
+		t.Fatalf("Len = %d, want %d", d.Len(), interners*perG)
+	}
+}
+
+// TestShardedGraphLoads proves a sharded dictionary slots into a Graph and
+// the stats pipeline unchanged.
+func TestShardedGraphLoads(t *testing.T) {
+	g := NewGraphWith(NewShardedDictionary(4))
+	g.Add(NewIRI("s1"), NewIRI("type"), NewLiteral("Text"))
+	g.Add(NewIRI("s2"), NewIRI("type"), NewLiteral("Text"))
+	g.Add(NewIRI("s1"), NewIRI("records"), NewIRI("s2"))
+	if err := g.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	st := ComputeStats(g)
+	if st.Triples != 3 || st.DistinctProperties != 2 || st.DistinctSubjects != 2 {
+		t.Fatalf("stats off: %+v", st)
+	}
+	if st.DictionaryStrings != g.Dict.Len() {
+		t.Fatalf("DictionaryStrings = %d, want %d", st.DictionaryStrings, g.Dict.Len())
+	}
+}

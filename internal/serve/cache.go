@@ -12,13 +12,19 @@ import (
 // request. The cache is the serving layer's parse-and-order amortizer:
 // hits skip both, misses compile and (bounded by cap) evict the coldest
 // entry.
+//
+// Misses additionally coalesce: concurrent first touches of the same key
+// elect one leader that compiles while the rest wait for its result
+// (singleflight), so a thundering herd on a cold query costs one
+// compilation, not one per client. The coalesced counter proves it.
 type planCache struct {
-	mu    sync.Mutex
-	cap   int        // <= 0 disables caching
-	lru   *list.List // of cacheEntry, front = hottest
-	index map[string]*list.Element
+	mu       sync.Mutex
+	cap      int        // <= 0 disables caching
+	lru      *list.List // of cacheEntry, front = hottest
+	index    map[string]*list.Element
+	inflight map[string]*flight
 
-	hits, misses, evictions int64
+	hits, misses, evictions, coalesced int64
 }
 
 type cacheEntry struct {
@@ -26,8 +32,18 @@ type cacheEntry struct {
 	p   *Prepared
 }
 
-// CacheStats is the plan cache's counter snapshot. Misses count compile
-// paths (get returned nothing), so hits+misses equals prepare calls and
+// flight is one in-progress compilation; followers block on done.
+type flight struct {
+	done chan struct{}
+	p    *Prepared
+	err  error
+}
+
+// CacheStats is the plan cache's counter snapshot. Misses count actual
+// compilations (a leader found neither an entry nor a flight to join), so
+// a burst of concurrent first touches still counts exactly one miss;
+// Coalesced counts the followers that waited on a leader instead of
+// compiling. Hits+Misses+Coalesced equals prepare calls and
 // Misses-Entries bounds recompiles of evicted plans.
 type CacheStats struct {
 	Entries   int   `json:"entries"`
@@ -35,48 +51,76 @@ type CacheStats struct {
 	Hits      int64 `json:"hits"`
 	Misses    int64 `json:"misses"`
 	Evictions int64 `json:"evictions"`
+	Coalesced int64 `json:"coalesced"`
 }
 
-// HitRatio returns hits / (hits+misses), 0 when idle.
+// HitRatio returns the fraction of prepare calls that skipped compilation
+// (plain hits plus coalesced waits), 0 when idle.
 func (c CacheStats) HitRatio() float64 {
-	total := c.Hits + c.Misses
+	total := c.Hits + c.Misses + c.Coalesced
 	if total == 0 {
 		return 0
 	}
-	return float64(c.Hits) / float64(total)
+	return float64(c.Hits+c.Coalesced) / float64(total)
 }
 
 func newPlanCache(capacity int) *planCache {
 	return &planCache{
-		cap:   capacity,
-		lru:   list.New(),
-		index: make(map[string]*list.Element),
+		cap:      capacity,
+		lru:      list.New(),
+		index:    make(map[string]*list.Element),
+		inflight: make(map[string]*flight),
 	}
 }
 
-// get returns the cached plan for key, bumping its recency. A miss is
-// counted here — the caller is about to compile.
-func (c *planCache) get(key string) (*Prepared, bool) {
+// do returns the cached plan for key or arranges for compile to run
+// exactly once across concurrent callers. The second result reports
+// whether this caller skipped compilation (cache hit or coalesced wait).
+// With caching disabled (cap <= 0) every call compiles — the cold
+// baseline must pay the full path, coalescing included.
+func (c *planCache) do(key string, compile func() (*Prepared, error)) (*Prepared, bool, error) {
+	if c.cap <= 0 {
+		c.mu.Lock()
+		c.misses++
+		c.mu.Unlock()
+		p, err := compile()
+		return p, false, err
+	}
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	if el, ok := c.index[key]; ok {
 		c.lru.MoveToFront(el)
 		c.hits++
-		return el.Value.(cacheEntry).p, true
+		p := el.Value.(cacheEntry).p
+		c.mu.Unlock()
+		return p, true, nil
 	}
+	if fl, ok := c.inflight[key]; ok {
+		c.coalesced++
+		c.mu.Unlock()
+		<-fl.done
+		return fl.p, fl.err == nil, fl.err
+	}
+	fl := &flight{done: make(chan struct{})}
+	c.inflight[key] = fl
 	c.misses++
-	return nil, false
+	c.mu.Unlock()
+
+	p, err := compile()
+	fl.p, fl.err = p, err
+
+	c.mu.Lock()
+	delete(c.inflight, key)
+	if err == nil {
+		c.put(key, p)
+	}
+	c.mu.Unlock()
+	close(fl.done)
+	return p, false, err
 }
 
 // put installs a compiled plan, evicting from the cold end over capacity.
-// Concurrent compilations of the same key may race here; the last one
-// wins, which is harmless — the handles are interchangeable.
+// Callers hold c.mu.
 func (c *planCache) put(key string, p *Prepared) {
-	if c.cap <= 0 {
-		return
-	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	if el, ok := c.index[key]; ok {
 		el.Value = cacheEntry{key: key, p: p}
 		c.lru.MoveToFront(el)
@@ -100,5 +144,6 @@ func (c *planCache) stats() CacheStats {
 		Hits:      c.hits,
 		Misses:    c.misses,
 		Evictions: c.evictions,
+		Coalesced: c.coalesced,
 	}
 }

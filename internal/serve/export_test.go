@@ -1,0 +1,6 @@
+package serve
+
+// SetCompileBarrier installs a test-only hook that the singleflight
+// leader runs immediately before compiling — tests use it to hold the
+// leader in the compile window so concurrent first touches must coalesce.
+func (s *Service) SetCompileBarrier(f func()) { s.compileHook = f }

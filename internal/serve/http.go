@@ -68,7 +68,7 @@ func NewHandler(s *Service) http.Handler {
 		}
 		system := r.FormValue("system")
 		if system == "" {
-			system = s.targets[0].Name
+			system = s.DefaultSystem()
 		}
 		limit := 100
 		if v := r.FormValue("limit"); v != "" {

@@ -21,8 +21,11 @@ type Metrics struct {
 	inFlight atomic.Int64 // currently admitted executions
 	maxIn    atomic.Int64 // high-water mark of inFlight
 	latSum   atomic.Int64 // summed latency ns of served executions
+	swaps    atomic.Int64 // dataset snapshots installed via Swap
 	lat      [64]atomic.Int64
 }
+
+func (m *Metrics) swapped() { m.swaps.Add(1) }
 
 func (m *Metrics) admitted() {
 	n := m.inFlight.Add(1)
@@ -62,6 +65,7 @@ type Snapshot struct {
 	Rows        int64         `json:"rows"`
 	InFlight    int64         `json:"inFlight"`
 	MaxInFlight int64         `json:"maxInFlight"`
+	Swaps       int64         `json:"swaps"`
 	MeanLatency time.Duration `json:"meanLatencyNs"`
 	P50         time.Duration `json:"p50Ns"`
 	P95         time.Duration `json:"p95Ns"`
@@ -84,6 +88,7 @@ func (m *Metrics) snapshot() Snapshot {
 		Rows:        m.rows.Load(),
 		InFlight:    m.inFlight.Load(),
 		MaxInFlight: m.maxIn.Load(),
+		Swaps:       m.swaps.Load(),
 	}
 	if total > 0 {
 		s.MeanLatency = time.Duration(m.latSum.Load() / total)

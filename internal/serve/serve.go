@@ -9,7 +9,9 @@
 //     orders joins from workload statistics, not from any scheme), so one
 //     LRU entry keyed by the lexically-canonical query text serves every
 //     scheme, and a cache hit skips parsing and join ordering entirely —
-//     hit/miss/eviction counters prove it;
+//     hit/miss/eviction counters prove it; concurrent first touches of
+//     the same query coalesce onto a single compilation (singleflight),
+//     so a thundering herd compiles once, not once per client;
 //   - admission control: a bounded slot pool admits at most MaxConcurrent
 //     executions, each running with core.ExecOptions{Workers: ExecWorkers},
 //     so N clients never oversubscribe the host with N×Workers goroutines;
@@ -17,6 +19,14 @@
 //   - request contexts: the client's context threads through
 //     core.ExecutePlanCtx, so a cancelled or expired request aborts at the
 //     next operator (or per-property scan) boundary.
+//
+// The dataset behind the service is a swappable snapshot: dictionary,
+// estimator, targets and plan cache travel together behind one atomic
+// pointer, and Swap installs a freshly loaded dataset under live traffic —
+// executions that already started finish on the snapshot they resolved,
+// new requests land on the new one, and nothing ever observes a half-
+// swapped state. This is what lets swanserve bulk-reload (see
+// internal/ingest) without a restart.
 //
 // Every execution returns per-query metrics (latency, admission wait, row
 // count, cache state) and feeds the service-level counters and latency
@@ -29,6 +39,7 @@ import (
 	"fmt"
 	"runtime"
 	"sort"
+	"sync/atomic"
 	"time"
 
 	"blackswan/internal/bgp"
@@ -65,30 +76,66 @@ type Config struct {
 // DefaultCacheSize is the plan-cache capacity when Config.CacheSize is 0.
 const DefaultCacheSize = 256
 
-// Service serves BGP queries against its targets. All methods are safe for
-// concurrent use; the underlying stores serialize their accounting, so
-// concurrent executions on one scheme are correct (simulated charges sum
-// as if queries queued on the paper's single-threaded systems — serving
-// throughput is a host-time quantity, not a simulated one).
-type Service struct {
-	dict    *rdf.Dictionary
+// snapshot is one immutable dataset generation: everything that must
+// change together when the served data changes. Prepared handles pin the
+// snapshot they were compiled on, so a plan never executes against a
+// dictionary it was not resolved in.
+type snapshot struct {
+	dict    rdf.Dict
 	est     *bgp.Estimator
-	cfg     Config
 	targets []Target
 	byName  map[string]int
 	names   []string // target names, sorted once at construction
 	cache   *planCache
+}
+
+func newSnapshot(dict rdf.Dict, est *bgp.Estimator, cacheSize int, targets []Target) (*snapshot, error) {
+	if len(targets) == 0 {
+		return nil, fmt.Errorf("serve: no targets")
+	}
+	sn := &snapshot{
+		dict:    dict,
+		est:     est,
+		targets: targets,
+		byName:  make(map[string]int, len(targets)),
+		cache:   newPlanCache(cacheSize),
+	}
+	for i, t := range targets {
+		if t.Src == nil {
+			return nil, fmt.Errorf("serve: target %q has no source", t.Name)
+		}
+		if _, dup := sn.byName[t.Name]; dup {
+			return nil, fmt.Errorf("serve: duplicate target %q", t.Name)
+		}
+		sn.byName[t.Name] = i
+		sn.names = append(sn.names, t.Name)
+	}
+	sort.Strings(sn.names)
+	return sn, nil
+}
+
+// Service serves BGP queries against the targets of its current dataset
+// snapshot. All methods are safe for concurrent use; the underlying stores
+// serialize their accounting, so concurrent executions on one scheme are
+// correct (simulated charges sum as if queries queued on the paper's
+// single-threaded systems — serving throughput is a host-time quantity,
+// not a simulated one).
+type Service struct {
+	cfg     Config
+	snap    atomic.Pointer[snapshot]
 	sem     chan struct{}
 	metrics *Metrics
+
+	// compileHook, when set (tests only), runs inside the singleflight
+	// leader immediately before compilation — it widens the window in
+	// which concurrent first touches must coalesce.
+	compileHook func()
 }
 
 // New builds a service over the given targets. The dictionary and
 // estimator are the workload-level compile inputs shared by every target
 // (the same values the targets were loaded from).
-func New(dict *rdf.Dictionary, est *bgp.Estimator, cfg Config, targets ...Target) (*Service, error) {
-	if len(targets) == 0 {
-		return nil, fmt.Errorf("serve: no targets")
-	}
+func New(dict rdf.Dict, est *bgp.Estimator, cfg Config, targets ...Target) (*Service, error) {
 	if cfg.MaxConcurrent <= 0 {
 		cfg.MaxConcurrent = runtime.GOMAXPROCS(0)
 	}
@@ -98,77 +145,102 @@ func New(dict *rdf.Dictionary, est *bgp.Estimator, cfg Config, targets ...Target
 	if cfg.CacheSize == 0 {
 		cfg.CacheSize = DefaultCacheSize
 	}
+	sn, err := newSnapshot(dict, est, cfg.CacheSize, targets)
+	if err != nil {
+		return nil, err
+	}
 	s := &Service{
-		dict:    dict,
-		est:     est,
 		cfg:     cfg,
-		targets: targets,
-		byName:  make(map[string]int, len(targets)),
-		cache:   newPlanCache(cfg.CacheSize),
 		sem:     make(chan struct{}, cfg.MaxConcurrent),
 		metrics: &Metrics{},
 	}
-	for i, t := range targets {
-		if t.Src == nil {
-			return nil, fmt.Errorf("serve: target %q has no source", t.Name)
-		}
-		if _, dup := s.byName[t.Name]; dup {
-			return nil, fmt.Errorf("serve: duplicate target %q", t.Name)
-		}
-		s.byName[t.Name] = i
-		s.names = append(s.names, t.Name)
-	}
-	sort.Strings(s.names)
+	s.snap.Store(sn)
 	return s, nil
 }
 
-// Systems returns the target names, sorted.
-func (s *Service) Systems() []string {
-	return append([]string(nil), s.names...)
+// Swap atomically replaces the served dataset: dictionary, estimator and
+// targets are installed together with a fresh plan cache (plans compiled
+// against the old dictionary are meaningless in the new ID space).
+// Executions that resolved the old snapshot — including every in-flight
+// query and every outstanding Prepared handle — finish against it
+// unchanged; requests arriving after Swap returns see only the new data.
+// The admission pool and service counters carry across.
+func (s *Service) Swap(dict rdf.Dict, est *bgp.Estimator, targets ...Target) error {
+	sn, err := newSnapshot(dict, est, s.cfg.CacheSize, targets)
+	if err != nil {
+		return err
+	}
+	s.snap.Store(sn)
+	s.metrics.swapped()
+	return nil
 }
 
-// Dict returns the dictionary results decode through.
-func (s *Service) Dict() *rdf.Dictionary { return s.dict }
+// Systems returns the current snapshot's target names, sorted.
+func (s *Service) Systems() []string {
+	return append([]string(nil), s.snap.Load().names...)
+}
+
+// DefaultSystem returns the first target's name (declaration order) in the
+// current snapshot — the system /query falls back to when none is named.
+func (s *Service) DefaultSystem() string {
+	return s.snap.Load().targets[0].Name
+}
+
+// Dict returns the current snapshot's dictionary. Results carry the
+// dictionary of the snapshot they executed on, so DecodeRows stays correct
+// across swaps; this accessor is for callers interning or inspecting terms
+// themselves.
+func (s *Service) Dict() rdf.Dict { return s.snap.Load().dict }
 
 // Prepared is a compiled query handle: an immutable, scheme-independent
-// plan plus its output schema. Executing a Prepared — whether obtained
-// from Prepare or from a cache hit inside ExecText — never parses or
-// orders joins again.
+// plan plus its output schema, pinned to the dataset snapshot it was
+// compiled on. Executing a Prepared — whether obtained from Prepare or
+// from a cache hit inside ExecText — never parses or orders joins again,
+// and always runs on its own snapshot even after a Swap (re-Prepare to
+// move to the new dataset).
 type Prepared struct {
 	// Text is the canonical query text, the plan-cache key.
 	Text string
 	// Compiled is the compiler's output: plan root, column names, count-
 	// column markers, join order and cost diagnostics.
 	Compiled *bgp.Compiled
+
+	snap *snapshot
 }
 
 // Prepare compiles text (or returns the cached compilation) and installs
 // it in the plan cache. The returned handle can be executed any number of
-// times on any target.
+// times on any target of the snapshot it was prepared against.
 func (s *Service) Prepare(text string) (*Prepared, error) {
-	p, _, err := s.prepare(text)
+	p, _, err := s.prepare(s.snap.Load(), text)
 	return p, err
 }
 
-// prepare additionally reports whether the plan came from the cache. A
-// failed compilation counts into the error metrics here, so Prepare and
-// ExecText agree on what Stats().Errors means.
-func (s *Service) prepare(text string) (*Prepared, bool, error) {
+// prepare additionally reports whether the plan came from the cache (or
+// coalesced onto a concurrent compilation — either way parse and join
+// ordering were skipped). A failed compilation counts into the error
+// metrics here, so Prepare and ExecText agree on what Stats().Errors
+// means.
+func (s *Service) prepare(sn *snapshot, text string) (*Prepared, bool, error) {
 	canon := bgp.CanonicalText(text)
-	if p, ok := s.cache.get(canon); ok {
-		return p, true, nil
-	}
-	// Compile the client's original text, not the canonical key: the token
-	// streams are identical, but error positions must point into the text
-	// the client actually sent.
-	c, err := bgp.CompileText(text, s.dict, s.est)
+	p, cached, err := sn.cache.do(canon, func() (*Prepared, error) {
+		if s.compileHook != nil {
+			s.compileHook()
+		}
+		// Compile the client's original text, not the canonical key: the
+		// token streams are identical, but error positions must point into
+		// the text the client actually sent.
+		c, err := bgp.CompileText(text, sn.dict, sn.est)
+		if err != nil {
+			return nil, err
+		}
+		return &Prepared{Text: canon, Compiled: c, snap: sn}, nil
+	})
 	if err != nil {
 		s.metrics.failed()
 		return nil, false, err
 	}
-	p := &Prepared{Text: canon, Compiled: c}
-	s.cache.put(canon, p)
-	return p, false, nil
+	return p, cached, nil
 }
 
 // Result is one executed query with its per-query metrics.
@@ -189,47 +261,58 @@ type Result struct {
 	// the wait (compilation excluded — prepare happens before admission).
 	Queued  time.Duration
 	Latency time.Duration
+
+	// dict decodes this result: the dictionary of the snapshot the query
+	// executed on, immune to concurrent swaps.
+	dict rdf.Dict
 }
 
 // ExecText prepares (through the cache) and executes text on the named
 // target — the serving fast path: one map lookup replaces parse and join
-// ordering when the query has been seen before. The target is validated
-// first, so requests bound for an unknown system never pay compilation or
-// occupy cache entries.
+// ordering when the query has been seen before. The snapshot is resolved
+// once up front, so a concurrent Swap never splits one request across two
+// datasets. The target is validated first, so requests bound for an
+// unknown system never pay compilation or occupy cache entries.
 func (s *Service) ExecText(ctx context.Context, text, system string) (*Result, error) {
-	ti, err := s.target(system)
+	sn := s.snap.Load()
+	ti, err := s.target(sn, system)
 	if err != nil {
 		return nil, err
 	}
-	p, cached, err := s.prepare(text)
+	p, cached, err := s.prepare(sn, text)
 	if err != nil {
 		return nil, err
 	}
-	return s.exec(ctx, p, ti, cached)
+	return s.exec(ctx, sn, p, ti, cached)
 }
 
-// Exec executes a prepared handle on the named target. The result is
-// marked Cached: the handle exists, so parse and ordering are paid off.
+// Exec executes a prepared handle on the named target of the handle's own
+// snapshot. The result is marked Cached: the handle exists, so parse and
+// ordering are paid off.
 func (s *Service) Exec(ctx context.Context, p *Prepared, system string) (*Result, error) {
-	ti, err := s.target(system)
+	sn := p.snap
+	if sn == nil {
+		sn = s.snap.Load()
+	}
+	ti, err := s.target(sn, system)
 	if err != nil {
 		return nil, err
 	}
-	return s.exec(ctx, p, ti, true)
+	return s.exec(ctx, sn, p, ti, true)
 }
 
 // target resolves a system name, counting and typing the failure.
-func (s *Service) target(system string) (int, error) {
-	ti, ok := s.byName[system]
+func (s *Service) target(sn *snapshot, system string) (int, error) {
+	ti, ok := sn.byName[system]
 	if !ok {
 		s.metrics.failed()
-		return 0, &UnknownSystemError{System: system, Known: s.Systems()}
+		return 0, &UnknownSystemError{System: system, Known: append([]string(nil), sn.names...)}
 	}
 	return ti, nil
 }
 
-func (s *Service) exec(ctx context.Context, p *Prepared, ti int, cached bool) (*Result, error) {
-	t := s.targets[ti]
+func (s *Service) exec(ctx context.Context, sn *snapshot, p *Prepared, ti int, cached bool) (*Result, error) {
+	t := sn.targets[ti]
 	start := time.Now()
 	// Admission: block until a slot frees or the request context ends. The
 	// up-front check makes an already-ended context reject deterministically
@@ -265,6 +348,7 @@ func (s *Service) exec(ctx context.Context, p *Prepared, ti int, cached bool) (*
 		Cached:  cached,
 		Queued:  queued,
 		Latency: latency,
+		dict:    sn.dict,
 	}, nil
 }
 
@@ -279,10 +363,14 @@ func (e *UnknownSystemError) Error() string {
 	return fmt.Sprintf("serve: unknown system %q (have %v)", e.System, e.Known)
 }
 
-// DecodeRows renders up to limit rows of a result through the service's
-// dictionary: IRIs and literals in N-Triples syntax, aggregate counts as
-// plain numbers. limit < 0 decodes everything.
+// DecodeRows renders up to limit rows of a result through the dictionary
+// of the snapshot the result executed on: IRIs and literals in N-Triples
+// syntax, aggregate counts as plain numbers. limit < 0 decodes everything.
 func (s *Service) DecodeRows(r *Result, limit int) [][]string {
+	dict := r.dict
+	if dict == nil {
+		dict = s.Dict()
+	}
 	n := r.Rows.Len()
 	if limit >= 0 && n > limit {
 		n = limit
@@ -296,17 +384,17 @@ func (s *Service) DecodeRows(r *Result, limit int) [][]string {
 				cells[j] = fmt.Sprint(v)
 				continue
 			}
-			cells[j] = s.dict.Term(rdf.ID(v)).String()
+			cells[j] = dict.Term(rdf.ID(v)).String()
 		}
 		out[i] = cells
 	}
 	return out
 }
 
-// Stats merges the service counters and the plan-cache counters into one
-// snapshot.
+// Stats merges the service counters and the current snapshot's plan-cache
+// counters into one snapshot.
 func (s *Service) Stats() Snapshot {
 	snap := s.metrics.snapshot()
-	snap.Cache = s.cache.stats()
+	snap.Cache = s.snap.Load().cache.stats()
 	return snap
 }

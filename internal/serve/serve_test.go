@@ -188,17 +188,14 @@ func TestConcurrentMixedHitMiss(t *testing.T) {
 	if st.Errors != 0 || st.Rejected != 0 {
 		t.Fatalf("errors=%d rejected=%d, want 0", st.Errors, st.Rejected)
 	}
-	if st.Cache.Hits+st.Cache.Misses != total {
-		t.Fatalf("hits+misses = %d, want %d", st.Cache.Hits+st.Cache.Misses, total)
+	if got := st.Cache.Hits + st.Cache.Misses + st.Cache.Coalesced; got != total {
+		t.Fatalf("hits+misses+coalesced = %d, want %d", got, total)
 	}
-	if st.Cache.Misses < int64(len(texts)) {
-		t.Fatalf("misses = %d, want >= %d distinct compilations", st.Cache.Misses, len(texts))
-	}
-	// The vast majority of executions must have been hits: concurrent
-	// first-touches may double-compile, but never more than one compile
-	// per (goroutine, text) pair.
-	if st.Cache.Misses > int64(goroutines*len(texts)) {
-		t.Fatalf("misses = %d, want <= %d", st.Cache.Misses, goroutines*len(texts))
+	// Singleflight: concurrent first-touches coalesce onto one leader, so
+	// each distinct text compiles exactly once — no double-compile even
+	// under this hammer.
+	if st.Cache.Misses != int64(len(texts)) {
+		t.Fatalf("misses = %d, want exactly %d distinct compilations", st.Cache.Misses, len(texts))
 	}
 	if st.MaxInFlight > 4 {
 		t.Fatalf("max in-flight %d exceeded the admission bound 4", st.MaxInFlight)

@@ -1,0 +1,246 @@
+package serve_test
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"blackswan/internal/bench"
+	"blackswan/internal/datagen"
+	"blackswan/internal/serve"
+)
+
+// swapQuery binds only well-known vocabulary IRIs, so it compiles against
+// every Barton-shaped dataset regardless of seed — the invariant the swap
+// hammer needs (a query valid before and after every reload).
+const swapQuery = `SELECT ?s ?o WHERE { ?s <barton/origin> ?o }`
+
+// altWorkload builds a second, differently-seeded dataset loaded into the
+// four schemes — the "new dump" the swap tests reload under traffic.
+func altWorkload(t *testing.T) (*bench.Workload, []serve.Target) {
+	t.Helper()
+	w, err := bench.NewWorkload(datagen.Config{Triples: 3000, Properties: 20, Interesting: 8, Seed: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := bench.BGPSystems(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	targets, err := bench.ServeTargets(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w, targets
+}
+
+// TestSwapLiveReload is the live-reload race test: client goroutines
+// hammer every target while the main goroutine swaps between two datasets
+// repeatedly. No in-flight query may fail, every result must decode, and
+// every row count must belong to one of the two datasets (a request never
+// observes a half-swapped state). Runs under -race in CI.
+func TestSwapLiveReload(t *testing.T) {
+	w1, sys, _ := fixture(t)
+	svc := newService(t, serve.Config{MaxConcurrent: 8})
+	w2, altTargets := altWorkload(t)
+	origTargets, err := bench.ServeTargets(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Reference row counts per dataset, per system name (the two target
+	// sets share names: both are BGPSystems over Barton-shaped data).
+	ctx := context.Background()
+	valid := make(map[string]map[int]bool)
+	for _, sy := range svc.Systems() {
+		valid[sy] = make(map[int]bool)
+	}
+	record := func() {
+		for _, sy := range svc.Systems() {
+			res, err := svc.ExecText(ctx, swapQuery, sy)
+			if err != nil {
+				t.Fatalf("reference run on %s: %v", sy, err)
+			}
+			valid[sy][res.Rows.Len()] = true
+			// Decoding through the result's own snapshot dictionary must
+			// always succeed, concurrent swaps or not.
+			svc.DecodeRows(res, 3)
+		}
+	}
+	record()
+	if err := svc.Swap(w2.DS.Graph.Dict, w2.Estimator(), altTargets...); err != nil {
+		t.Fatalf("Swap: %v", err)
+	}
+	record()
+	if err := svc.Swap(w1.DS.Graph.Dict, w1.Estimator(), origTargets...); err != nil {
+		t.Fatalf("Swap back: %v", err)
+	}
+
+	const clients = 8
+	var stopFlag atomic.Bool
+	var ops atomic.Int64
+	errs := make([]error, clients)
+	var wg sync.WaitGroup
+	names := svc.Systems()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; !stopFlag.Load(); i++ {
+				sy := names[(c+i)%len(names)]
+				res, err := svc.ExecText(ctx, swapQuery, sy)
+				if err != nil {
+					errs[c] = fmt.Errorf("in-flight query failed on %s: %w", sy, err)
+					return
+				}
+				if !valid[sy][res.Rows.Len()] {
+					errs[c] = fmt.Errorf("%s returned %d rows, not a row count of either dataset", sy, res.Rows.Len())
+					return
+				}
+				// Decode through the snapshot the query ran on: must not
+				// panic even if a swap landed mid-flight.
+				svc.DecodeRows(res, 2)
+				ops.Add(1)
+			}
+		}(c)
+	}
+
+	const swaps = 6
+	for i := 0; i < swaps; i++ {
+		time.Sleep(5 * time.Millisecond)
+		var err error
+		if i%2 == 0 {
+			err = svc.Swap(w2.DS.Graph.Dict, w2.Estimator(), altTargets...)
+		} else {
+			err = svc.Swap(w1.DS.Graph.Dict, w1.Estimator(), origTargets...)
+		}
+		if err != nil {
+			t.Fatalf("Swap %d: %v", i, err)
+		}
+	}
+	stopFlag.Store(true)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if ops.Load() == 0 {
+		t.Fatal("hammer performed no operations")
+	}
+	st := svc.Stats()
+	if st.Errors != 0 {
+		t.Fatalf("service counted %d errors under swap traffic", st.Errors)
+	}
+	if st.Swaps != swaps+2 {
+		t.Fatalf("Swaps = %d, want %d", st.Swaps, swaps+2)
+	}
+}
+
+// TestSwapPinsPrepared proves a Prepared handle keeps executing on the
+// snapshot it was compiled on after a Swap, while new ExecText traffic
+// sees the new dataset.
+func TestSwapPinsPrepared(t *testing.T) {
+	svc := newService(t, serve.Config{}) // starts on the fixture dataset
+	w2, altTargets := altWorkload(t)
+
+	ctx := context.Background()
+	name := svc.DefaultSystem()
+	p, err := svc.Prepare(swapQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, err := svc.Exec(ctx, p, name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.Swap(w2.DS.Graph.Dict, w2.Estimator(), altTargets...); err != nil {
+		t.Fatal(err)
+	}
+	// The pinned handle still answers from the old snapshot.
+	pinned, err := svc.Exec(ctx, p, name)
+	if err != nil {
+		t.Fatalf("pinned Exec after swap: %v", err)
+	}
+	if pinned.Rows.Len() != before.Rows.Len() {
+		t.Fatalf("pinned handle changed answer after swap: %d rows, want %d", pinned.Rows.Len(), before.Rows.Len())
+	}
+	// Fresh text traffic sees the new dataset (the two datasets have
+	// different origin fan-outs with overwhelming probability; if they
+	// happen to agree the assertion below is vacuous but not wrong).
+	fresh, err := svc.ExecText(ctx, swapQuery, name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := serve.New(w2.DS.Graph.Dict, w2.Estimator(), serve.Config{}, altTargets...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ref.ExecText(ctx, swapQuery, name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fresh.Rows.Len() != want.Rows.Len() {
+		t.Fatalf("post-swap ExecText returned %d rows, new dataset has %d", fresh.Rows.Len(), want.Rows.Len())
+	}
+	// The swap installed a fresh plan cache: the old compilation cannot
+	// have survived into the new snapshot.
+	if got := svc.Stats().Cache.Entries; got > 1 {
+		t.Fatalf("new snapshot cache has %d entries before first miss settled, want <= 1", got)
+	}
+}
+
+// TestSingleflightCompilesOnce holds the compile leader on a barrier
+// while many goroutines first-touch the same query: exactly one
+// compilation (miss) may happen; everyone else must coalesce or hit.
+// Counter-verified, run under -race in CI.
+func TestSingleflightCompilesOnce(t *testing.T) {
+	_, sys, _ := fixture(t)
+	svc := newService(t, serve.Config{MaxConcurrent: 8})
+	texts := queryTexts(t, 1)
+	ctx := context.Background()
+
+	const clients = 12
+	release := make(chan struct{})
+	var entered sync.Once
+	arrived := make(chan struct{})
+	svc.SetCompileBarrier(func() {
+		entered.Do(func() { close(arrived) })
+		<-release
+	})
+
+	var wg sync.WaitGroup
+	errs := make([]error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			_, err := svc.ExecText(ctx, texts[0], sys[c%len(sys)].Name)
+			errs[c] = err
+		}(c)
+	}
+	// Wait until the leader is inside the compile window, give followers
+	// time to pile onto the flight, then release.
+	<-arrived
+	time.Sleep(20 * time.Millisecond)
+	close(release)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := svc.Stats().Cache
+	if st.Misses != 1 {
+		t.Fatalf("misses = %d, want exactly 1 (the herd must compile once)", st.Misses)
+	}
+	if st.Coalesced == 0 {
+		t.Fatal("no coalesced waiters despite the held compile barrier")
+	}
+	if got := st.Hits + st.Misses + st.Coalesced; got != clients {
+		t.Fatalf("hits+misses+coalesced = %d, want %d", got, clients)
+	}
+}
