@@ -293,12 +293,16 @@ func runUserBGP(w *bench.Workload, text string) {
 		row := sample.Row(i)
 		parts := make([]string, len(row))
 		for j, v := range row {
-			// Aggregate counts are plain numbers, not dictionary ids.
-			if compiled.Counts[compiled.Cols[j]] {
+			// Aggregate counts are plain numbers, not dictionary ids; an
+			// unbound OPTIONAL variable is NULL, not a term.
+			switch {
+			case compiled.Counts[compiled.Cols[j]]:
 				parts[j] = fmt.Sprint(v)
-				continue
+			case rdf.ID(v) == rdf.NoID:
+				parts[j] = "NULL"
+			default:
+				parts[j] = d.Term(rdf.ID(v)).String()
 			}
-			parts[j] = d.Term(rdf.ID(v)).String()
 		}
 		fmt.Println("  " + strings.Join(parts, "  "))
 	}

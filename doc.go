@@ -19,9 +19,17 @@
 // merge vs. hash joins, and partitioned-union fan-out that can run over a
 // worker pool (core.ExecOptions). Beyond the fixed twelve queries,
 // internal/bgp compiles arbitrary basic-graph-pattern queries — stated in
-// a small text syntax — into the same plan vocabulary, choosing join
-// orders from data-set statistics, and generates seeded random workloads
-// (swanbench's -bgp flag and workloads experiment). On top of both,
+// a small text syntax that has grown toward SPARQL: OPTIONAL (left outer
+// join with NULL-bearing results), numeric range filters over typed
+// literals, and ORDER BY/LIMIT with a deterministic total value order —
+// into the same plan vocabulary (core.LeftJoin, core.FilterRange,
+// core.TopN), choosing join orders from data-set statistics (outer joins
+// never reorder across their boundary), and generates seeded random
+// workloads (swanbench's -bgp flag and workloads experiment). The whole
+// language is validated against bgp.EvalBGP, an independent naive
+// reference evaluator, by per-construct property-test corpora across all
+// four schemes, golden plan trees, and a native parser fuzz target. On
+// top of both,
 // internal/serve is the concurrent serving layer: an LRU plan cache over
 // canonicalized query text (hits skip parsing and join ordering), bounded
 // admission, request-context cancellation through core.ExecutePlanCtx,

@@ -13,6 +13,7 @@ import (
 	"blackswan/internal/core"
 	"blackswan/internal/datagen"
 	"blackswan/internal/rdf"
+	"blackswan/internal/rel"
 	"blackswan/internal/rowstore"
 	"blackswan/internal/simio"
 )
@@ -53,8 +54,12 @@ func main() {
 	// 3. An estimator over the data set's statistics drives join ordering.
 	est := bgp.NewEstimator(ds.Graph, cat.Interesting)
 
-	// 4. Compile and run text queries: a snowflake join, and one of the
-	// paper's own queries rendered through the same pipeline.
+	// 4. Compile and run text queries: a snowflake join, one of the
+	// paper's own queries, and the SPARQL-ward constructs — OPTIONAL (a
+	// left outer join: every typed subject appears, with a NULL year when
+	// it has no <pointInTime>), a numeric range FILTER, and ORDER BY with
+	// LIMIT (value ordering with a deterministic, scheme-independent
+	// prefix).
 	texts := []string{
 		`SELECT ?s ?t WHERE {
 			?s <barton/origin> <barton/info:marcorg/DLC> .
@@ -62,6 +67,10 @@ func main() {
 			?x <barton/type> ?t .
 			FILTER (?t != <barton/Text>)
 		}`,
+		`SELECT * WHERE {
+			?s <barton/origin> <barton/info:marcorg/DLC> .
+			OPTIONAL { ?s <barton/pointInTime> ?year . FILTER (?year >= 1900) }
+		} ORDER BY ?year DESC ?s LIMIT 5`,
 	}
 	if q2, err := bgp.PaperText(core.Query{ID: core.Q2}, ds.Graph.Dict, consts); err == nil {
 		texts = append(texts, q2)
@@ -77,6 +86,7 @@ func main() {
 		for _, step := range compiled.Order {
 			fmt.Printf("  join order: %s\n", step)
 		}
+		var first *rel.Rel
 		for _, src := range []core.PhysicalSource{triple, vert} {
 			res, _, tr, err := core.ExecutePlan(src, compiled.Root, core.ExecOptions{})
 			if err != nil {
@@ -85,6 +95,25 @@ func main() {
 			label := src.(core.Database).Label()
 			fmt.Printf("  %-14s %5d rows (%d partition scans, %d joins)\n",
 				label, res.Len(), tr.PartitionScans, len(tr.Joins))
+			if first == nil {
+				first = res
+			}
+		}
+		// Decode a sample of the first scheme's rows; rdf.NoID cells are the
+		// OPTIONAL construct's NULLs, count columns are plain numbers.
+		for i := 0; i < first.Len() && i < 3; i++ {
+			cells := make([]string, first.W)
+			for j, v := range first.Row(i) {
+				switch {
+				case j < len(compiled.Cols) && compiled.Counts[compiled.Cols[j]]:
+					cells[j] = fmt.Sprint(v)
+				case rdf.ID(v) == rdf.NoID:
+					cells[j] = "NULL"
+				default:
+					cells[j] = ds.Graph.Dict.Term(rdf.ID(v)).String()
+				}
+			}
+			fmt.Printf("    sample: %v\n", cells)
 		}
 		fmt.Println()
 	}

@@ -4,17 +4,23 @@
 // — into executable logical plans for the core plan executor, on any of the
 // four storage schemes.
 //
-// The package has three parts:
+// The package has four parts:
 //
 //   - a query model and a tiny text syntax (Parse), so benchmarks and
 //     examples can state queries as strings;
 //   - a compiler (Compile) that lowers a connected BGP to a core plan DAG,
 //     choosing the join order greedily by estimated intermediate size from
 //     rdf.Stats cardinalities (Estimator), with a bushy fallback: subtrees
-//     grow independently and merge whenever that is the cheapest step;
+//     grow independently and merge whenever that is the cheapest step —
+//     OPTIONAL blocks stay outside the ordering and left-join above the
+//     required tree in textual order;
 //   - a seeded random workload generator (Generator) producing star, chain
 //     and snowflake shapes with Zipfian constant selection from the data
-//     set's own vocabulary.
+//     set's own vocabulary, decorated with OPTIONAL, numeric range filter
+//     and ORDER BY/LIMIT constructs;
+//   - an executable oracle (EvalBGP): a naive reference evaluator for the
+//     full language, independent of the plan layer and both engines, that
+//     the property tests validate every storage scheme against.
 //
 // # Syntax
 //
@@ -24,17 +30,32 @@
 //
 //	SELECT [DISTINCT] selection WHERE { elements }
 //	       [GROUP BY ?v ...] [HAVING (COUNT > n)]
+//	       [ORDER BY key ... [LIMIT n]]
 //
 //	selection := '*' | item...          item := ?v | (?v AS ?w) | (COUNT AS ?w)
-//	element   := pattern | FILTER (?v != term) | branch UNION [ALL] branch ...
+//	element   := pattern | filter | OPTIONAL { pattern/filter ... }
+//	           | branch UNION [ALL] branch ...
+//	filter    := FILTER (?v != term) | FILTER (?v cmp number)
+//	cmp       := '<' | '<=' | '>' | '>='
 //	pattern   := term term term [RESTRICT]
 //	branch    := { SELECT ... } | { elements }
 //	term      := ?var | <iri> | "literal"
+//	key       := ?v [ASC | DESC]
+//	number    := 123 | 3.14 | -5 | "1850" (a literal that parses numeric)
 //
 // Elements are separated by optional dots. RESTRICT marks an access as
 // subject to the interesting-properties restriction (the q2/q3/q4/q6
 // semantics); UNION has SQL set semantics unless ALL is given. Aggregation
 // is COUNT(*) over the GROUP BY keys, as in the benchmark queries.
+//
+// OPTIONAL is SPARQL's left outer join: its block (plain patterns and
+// filters — no nested OPTIONAL or UNION) must share exactly one variable
+// with the preceding elements; rows without a match keep NULL (unbound) in
+// the block's variables. Range filters compare the numeric value of
+// literal bindings; non-numeric and unbound values never pass. ORDER BY
+// sorts by value — NULLs first, numeric literals by number, other terms by
+// their N-Triples form — with ties broken deterministically, so LIMIT
+// (which requires ORDER BY) keeps the same rows on every scheme.
 package bgp
 
 import (
@@ -92,6 +113,25 @@ type Filter struct {
 	Not Term
 }
 
+// RangeFilter is the numeric comparison FILTER (?v cmp bound) with cmp one
+// of "<", "<=", ">", ">=". Bindings that are not numeric literals never
+// pass (the SPARQL type-error semantics).
+type RangeFilter struct {
+	Var string
+	// Op is the comparison operator as written: "<", "<=", ">" or ">=".
+	Op string
+	// Val is the numeric bound; Text is its source spelling (number token
+	// or quoted literal), kept so Text() round-trips exactly.
+	Val  float64
+	Text string
+}
+
+// Optional is the OPTIONAL { ... } block: a left outer join against the
+// preceding elements. Its Where holds plain patterns and filters only.
+type Optional struct {
+	Where []Element
+}
+
 // Union combines branch queries with identical column sets; set semantics
 // (SQL UNION) unless All.
 type Union struct {
@@ -99,9 +139,11 @@ type Union struct {
 	All      bool
 }
 
-func (Pattern) element() {}
-func (Filter) element()  {}
-func (*Union) element()  {}
+func (Pattern) element()     {}
+func (Filter) element()      {}
+func (RangeFilter) element() {}
+func (*Optional) element()   {}
+func (*Union) element()      {}
 
 // SelItem is one projected output column.
 type SelItem struct {
@@ -125,9 +167,15 @@ func (s SelItem) Name() string {
 	return s.Var
 }
 
+// OrderKey is one ORDER BY key: an output column with direction.
+type OrderKey struct {
+	Var  string
+	Desc bool
+}
+
 // Query is one parsed query: a conjunctive WHERE block with optional
-// projection, DISTINCT, aggregation and HAVING. It doubles as a union
-// branch (where Select expresses the branch's column renaming).
+// projection, DISTINCT, aggregation, HAVING and ordering. It doubles as a
+// union branch (where Select expresses the branch's column renaming).
 type Query struct {
 	// Select lists the output columns; nil means SELECT * (every variable
 	// in order of first appearance).
@@ -137,15 +185,39 @@ type Query struct {
 	GroupBy  []string
 	// Having holds the HAVING (COUNT > n) threshold; nil when absent.
 	Having *uint64
+	// OrderBy lists the ORDER BY keys, outermost first; empty when absent.
+	OrderBy []OrderKey
+	// Limit holds the LIMIT row bound; nil when absent. The grammar only
+	// admits it together with ORDER BY, so the kept prefix is well-defined.
+	Limit *uint64
 }
 
 // Patterns returns the query's triple patterns in textual order, not
-// descending into unions.
+// descending into unions or OPTIONAL blocks.
 func (q *Query) Patterns() []Pattern {
 	var out []Pattern
 	for _, e := range q.Where {
 		if p, ok := e.(Pattern); ok {
 			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// AllPatterns returns the query's triple patterns in textual order,
+// descending into OPTIONAL blocks (but not into unions).
+func (q *Query) AllPatterns() []Pattern {
+	var out []Pattern
+	for _, e := range q.Where {
+		switch x := e.(type) {
+		case Pattern:
+			out = append(out, x)
+		case *Optional:
+			for _, oe := range x.Where {
+				if p, ok := oe.(Pattern); ok {
+					out = append(out, p)
+				}
+			}
 		}
 	}
 	return out
@@ -163,20 +235,26 @@ func (q *Query) Vars() []string {
 			out = append(out, name)
 		}
 	}
-	for _, e := range q.Where {
-		switch x := e.(type) {
-		case Pattern:
-			for _, t := range []Term{x.S, x.P, x.O} {
-				add(t.Var)
-			}
-		case *Union:
-			if len(x.Branches) > 0 {
-				for _, c := range x.Branches[0].OutCols() {
-					add(c)
+	var walk func(elems []Element)
+	walk = func(elems []Element) {
+		for _, e := range elems {
+			switch x := e.(type) {
+			case Pattern:
+				for _, t := range []Term{x.S, x.P, x.O} {
+					add(t.Var)
+				}
+			case *Optional:
+				walk(x.Where)
+			case *Union:
+				if len(x.Branches) > 0 {
+					for _, c := range x.Branches[0].OutCols() {
+						add(c)
+					}
 				}
 			}
 		}
 	}
+	walk(q.Where)
 	return out
 }
 
@@ -219,7 +297,33 @@ func (q *Query) write(b *strings.Builder) {
 		}
 	}
 	b.WriteString("WHERE { ")
-	for i, e := range q.Where {
+	writeElems(b, q.Where)
+	b.WriteString("}")
+	if len(q.GroupBy) > 0 {
+		b.WriteString(" GROUP BY")
+		for _, k := range q.GroupBy {
+			b.WriteString(" ?" + k)
+		}
+	}
+	if q.Having != nil {
+		b.WriteString(" HAVING (COUNT > " + strconv.FormatUint(*q.Having, 10) + ")")
+	}
+	if len(q.OrderBy) > 0 {
+		b.WriteString(" ORDER BY")
+		for _, k := range q.OrderBy {
+			b.WriteString(" ?" + k.Var)
+			if k.Desc {
+				b.WriteString(" DESC")
+			}
+		}
+	}
+	if q.Limit != nil {
+		b.WriteString(" LIMIT " + strconv.FormatUint(*q.Limit, 10))
+	}
+}
+
+func writeElems(b *strings.Builder, elems []Element) {
+	for i, e := range elems {
 		if i > 0 {
 			b.WriteString(". ")
 		}
@@ -231,6 +335,12 @@ func (q *Query) write(b *strings.Builder) {
 			}
 		case Filter:
 			fmt.Fprintf(b, "FILTER (?%s != %s) ", x.Var, x.Not)
+		case RangeFilter:
+			fmt.Fprintf(b, "FILTER (?%s %s %s) ", x.Var, x.Op, x.Text)
+		case *Optional:
+			b.WriteString("OPTIONAL { ")
+			writeElems(b, x.Where)
+			b.WriteString("} ")
 		case *Union:
 			for j, br := range x.Branches {
 				if j > 0 {
@@ -244,15 +354,5 @@ func (q *Query) write(b *strings.Builder) {
 				b.WriteString("} ")
 			}
 		}
-	}
-	b.WriteString("}")
-	if len(q.GroupBy) > 0 {
-		b.WriteString(" GROUP BY")
-		for _, k := range q.GroupBy {
-			b.WriteString(" ?" + k)
-		}
-	}
-	if q.Having != nil {
-		b.WriteString(" HAVING (COUNT > " + strconv.FormatUint(*q.Having, 10) + ")")
 	}
 }

@@ -3,6 +3,7 @@ package bgp
 import (
 	"errors"
 	"fmt"
+	"math"
 
 	"blackswan/internal/core"
 	"blackswan/internal/rdf"
@@ -129,12 +130,17 @@ type compiler struct {
 }
 
 // tree is one GOO subtree: a plan node, its column names, and the
-// estimator's view of it.
+// estimator's view of it. Pattern leaves remember their triple pattern so
+// filter placement can consult per-property statistics.
 type tree struct {
 	node  core.Node
 	cols  []string
 	est   nodeEst
 	label string
+	// pat and restrict echo the leaf's access for selectivity estimates;
+	// pat is nil for union leaves and joined subtrees.
+	pat      *core.TriplePattern
+	restrict bool
 }
 
 func (t tree) has(v string) bool {
@@ -191,10 +197,12 @@ func (c *compiler) leafFor(p Pattern) (tree, error) {
 		nd[v] = minf(c.est.varDistinct(tp, p.Restrict, v), card)
 	}
 	return tree{
-		node:  acc,
-		cols:  cols,
-		est:   nodeEst{card: card, nd: nd},
-		label: fmt.Sprintf("%s %s %s", p.S, p.P, p.O),
+		node:     acc,
+		cols:     cols,
+		est:      nodeEst{card: card, nd: nd},
+		label:    fmt.Sprintf("%s %s %s", p.S, p.P, p.O),
+		pat:      &acc.Pattern,
+		restrict: p.Restrict,
 	}, nil
 }
 
@@ -284,6 +292,25 @@ func (c *compiler) compileQuery(q *Query) (core.Node, []string, error) {
 	if q.Distinct {
 		node = &core.Distinct{In: node}
 	}
+	if len(q.OrderBy) > 0 {
+		counts := countColsOf(q)
+		keys := make([]core.SortKey, len(q.OrderBy))
+		outSet := map[string]bool{}
+		for _, n := range names {
+			outSet[n] = true
+		}
+		for i, k := range q.OrderBy {
+			if !outSet[k.Var] {
+				return nil, nil, fmt.Errorf("bgp: ORDER BY variable ?%s is not an output column", k.Var)
+			}
+			keys[i] = core.SortKey{Col: k.Var, Desc: k.Desc, Count: counts[k.Var]}
+		}
+		limit := -1
+		if q.Limit != nil {
+			limit = int(*q.Limit)
+		}
+		node = &core.TopN{In: node, Keys: keys, Limit: limit, Ord: core.DictValues{Dict: c.dict}}
+	}
 	return node, names, nil
 }
 
@@ -291,16 +318,46 @@ func (c *compiler) compileQuery(q *Query) (core.Node, []string, error) {
 // with filters folded in) and joins them greedily: at every step the two
 // connected subtrees with the smallest estimated join result merge —
 // smallest-intermediate-first, bushy whenever independent subtrees are the
-// cheaper pairing.
+// cheaper pairing. OPTIONAL blocks stay out of the greedy ordering
+// entirely: each compiles to its own subtree and left-joins against the
+// finished required tree in textual order — the outer join boundary is
+// never reordered across.
 func (c *compiler) compileBlock(q *Query) (tree, error) {
+	trees, filters, optionals, err := c.blockLeaves(q.Where)
+	if err != nil {
+		return tree{}, err
+	}
+	if len(trees) == 0 {
+		return tree{}, fmt.Errorf("bgp: WHERE block has no patterns")
+	}
+	if err := c.foldFilters(trees, filters); err != nil {
+		return tree{}, err
+	}
+	t, err := c.greedyJoin(trees)
+	if err != nil {
+		return tree{}, err
+	}
+	for _, opt := range optionals {
+		t, err = c.leftJoinOptional(t, opt)
+		if err != nil {
+			return tree{}, err
+		}
+	}
+	return t, nil
+}
+
+// blockLeaves builds the leaf subtrees of a block's patterns and unions and
+// collects its filters and OPTIONAL blocks.
+func (c *compiler) blockLeaves(elems []Element) ([]tree, []Element, []*Optional, error) {
 	var trees []tree
-	var filters []Filter
-	for _, e := range q.Where {
+	var filters []Element
+	var optionals []*Optional
+	for _, e := range elems {
 		switch x := e.(type) {
 		case Pattern:
 			leaf, err := c.leafFor(x)
 			if err != nil {
-				return tree{}, err
+				return nil, nil, nil, err
 			}
 			// Identical patterns add nothing to a conjunction (their
 			// relation is a set): keep one leaf per access node.
@@ -317,41 +374,88 @@ func (c *compiler) compileBlock(q *Query) (tree, error) {
 		case *Union:
 			leaf, err := c.unionLeaf(x)
 			if err != nil {
-				return tree{}, err
+				return nil, nil, nil, err
 			}
 			trees = append(trees, leaf)
-		case Filter:
+		case Filter, RangeFilter:
 			filters = append(filters, x)
+		case *Optional:
+			optionals = append(optionals, x)
 		}
 	}
-	if len(trees) == 0 {
-		return tree{}, fmt.Errorf("bgp: WHERE block has no patterns")
-	}
+	return trees, filters, optionals, nil
+}
 
-	// Fold each filter into the first leaf binding its variable, so the
-	// predicate applies before any join — the placement the hand-tuned
-	// plans use. A constant missing from the dictionary compares as NoID,
-	// which no row carries: the filter is trivially true and kept cheap.
-	for _, f := range filters {
+// foldFilters places each filter (inequality or numeric range) onto the
+// first leaf binding its variable, so the predicate applies before any
+// join — the placement the hand-tuned plans use. Inequality against a
+// constant missing from the dictionary compares as NoID, which no row
+// carries: the filter is trivially true and kept cheap. Range selectivity
+// comes from the leaf's per-property numeric statistics when available.
+func (c *compiler) foldFilters(trees []tree, filters []Element) error {
+	for _, e := range filters {
+		var v string
+		switch f := e.(type) {
+		case Filter:
+			v = f.Var
+		case RangeFilter:
+			v = f.Var
+		}
 		placed := false
 		for i := range trees {
-			if !trees[i].has(f.Var) {
+			if !trees[i].has(v) {
 				continue
 			}
-			id := rdf.NoID
-			if ref, err := c.resolveTerm(f.Not); err == nil {
-				id = ref.Const
+			switch f := e.(type) {
+			case Filter:
+				id := rdf.NoID
+				if ref, err := c.resolveTerm(f.Not); err == nil {
+					id = ref.Const
+				}
+				trees[i].node = &core.FilterNe{In: trees[i].node, Col: v, Value: id}
+				trees[i].est = scaleEst(trees[i].est, 0.9)
+			case RangeFilter:
+				node := rangeNode(trees[i].node, f, c.dict)
+				sel := defaultRangeSel
+				if trees[i].pat != nil {
+					rn := node.(*core.FilterRange)
+					sel = c.est.RangeSelectivity(*trees[i].pat, v, rn.Lo, rn.Hi)
+				}
+				trees[i].node = node
+				trees[i].est = scaleEst(trees[i].est, sel)
 			}
-			trees[i].node = &core.FilterNe{In: trees[i].node, Col: f.Var, Value: id}
-			trees[i].est = scaleEst(trees[i].est, 0.9)
 			placed = true
 			break
 		}
 		if !placed {
-			return tree{}, fmt.Errorf("bgp: FILTER variable ?%s not bound in WHERE", f.Var)
+			return fmt.Errorf("bgp: FILTER variable ?%s not bound in WHERE", v)
 		}
 	}
+	return nil
+}
 
+// rangeNode lowers one textual range filter to a FilterRange plan node.
+func rangeNode(in core.Node, f RangeFilter, dict rdf.Dict) core.Node {
+	n := &core.FilterRange{
+		In: in, Col: f.Var,
+		Lo: math.Inf(-1), Hi: math.Inf(1),
+		Num: core.DictValues{Dict: dict},
+	}
+	switch f.Op {
+	case "<":
+		n.Hi = f.Val
+	case "<=":
+		n.Hi, n.IncHi = f.Val, true
+	case ">":
+		n.Lo = f.Val
+	case ">=":
+		n.Lo, n.IncLo = f.Val, true
+	}
+	return n
+}
+
+// greedyJoin merges subtrees smallest-intermediate-first until one remains.
+func (c *compiler) greedyJoin(trees []tree) (tree, error) {
 	for len(trees) > 1 {
 		bi, bj := -1, -1
 		var bestCard float64
@@ -375,6 +479,58 @@ func (c *compiler) compileBlock(q *Query) (tree, error) {
 		trees = append(trees[:bj], trees[bj+1:]...)
 	}
 	return trees[0], nil
+}
+
+// leftJoinOptional compiles one OPTIONAL block (its own greedy ordering
+// inside) and left-joins it against the required tree. The block must be
+// internally connected and share exactly one variable with the tree so the
+// outer join's match condition is the single natural-join variable.
+func (c *compiler) leftJoinOptional(t tree, opt *Optional) (tree, error) {
+	leaves, filters, _, err := c.blockLeaves(opt.Where)
+	if err != nil {
+		return tree{}, err
+	}
+	if len(leaves) == 0 {
+		return tree{}, fmt.Errorf("bgp: OPTIONAL block has no patterns")
+	}
+	if err := c.foldFilters(leaves, filters); err != nil {
+		return tree{}, err
+	}
+	sub, err := c.greedyJoin(leaves)
+	if err != nil {
+		return tree{}, err
+	}
+	shared := sharedVars(t, sub)
+	if len(shared) != 1 {
+		return tree{}, fmt.Errorf("bgp: OPTIONAL block must share exactly one variable with the preceding elements, shares %d (%v)", len(shared), shared)
+	}
+	v := shared[0]
+	node := &core.LeftJoin{L: t.node, R: sub.node}
+	cols := append([]string(nil), t.cols...)
+	for _, col := range sub.cols {
+		if col != v {
+			cols = append(cols, col)
+		}
+	}
+	card := maxf(t.est.card, joinCard(t.est, sub.est, shared))
+	nd := map[string]float64{}
+	for vv, d := range t.est.nd {
+		nd[vv] = minf(d, card)
+	}
+	for vv, d := range sub.est.nd {
+		if cur, ok := nd[vv]; ok {
+			nd[vv] = minf(cur, d)
+		} else {
+			nd[vv] = minf(d, card)
+		}
+	}
+	c.order = append(c.order, fmt.Sprintf("%s LEFT JOIN %s ON %s", t.label, sub.label, v))
+	return tree{
+		node:  node,
+		cols:  cols,
+		est:   nodeEst{card: card, nd: nd},
+		label: "(" + t.label + " LEFT JOIN " + sub.label + ")",
+	}, nil
 }
 
 func sharedVars(a, b tree) []string {

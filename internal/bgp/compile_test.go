@@ -159,15 +159,22 @@ func TestRandomBGPsCrossScheme(t *testing.T) {
 				}
 			}
 		}
-		if q.Select == nil && !q.Distinct {
-			oracle, vars := core.EvalBGP(f.srcs[f.names[0]], resolvePatterns(t, q, dict))
-			if fmt.Sprint(vars) != fmt.Sprint(compiled.Cols) {
-				t.Fatalf("query %d: oracle vars %v, compiled cols %v", i, vars, compiled.Cols)
+		// Every generated query — including OPTIONAL, range-filter and
+		// ORDER BY shapes — must match the full-language oracle.
+		oracle, vars, err := bgp.EvalBGP(q, f.srcs[f.names[0]], dict, f.cat.Interesting)
+		if err != nil {
+			t.Fatalf("query %d (%v) oracle: %v\n%s", i, shape, err, q.Text())
+		}
+		if fmt.Sprint(vars) != fmt.Sprint(compiled.Cols) {
+			t.Fatalf("query %d: oracle vars %v, compiled cols %v", i, vars, compiled.Cols)
+		}
+		if len(q.OrderBy) > 0 {
+			if fmt.Sprint(oracle.Data) != fmt.Sprint(ref.Data) {
+				t.Fatalf("query %d (%v): ordered result differs from oracle\n%s", i, shape, q.Text())
 			}
-			if !rel.Equal(oracle, ref) {
-				t.Fatalf("query %d (%v): compiled result (%d rows) differs from EvalBGP oracle (%d rows)\n%s",
-					i, shape, ref.Len(), oracle.Len(), q.Text())
-			}
+		} else if !rel.Equal(oracle, ref) {
+			t.Fatalf("query %d (%v): compiled result (%d rows) differs from EvalBGP oracle (%d rows)\n%s",
+				i, shape, ref.Len(), oracle.Len(), q.Text())
 		}
 	}
 	if nonEmpty == 0 {

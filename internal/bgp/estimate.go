@@ -89,6 +89,56 @@ func (e *Estimator) PatternCard(tp core.TriplePattern, restrict bool) float64 {
 	}
 }
 
+// defaultRangeSel is the selectivity assumed for a numeric range filter
+// when no per-property numeric statistics apply — the classic textbook
+// one-third.
+const defaultRangeSel = 1.0 / 3
+
+// RangeSelectivity estimates the fraction of tp's rows a numeric range
+// filter [lo, hi] on variable v keeps. When v is the object position of a
+// bound-property pattern, the property's numeric profile from
+// rdf.PropDetails applies: the fraction of rows with numeric objects times
+// the uniform-assumption overlap of [lo, hi] with [NumMin, NumMax].
+// Everything else falls back to the generic one-third.
+func (e *Estimator) RangeSelectivity(tp core.TriplePattern, v string, lo, hi float64) float64 {
+	if e == nil || !tp.P.Bound() || tp.O.Var != v {
+		return defaultRangeSel
+	}
+	d := e.pd[tp.P.Const]
+	card := float64(e.st.PropertyCard(tp.P.Const))
+	if d.NumRows == 0 || card <= 0 {
+		// No numeric objects under this property: the filter drops
+		// (almost) everything.
+		return 0.01
+	}
+	numFrac := float64(d.NumRows) / card
+	span := d.NumMax - d.NumMin
+	var overlap float64
+	if span <= 0 {
+		// Single-valued property: in or out.
+		if d.NumMin >= lo && d.NumMin <= hi {
+			overlap = 1
+		} else {
+			overlap = 0.01
+		}
+	} else {
+		l := maxf(lo, d.NumMin)
+		h := minf(hi, d.NumMax)
+		overlap = (h - l) / span
+		if overlap < 0.01 {
+			overlap = 0.01
+		}
+		if overlap > 1 {
+			overlap = 1
+		}
+	}
+	sel := numFrac * overlap
+	if sel < 0.001 {
+		sel = 0.001
+	}
+	return sel
+}
+
 // varDistinct estimates the number of distinct bindings variable v takes in
 // tp, from the position(s) it occupies.
 func (e *Estimator) varDistinct(tp core.TriplePattern, restrict bool, v string) float64 {
@@ -219,12 +269,42 @@ func (c *coster) estimate(n core.Node) nodeEst {
 		}
 		est = nodeEst{card: card, nd: nd}
 		c.cost += card
+	case *core.LeftJoin:
+		l, r := c.estimate(x.L), c.estimate(x.R)
+		var shared []string
+		for v := range l.nd {
+			if _, ok := r.nd[v]; ok {
+				shared = append(shared, v)
+			}
+		}
+		// Every left row survives, so the result is at least the left side;
+		// matched rows can multiply it up to the inner-join estimate.
+		card := maxf(l.card, joinCard(l, r, shared))
+		nd := map[string]float64{}
+		for v, d := range l.nd {
+			nd[v] = minf(d, card)
+		}
+		for v, d := range r.nd {
+			if cur, ok := nd[v]; ok {
+				nd[v] = minf(cur, d)
+			} else {
+				nd[v] = minf(d, card)
+			}
+		}
+		est = nodeEst{card: card, nd: nd}
+		c.cost += card
 	case *core.FilterNe:
 		in := c.estimate(x.In)
 		est = scaleEst(in, 0.9)
 	case *core.FilterEqCols:
 		in := c.estimate(x.In)
 		est = scaleEst(in, 1/clamp(maxf(in.nd[x.A], in.nd[x.B])))
+	case *core.FilterRange:
+		// Without the leaf's property context the coster assumes the
+		// generic one-third selectivity; the compiler's placement decision
+		// uses the sharper PropDetail-based estimate instead.
+		in := c.estimate(x.In)
+		est = scaleEst(in, defaultRangeSel)
 	case *core.Distinct:
 		est = c.estimate(x.In)
 	case *core.Union:
@@ -259,6 +339,13 @@ func (c *coster) estimate(n core.Node) nodeEst {
 			nd[name] = in.nd[col]
 		}
 		est = nodeEst{card: in.card, nd: nd}
+	case *core.TopN:
+		in := c.estimate(x.In)
+		card := in.card
+		if x.Limit >= 0 {
+			card = minf(card, float64(x.Limit))
+		}
+		est = scaleEst(in, card/clamp(in.card))
 	default:
 		est = nodeEst{card: defCard, nd: map[string]float64{}}
 	}

@@ -3,6 +3,8 @@ package bgp
 import (
 	"fmt"
 	"math/rand"
+	"sort"
+	"strconv"
 
 	"blackswan/internal/rdf"
 )
@@ -51,6 +53,33 @@ type GenConfig struct {
 	// DistinctProb is the probability of a DISTINCT projection
 	// (default 0.25).
 	DistinctProb float64
+	// OptionalProb is the probability that a query's last pattern moves
+	// into an OPTIONAL block — the left-outer-join stressor (default 0.2;
+	// negative disables, 1 forces it whenever the shape allows).
+	OptionalProb float64
+	// RangeProb is the probability of a numeric range FILTER on a variable
+	// whose property carries numeric object literals, with the bound
+	// sampled from the data (default 0.2; negative disables, 1 forces it
+	// whenever a numeric-propertied pattern exists).
+	RangeProb float64
+	// OrderProb is the probability of an ORDER BY modifier over one or two
+	// projected variables (default 0.2; negative disables, 1 forces).
+	OrderProb float64
+	// LimitProb is the probability, given ORDER BY, of a LIMIT clause
+	// (default 0.5; negative disables, 1 forces).
+	LimitProb float64
+}
+
+// prob normalizes the GenConfig convention: zero means the default,
+// negative disables.
+func prob(v, def float64) float64 {
+	if v == 0 {
+		return def
+	}
+	if v < 0 {
+		return 0
+	}
+	return v
 }
 
 // Generator produces seeded random BGP queries over a concrete data set:
@@ -71,6 +100,13 @@ type Generator struct {
 	anchors       []rdf.ID
 	anchorTriples map[rdf.ID][]rdf.Triple
 	dict          rdf.Dict
+	// numVals holds the numeric object values seen in each property's
+	// sample — the pool range-filter bounds are drawn from, so generated
+	// ranges are satisfiable more often than arbitrary bounds would be.
+	// numProps lists the numeric-valued properties, sorted for
+	// deterministic draws.
+	numVals  map[rdf.ID][]float64
+	numProps []rdf.ID
 }
 
 const (
@@ -134,6 +170,18 @@ func NewGenerator(g *rdf.Graph, cfg GenConfig) *Generator {
 			gen.anchorTriples[t.S] = append(gen.anchorTriples[t.S], t)
 		}
 	}
+	gen.numVals = make(map[rdf.ID][]float64)
+	for p, ts := range gen.samples {
+		for _, t := range ts {
+			if v, ok := rdf.NumericTerm(g.Dict.Term(t.O)); ok {
+				gen.numVals[p] = append(gen.numVals[p], v)
+			}
+		}
+	}
+	for p := range gen.numVals {
+		gen.numProps = append(gen.numProps, p)
+	}
+	sort.Slice(gen.numProps, func(i, j int) bool { return gen.numProps[i] < gen.numProps[j] })
 	return gen
 }
 
@@ -161,14 +209,141 @@ func (gen *Generator) Query(i int) (*Query, Shape) {
 		}
 		pats = append(star, gen.chainFrom(rng, from, "y", 1+rng.Intn(2))...)
 	}
-	q := &Query{Where: make([]Element, 0, len(pats))}
-	for _, p := range pats {
+	// Split the last pattern into an OPTIONAL block when it shares exactly
+	// one variable with the rest (the left-outer-join invariant).
+	required := pats
+	var optPats []Pattern
+	if len(pats) >= 2 && rng.Float64() < prob(gen.cfg.OptionalProb, 0.2) {
+		last := pats[len(pats)-1]
+		rest := pats[:len(pats)-1]
+		if len(sharedPatternVars(last, rest)) == 1 {
+			required, optPats = rest, []Pattern{last}
+		}
+	}
+
+	q := &Query{Where: make([]Element, 0, len(pats)+2)}
+	for _, p := range required {
 		q.Where = append(q.Where, p)
 	}
+
+	// Numeric range filter: pick a pattern whose bound property carries
+	// numeric objects and whose object is a variable; the bound comes from
+	// that property's sampled values. The filter lands where its variable
+	// is bound — in the required block or inside the OPTIONAL. When the
+	// shape drew no numeric-valued property, one extra leaf on the query's
+	// root variable supplies it, so forced-range corpora always contain
+	// the construct.
+	var optFilter *RangeFilter
+	if rng.Float64() < prob(gen.cfg.RangeProb, 0.2) {
+		f, inOpt, ok := gen.rangeFilter(rng, required, optPats)
+		if !ok && len(gen.numProps) > 0 && len(required) > 0 && required[0].S.IsVar() {
+			p := gen.numProps[rng.Intn(len(gen.numProps))]
+			extra := Pattern{S: Var(required[0].S.Var), P: gen.propTerm(p), O: Var("num")}
+			q.Where = append(q.Where, extra)
+			required = append(required, extra)
+			f, inOpt, ok = gen.rangeFilter(rng, []Pattern{extra}, nil)
+		}
+		if ok {
+			if inOpt {
+				optFilter = &f
+			} else {
+				q.Where = append(q.Where, f)
+			}
+		}
+	}
+
+	if len(optPats) > 0 {
+		opt := &Optional{}
+		for _, p := range optPats {
+			opt.Where = append(opt.Where, p)
+		}
+		if optFilter != nil {
+			opt.Where = append(opt.Where, *optFilter)
+		}
+		q.Where = append(q.Where, opt)
+	}
+
 	if rng.Float64() < gen.cfg.DistinctProb {
 		q.Distinct = true
 	}
+
+	// ORDER BY over the projected variables (SELECT *), optionally LIMIT.
+	if rng.Float64() < prob(gen.cfg.OrderProb, 0.2) {
+		vars := q.Vars()
+		if len(vars) > 0 {
+			nKeys := 1
+			if len(vars) > 1 && rng.Intn(2) == 0 {
+				nKeys = 2
+			}
+			perm := rng.Perm(len(vars))
+			for k := 0; k < nKeys; k++ {
+				q.OrderBy = append(q.OrderBy, OrderKey{Var: vars[perm[k]], Desc: rng.Intn(2) == 0})
+			}
+			if rng.Float64() < prob(gen.cfg.LimitProb, 0.5) {
+				n := uint64(1 + rng.Intn(30))
+				q.Limit = &n
+			}
+		}
+	}
 	return q, shape
+}
+
+// sharedPatternVars returns the variables p shares with any pattern of
+// rest.
+func sharedPatternVars(p Pattern, rest []Pattern) []string {
+	mine := map[string]bool{}
+	for _, t := range []Term{p.S, p.P, p.O} {
+		if t.IsVar() {
+			mine[t.Var] = true
+		}
+	}
+	seen := map[string]bool{}
+	var out []string
+	for _, r := range rest {
+		for _, t := range []Term{r.S, r.P, r.O} {
+			if t.IsVar() && mine[t.Var] && !seen[t.Var] {
+				seen[t.Var] = true
+				out = append(out, t.Var)
+			}
+		}
+	}
+	return out
+}
+
+// rangeFilter builds a numeric range filter against one of the query's
+// patterns, reporting whether the chosen pattern lives in the OPTIONAL
+// block. The comparison operator and bound are drawn from the data.
+func (gen *Generator) rangeFilter(rng *rand.Rand, required, optPats []Pattern) (RangeFilter, bool, bool) {
+	type cand struct {
+		v     string
+		p     rdf.ID
+		inOpt bool
+	}
+	var cands []cand
+	collect := func(pats []Pattern, inOpt bool) {
+		for _, pat := range pats {
+			if pat.P.IsVar() || !pat.O.IsVar() {
+				continue
+			}
+			id, ok := gen.dict.Lookup(rdf.Term{Value: pat.P.Value, Kind: pat.P.Kind})
+			if !ok || len(gen.numVals[id]) == 0 {
+				continue
+			}
+			cands = append(cands, cand{v: pat.O.Var, p: id, inOpt: inOpt})
+		}
+	}
+	collect(required, false)
+	collect(optPats, true)
+	if len(cands) == 0 {
+		return RangeFilter{}, false, false
+	}
+	c := cands[rng.Intn(len(cands))]
+	vals := gen.numVals[c.p]
+	val := vals[rng.Intn(len(vals))]
+	ops := []string{"<", "<=", ">", ">="}
+	op := ops[rng.Intn(len(ops))]
+	text := strconv.FormatFloat(val, 'f', -1, 64)
+	return RangeFilter{Var: c.v, Op: op, Val: val, Text: text}, c.inOpt, true
 }
 
 // zipfProp draws a property Zipfian by frequency rank, excluding those in

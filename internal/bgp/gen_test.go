@@ -12,9 +12,12 @@ import (
 // structural invariants.
 func TestGeneratorDeterministic(t *testing.T) {
 	f := loadFixture(t)
-	g1 := bgp.NewGenerator(f.ds.Graph, bgp.GenConfig{Seed: 5})
-	g2 := bgp.NewGenerator(f.ds.Graph, bgp.GenConfig{Seed: 5})
-	g3 := bgp.NewGenerator(f.ds.Graph, bgp.GenConfig{Seed: 6})
+	// Range filters may add a numeric leaf outside the pure shape, so the
+	// structural invariants below run with them disabled; the construct
+	// corpora in sparql_test.go cover the decorated shapes.
+	g1 := bgp.NewGenerator(f.ds.Graph, bgp.GenConfig{Seed: 5, RangeProb: -1})
+	g2 := bgp.NewGenerator(f.ds.Graph, bgp.GenConfig{Seed: 5, RangeProb: -1})
+	g3 := bgp.NewGenerator(f.ds.Graph, bgp.GenConfig{Seed: 6, RangeProb: -1})
 	diverged := false
 	shapes := map[bgp.Shape]int{}
 	for i := 0; i < 15; i++ {
@@ -29,7 +32,7 @@ func TestGeneratorDeterministic(t *testing.T) {
 		}
 		shapes[sa]++
 
-		pats := a.Patterns()
+		pats := a.AllPatterns()
 		if len(pats) < 2 {
 			t.Fatalf("query %d has %d patterns", i, len(pats))
 		}

@@ -82,8 +82,9 @@ type parser struct {
 }
 
 // lex splits the input into tokens: variables (?x), IRIs (<...>), literals
-// ("..." with N-Triples escapes), integers, keywords/identifiers, and the
-// punctuation { } ( ) . * != >.
+// ("..." with N-Triples escapes), numbers (123, 3.14, -5), keywords/
+// identifiers, the comparison operators != < <= > >=, and the punctuation
+// { } ( ) . *.
 func (p *parser) lex(s string) error {
 	i := 0
 	for i < len(s) {
@@ -91,9 +92,17 @@ func (p *parser) lex(s string) error {
 		switch {
 		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
 			i++
-		case c == '{' || c == '}' || c == '(' || c == ')' || c == '.' || c == '*' || c == '>':
+		case c == '{' || c == '}' || c == '(' || c == ')' || c == '.' || c == '*':
 			p.toks = append(p.toks, token{string(c), i})
 			i++
+		case c == '>':
+			if i+1 < len(s) && s[i+1] == '=' {
+				p.toks = append(p.toks, token{">=", i})
+				i += 2
+			} else {
+				p.toks = append(p.toks, token{">", i})
+				i++
+			}
 		case c == '!':
 			if i+1 >= len(s) || s[i+1] != '=' {
 				return errAt(s, i, "stray '!'")
@@ -101,12 +110,54 @@ func (p *parser) lex(s string) error {
 			p.toks = append(p.toks, token{"!=", i})
 			i += 2
 		case c == '<':
-			j := strings.IndexByte(s[i:], '>')
-			if j < 0 {
+			// '<' followed by '=', whitespace or end of input is the
+			// comparison operator (so FILTER (?v < 10) lexes even when a
+			// later '>' appears elsewhere); anything else opens an IRI,
+			// which must close at '>' before whitespace intervenes.
+			if i+1 < len(s) && s[i+1] == '=' {
+				p.toks = append(p.toks, token{"<=", i})
+				i += 2
+				break
+			}
+			if i+1 >= len(s) || s[i+1] == ' ' || s[i+1] == '\t' || s[i+1] == '\n' || s[i+1] == '\r' {
+				p.toks = append(p.toks, token{"<", i})
+				i++
+				break
+			}
+			j := i + 1
+			for j < len(s) && s[j] != '>' && s[j] != ' ' && s[j] != '\t' &&
+				s[j] != '\n' && s[j] != '\r' {
+				j++
+			}
+			if j >= len(s) || s[j] != '>' {
 				return errAt(s, i, "unterminated IRI")
 			}
-			p.toks = append(p.toks, token{s[i : i+j+1], i})
-			i += j + 1
+			p.toks = append(p.toks, token{s[i : j+1], i})
+			i = j + 1
+		case c == '-' || c >= '0' && c <= '9':
+			j := i
+			if c == '-' {
+				j++
+				if j >= len(s) || s[j] < '0' || s[j] > '9' {
+					return errAt(s, i, "stray '-'")
+				}
+			}
+			for j < len(s) && s[j] >= '0' && s[j] <= '9' {
+				j++
+			}
+			if j+1 < len(s) && s[j] == '.' && s[j+1] >= '0' && s[j+1] <= '9' {
+				j++
+				for j < len(s) && s[j] >= '0' && s[j] <= '9' {
+					j++
+				}
+			}
+			// A trailing identifier run glues on (and fails the parse where
+			// a number was expected) rather than silently splitting tokens.
+			for j < len(s) && ident(rune(s[j])) {
+				j++
+			}
+			p.toks = append(p.toks, token{s[i:j], i})
+			i = j
 		case c == '"':
 			j := i + 1
 			esc := false
@@ -242,7 +293,7 @@ func (p *parser) parseSelect() (*Query, error) {
 	if err := p.expect("WHERE"); err != nil {
 		return nil, err
 	}
-	elems, err := p.parseBlock()
+	elems, err := p.parseBlock(false)
 	if err != nil {
 		return nil, err
 	}
@@ -274,11 +325,43 @@ func (p *parser) parseSelect() (*Query, error) {
 		}
 		q.Having = &n
 	}
+	if p.kw("ORDER") {
+		if err := p.expect("BY"); err != nil {
+			return nil, err
+		}
+		for strings.HasPrefix(p.peek(), "?") {
+			key := OrderKey{Var: p.next()[1:]}
+			if p.kw("DESC") {
+				key.Desc = true
+			} else {
+				p.kw("ASC")
+			}
+			q.OrderBy = append(q.OrderBy, key)
+		}
+		if len(q.OrderBy) == 0 {
+			return nil, p.errHere("ORDER BY without keys")
+		}
+	}
+	if limitOff := p.here(); p.kw("LIMIT") {
+		if len(q.OrderBy) == 0 {
+			// Without a defined order the kept prefix would be arbitrary;
+			// the grammar refuses rather than returning engine-dependent
+			// rows.
+			return nil, errAt(p.src, limitOff, "LIMIT requires ORDER BY")
+		}
+		off := p.here()
+		n, err := strconv.ParseUint(p.next(), 10, 32)
+		if err != nil {
+			return nil, errAt(p.src, off, "LIMIT count: %v", err)
+		}
+		q.Limit = &n
+	}
 	return q, nil
 }
 
-// parseBlock parses "{ element (['.'] element)* ['.'] }".
-func (p *parser) parseBlock() ([]Element, error) {
+// parseBlock parses "{ element (['.'] element)* ['.'] }". Inside an
+// OPTIONAL block (inOptional) only plain patterns and filters are allowed.
+func (p *parser) parseBlock(inOptional bool) ([]Element, error) {
 	if err := p.expect("{"); err != nil {
 		return nil, err
 	}
@@ -295,7 +378,7 @@ func (p *parser) parseBlock() ([]Element, error) {
 		if p.eof() {
 			return nil, p.errHere("unterminated block")
 		}
-		e, err := p.parseElement()
+		e, err := p.parseElement(inOptional)
 		if err != nil {
 			return nil, err
 		}
@@ -306,20 +389,46 @@ func (p *parser) parseBlock() ([]Element, error) {
 	}
 }
 
-func (p *parser) parseElement() (Element, error) {
+func (p *parser) parseElement(inOptional bool) (Element, error) {
 	switch {
 	case strings.EqualFold(p.peek(), "FILTER"):
-		p.next()
-		if err := p.expect("("); err != nil {
-			return nil, err
+		return p.parseFilter()
+	case strings.EqualFold(p.peek(), "OPTIONAL"):
+		if inOptional {
+			return nil, p.errHere("OPTIONAL cannot nest inside OPTIONAL")
 		}
-		v, err := p.parseVar()
+		p.next()
+		elems, err := p.parseBlock(true)
 		if err != nil {
 			return nil, err
 		}
-		if err := p.expect("!="); err != nil {
-			return nil, err
+		return &Optional{Where: elems}, nil
+	case p.peek() == "{":
+		if inOptional {
+			return nil, p.errHere("UNION cannot appear inside OPTIONAL")
 		}
+		return p.parseUnion()
+	default:
+		return p.parseTriple()
+	}
+}
+
+// parseFilter parses "FILTER (?v != term)" and the numeric comparisons
+// "FILTER (?v < n)" etc. Errors point at the offending token, not the
+// FILTER keyword.
+func (p *parser) parseFilter() (Element, error) {
+	p.next() // FILTER
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	v, err := p.parseVar()
+	if err != nil {
+		return nil, err
+	}
+	opOff := p.here()
+	op := p.next()
+	switch op {
+	case "!=":
 		off := p.here()
 		t, err := p.parseTerm()
 		if err != nil {
@@ -332,11 +441,39 @@ func (p *parser) parseElement() (Element, error) {
 			return nil, err
 		}
 		return Filter{Var: v, Not: t}, nil
-	case p.peek() == "{":
-		return p.parseUnion()
+	case "<", "<=", ">", ">=":
+		off := p.here()
+		tok := p.next()
+		val, text, ok := numericBound(tok)
+		if !ok {
+			return nil, errAt(p.src, off, "FILTER %s needs a numeric bound, got %q", op, tok)
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		return RangeFilter{Var: v, Op: op, Val: val, Text: text}, nil
 	default:
-		return p.parseTriple()
+		return nil, errAt(p.src, opOff, "expected comparison operator, got %q", op)
 	}
+}
+
+// numericBound interprets a token as a range-filter bound: a bare number or
+// a quoted literal whose value is numeric. It returns the value and the
+// token's source spelling.
+func numericBound(tok string) (float64, string, bool) {
+	if tok == "" {
+		return 0, "", false
+	}
+	if tok[0] == '"' {
+		t, err := rdf.ParseTerm(tok)
+		if err != nil {
+			return 0, "", false
+		}
+		v, ok := rdf.NumericTerm(t)
+		return v, tok, ok
+	}
+	v, ok := rdf.NumericTerm(rdf.NewLiteral(tok))
+	return v, tok, ok
 }
 
 // parseUnion parses "branch UNION [ALL] branch ...", where a branch is
@@ -380,7 +517,7 @@ func (p *parser) parseBranch() (*Query, error) {
 		}
 		return q, nil
 	}
-	elems, err := p.parseBlock()
+	elems, err := p.parseBlock(false)
 	if err != nil {
 		return nil, err
 	}

@@ -72,6 +72,12 @@ func TestParseRoundTrip(t *testing.T) {
 	texts = append(texts,
 		`SELECT * WHERE { ?s <p> "a literal with \"escapes\" and \\ slashes" }`,
 		`SELECT DISTINCT ?a WHERE { ?a ?p ?b . FILTER (?b != "end") }`,
+		// The SPARQL-ward constructs.
+		`SELECT * WHERE { ?s <p> ?t . OPTIONAL { ?s <q> ?y . FILTER (?y >= 1900) } }`,
+		`SELECT * WHERE { ?s <p> ?y . FILTER (?y < 1950.5) . FILTER (?y > -3) }`,
+		`SELECT * WHERE { ?s <p> ?y . FILTER (?y <= "1850") }`,
+		`SELECT ?t (COUNT AS ?n) WHERE { ?s <p> ?t } GROUP BY ?t ORDER BY ?n DESC ?t LIMIT 5`,
+		`SELECT * WHERE { ?s <p> ?o } ORDER BY ?o`,
 		// A literal ending in a backslash: the escaped backslash must not
 		// be read as an escaped closing quote.
 		(&bgp.Query{Where: []bgp.Element{bgp.Pattern{
@@ -122,6 +128,18 @@ func TestParseErrors(t *testing.T) {
 		`SELECT * WHERE { { ?a <p> ?b } UNION { ?a <p> ?b } UNION ALL { ?a <p> ?b } }`,
 		`SELECT * WHERE { ?s ! ?o }`,
 		`SELECT ? WHERE { ?s ?p ?o }`,
+		// SPARQL-ward construct rejections.
+		`SELECT * WHERE { ?s ?p ?o . OPTIONAL { } }`,
+		`SELECT * WHERE { ?s ?p ?o . OPTIONAL { ?s ?p ?a . OPTIONAL { ?a ?q ?b } } }`,
+		`SELECT * WHERE { ?s ?p ?o . OPTIONAL { { ?a <p> ?b } UNION { ?c <p> ?d } } }`,
+		`SELECT * WHERE { ?s ?p ?o . FILTER (?o < <iri>) }`,
+		`SELECT * WHERE { ?s ?p ?o . FILTER (?o < "not numeric") }`,
+		`SELECT * WHERE { ?s ?p ?o . FILTER (?o <> 5) }`,
+		`SELECT * WHERE { ?s ?p ?o } LIMIT 5`,
+		`SELECT * WHERE { ?s ?p ?o } ORDER BY`,
+		`SELECT * WHERE { ?s ?p ?o } ORDER BY ?s LIMIT -1`,
+		`SELECT * WHERE { ?s ?p ?o } ORDER BY ?s LIMIT many`,
+		`SELECT * WHERE { ?s ?p - ?o }`,
 	}
 	for _, text := range cases {
 		_, err := bgp.Parse(text)

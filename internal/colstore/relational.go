@@ -2,6 +2,7 @@ package colstore
 
 import (
 	"fmt"
+	"sort"
 
 	"blackswan/internal/rel"
 )
@@ -83,6 +84,92 @@ func (p *preparedJoin) Probe(rr *rel.Rel, rc int) *rel.Rel {
 func (r Relational) MergeJoin(l, rr *rel.Rel, lc, rc int) *rel.Rel {
 	lp, rp := r.E.MergeJoin(r.key(l, lc), r.key(rr, rc))
 	return r.materialize(l, rr, lp, rp)
+}
+
+// LeftJoin is the left outer hash join decomposed into vector primitives:
+// hash the right key vector, probe with the left one, and materialize with
+// rp = -1 marking a null-extended row. Left input order is preserved.
+func (r Relational) LeftJoin(l, rr *rel.Rel, lc, rc int, nullVal uint64) *rel.Rel {
+	r.E.node()
+	rk := r.key(rr, rc)
+	ht := make(map[uint64][]int32, len(rk))
+	for i, v := range rk {
+		ht[v] = append(ht[v], int32(i))
+	}
+	r.E.Store.ChargeCPU(int64(len(rk)) * r.E.Costs.HashBuild)
+	lk := r.key(l, lc)
+	r.E.Store.ChargeCPU(int64(len(lk)) * r.E.Costs.HashProbe)
+	var lp, rp []int32
+	for i, v := range lk {
+		matches := ht[v]
+		if len(matches) == 0 {
+			lp = append(lp, int32(i))
+			rp = append(rp, -1)
+			continue
+		}
+		for _, j := range matches {
+			lp = append(lp, int32(i))
+			rp = append(rp, j)
+		}
+	}
+	// Outer materialization: a negative right position emits nulls.
+	w := l.W + rr.W
+	out := rel.NewCap(w, len(lp))
+	r.E.Store.ChargeCPU(int64(len(lp)) * int64(w) * r.E.Costs.FetchValue)
+	nulls := make([]uint64, rr.W)
+	for i := range nulls {
+		nulls[i] = nullVal
+	}
+	for i := range lp {
+		out.Data = append(out.Data, l.Row(int(lp[i]))...)
+		if rp[i] < 0 {
+			out.Data = append(out.Data, nulls...)
+		} else {
+			out.Data = append(out.Data, rr.Row(int(rp[i]))...)
+		}
+	}
+	return out
+}
+
+// FilterPred keeps rows whose col value satisfies pred — the vector-side
+// half of the plan layer's value-resolved predicates (numeric ranges).
+func (r Relational) FilterPred(x *rel.Rel, col int, pred func(uint64) bool) *rel.Rel {
+	return r.filter(x, func(row []uint64) bool { return pred(row[col]) })
+}
+
+// TopN sorts x under less (a total order from the plan layer) and keeps the
+// first limit rows; limit < 0 keeps all. Charged as an n·⌈log₂n⌉-comparison
+// sort over the key columns plus the output materialization.
+func (r Relational) TopN(x *rel.Rel, limit int, less func(a, b []uint64) bool) *rel.Rel {
+	r.E.node()
+	n := x.Len()
+	r.E.Store.ChargeCPU(sortCharge(n) * r.E.Costs.SortValue)
+	rows := make([][]uint64, n)
+	for i := 0; i < n; i++ {
+		rows[i] = x.Row(i)
+	}
+	sort.Slice(rows, func(i, j int) bool { return less(rows[i], rows[j]) })
+	if limit >= 0 && n > limit {
+		rows = rows[:limit]
+	}
+	out := rel.NewCap(x.W, len(rows))
+	r.E.Store.ChargeCPU(int64(len(rows)) * int64(x.W) * r.E.Costs.FetchValue)
+	for _, row := range rows {
+		out.Data = append(out.Data, row...)
+	}
+	return out
+}
+
+// sortCharge approximates the comparison count of sorting n rows: n·⌈log₂n⌉.
+func sortCharge(n int) int64 {
+	if n < 2 {
+		return int64(n)
+	}
+	lg := int64(0)
+	for m := n - 1; m > 0; m >>= 1 {
+		lg++
+	}
+	return int64(n) * lg
 }
 
 func (r Relational) filter(x *rel.Rel, pred func(row []uint64) bool) *rel.Rel {

@@ -18,6 +18,7 @@ type Costs struct {
 	GroupValue    int64
 	UnionValue    int64
 	DistinctValue int64
+	SortValue     int64 // one key comparison while sorting (ORDER BY / TopN)
 	BinarySearch  int64 // one binary search on a sorted column
 	NodeStartup   int64 // dispatch one algebra operator
 }
@@ -32,6 +33,7 @@ func DefaultCosts() Costs {
 		GroupValue:    16,
 		UnionValue:    8,
 		DistinctValue: 14,
+		SortValue:     7,
 		BinarySearch:  600,
 		NodeStartup:   4_000,
 	}

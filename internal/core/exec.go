@@ -32,12 +32,23 @@ import (
 type PhysicalOps interface {
 	HashJoin(l, r *rel.Rel, lc, rc int) *rel.Rel
 	MergeJoin(l, r *rel.Rel, lc, rc int) *rel.Rel
+	// LeftJoin is the left outer hash join: every left row survives, and
+	// unmatched rows carry nullVal in the right side's columns. Left input
+	// order is preserved, so ordering properties survive the operator.
+	LeftJoin(l, r *rel.Rel, lc, rc int, nullVal uint64) *rel.Rel
 	FilterEq(r *rel.Rel, col int, v uint64) *rel.Rel
 	FilterNe(r *rel.Rel, col int, v uint64) *rel.Rel
 	FilterIn(r *rel.Rel, col int, set map[uint64]bool) *rel.Rel
 	// FilterEqCol keeps rows whose columns a and b are equal — the residual
 	// predicate of cyclic basic graph patterns.
 	FilterEqCol(r *rel.Rel, a, b int) *rel.Rel
+	// FilterPred keeps rows whose col value satisfies pred — the engine
+	// charges per evaluated tuple/value, the predicate itself (numeric
+	// range over dictionary values) comes resolved from the plan layer.
+	FilterPred(r *rel.Rel, col int, pred func(uint64) bool) *rel.Rel
+	// TopN sorts r under less (a total order supplied by the plan layer)
+	// and keeps the first limit rows; limit < 0 keeps all.
+	TopN(r *rel.Rel, limit int, less func(a, b []uint64) bool) *rel.Rel
 	GroupCount(r *rel.Rel, keyCols ...int) *rel.Rel
 	// GroupCountPar is GroupCount with the counting chunked over workers
 	// (per-chunk local tallies, merged, then sorted); charges and output
@@ -264,25 +275,8 @@ func useCounts(root Node) map[Node]int {
 		if uses[n] > 1 {
 			return
 		}
-		switch x := n.(type) {
-		case *Join:
-			walk(x.L)
-			walk(x.R)
-		case *FilterNe:
-			walk(x.In)
-		case *FilterEqCols:
-			walk(x.In)
-		case *Distinct:
-			walk(x.In)
-		case *Union:
-			walk(x.L)
-			walk(x.R)
-		case *Group:
-			walk(x.In)
-		case *Having:
-			walk(x.In)
-		case *Project:
-			walk(x.In)
+		for _, c := range children(n) {
+			walk(c)
 		}
 	}
 	walk(root)
@@ -296,21 +290,14 @@ func columnsOf(n Node) []string {
 	case *Access:
 		return slotCols(patternSlots(x.Pattern))
 	case *Join:
-		l, r := columnsOf(x.L), columnsOf(x.R)
-		inL := map[string]bool{}
-		for _, c := range l {
-			inL[c] = true
-		}
-		out := append([]string(nil), l...)
-		for _, c := range r {
-			if !inL[c] {
-				out = append(out, c)
-			}
-		}
-		return out
+		return joinColumns(x.L, x.R)
+	case *LeftJoin:
+		return joinColumns(x.L, x.R)
 	case *FilterNe:
 		return columnsOf(x.In)
 	case *FilterEqCols:
+		return columnsOf(x.In)
+	case *FilterRange:
 		return columnsOf(x.In)
 	case *Distinct:
 		return columnsOf(x.In)
@@ -325,9 +312,28 @@ func columnsOf(n Node) []string {
 			return x.As
 		}
 		return x.Cols
+	case *TopN:
+		return columnsOf(x.In)
 	default:
 		return nil
 	}
+}
+
+// joinColumns is the shared output schema of the (outer) natural joins:
+// the left columns, then the right's minus the shared ones.
+func joinColumns(L, R Node) []string {
+	l, r := columnsOf(L), columnsOf(R)
+	inL := map[string]bool{}
+	for _, c := range l {
+		inL[c] = true
+	}
+	out := append([]string(nil), l...)
+	for _, c := range r {
+		if !inL[c] {
+			out = append(out, c)
+		}
+	}
+	return out
 }
 
 // requiredVars computes, for every node of the plan DAG, which of its
@@ -366,10 +372,8 @@ func requiredVars(root Node) map[Node]map[string]bool {
 			}
 			return out
 		}
-		switch x := n.(type) {
-		case *Access:
-		case *Join:
-			lc, rc := columnsOf(x.L), columnsOf(x.R)
+		joinSides := func(L, R Node) {
+			lc, rc := columnsOf(L), columnsOf(R)
 			rSet := map[string]bool{}
 			for _, c := range rc {
 				rSet[c] = true
@@ -380,12 +384,21 @@ func requiredVars(root Node) map[Node]map[string]bool {
 					shared = append(shared, c)
 				}
 			}
-			add(x.L, append(keep(lc), shared...))
-			add(x.R, append(keep(rc), shared...))
+			add(L, append(keep(lc), shared...))
+			add(R, append(keep(rc), shared...))
+		}
+		switch x := n.(type) {
+		case *Access:
+		case *Join:
+			joinSides(x.L, x.R)
+		case *LeftJoin:
+			joinSides(x.L, x.R)
 		case *FilterNe:
 			add(x.In, append(all, x.Col))
 		case *FilterEqCols:
 			add(x.In, append(all, x.A, x.B))
+		case *FilterRange:
+			add(x.In, append(all, x.Col))
 		case *Distinct:
 			// Duplicate elimination depends on every column.
 			add(x.In, columnsOf(x.In))
@@ -398,6 +411,12 @@ func requiredVars(root Node) map[Node]map[string]bool {
 			add(x.In, append(all, x.Col))
 		case *Project:
 			add(x.In, x.Cols)
+		case *TopN:
+			vs := all
+			for _, k := range x.Keys {
+				vs = append(vs, k.Col)
+			}
+			add(x.In, vs)
 		}
 	}
 	add(root, columnsOf(root))
@@ -418,10 +437,14 @@ func (ex *executor) eval(n Node) (batch, error) {
 		b, err = ex.evalAccess(x)
 	case *Join:
 		b, err = ex.evalJoin(x)
+	case *LeftJoin:
+		b, err = ex.evalLeftJoin(x)
 	case *FilterNe:
 		b, err = ex.evalFilterNe(x)
 	case *FilterEqCols:
 		b, err = ex.evalFilterEqCols(x)
+	case *FilterRange:
+		b, err = ex.evalFilterRange(x)
 	case *Distinct:
 		b, err = ex.evalDistinct(x)
 	case *Union:
@@ -432,6 +455,8 @@ func (ex *executor) eval(n Node) (batch, error) {
 		b, err = ex.evalHaving(x)
 	case *Project:
 		b, err = ex.evalProject(x)
+	case *TopN:
+		b, err = ex.evalTopN(x)
 	default:
 		err = fmt.Errorf("unknown plan node %T", n)
 	}
@@ -866,6 +891,58 @@ func (ex *executor) evalJoin(j *Join) (batch, error) {
 	return batch{rel: joined.Project(keep...), cols: cols, sorted: sorted}, nil
 }
 
+// evalLeftJoin is the outer counterpart of evalJoin: a hash left join on
+// the single shared variable. There is no partitioned pushdown — the
+// optional side must see the complete left input to know which rows lack a
+// match, so the OPTIONAL boundary is also a fan-out boundary.
+func (ex *executor) evalLeftJoin(j *LeftJoin) (batch, error) {
+	l, err := ex.eval(j.L)
+	if err != nil {
+		return batch{}, err
+	}
+	r, err := ex.eval(j.R)
+	if err != nil {
+		return batch{}, err
+	}
+	var shared []string
+	rSet := map[string]bool{}
+	for _, c := range r.cols {
+		rSet[c] = true
+	}
+	for _, c := range l.cols {
+		if rSet[c] {
+			shared = append(shared, c)
+		}
+	}
+	if len(shared) != 1 {
+		return batch{}, fmt.Errorf("left join of %v and %v shares %d variables, want 1", l.cols, r.cols, len(shared))
+	}
+	v := shared[0]
+	lc, _ := l.col(v)
+	rc, _ := r.col(v)
+	joined := ex.ops.LeftJoin(l.rel, r.rel, lc, rc, uint64(rdf.NoID))
+	ex.tr.Joins = append(ex.tr.Joins, JoinChoice{Var: v, Merge: false})
+	// Drop the right side's copy of the join column (NoID on unmatched
+	// rows, never the left value — the left copy is the surviving one).
+	keep := make([]int, 0, l.rel.W+r.rel.W-1)
+	cols := make([]string, 0, l.rel.W+r.rel.W-1)
+	for i, c := range l.cols {
+		keep = append(keep, i)
+		cols = append(cols, c)
+	}
+	for i, c := range r.cols {
+		if i == rc {
+			continue
+		}
+		keep = append(keep, l.rel.W+i)
+		cols = append(cols, c)
+	}
+	// The operator preserves left input order, so the left ordering
+	// property survives (a matched left row may repeat, which keeps the
+	// column non-strictly ascending — what merge joins require).
+	return batch{rel: joined.Project(keep...), cols: cols, sorted: l.sorted}, nil
+}
+
 func (ex *executor) evalFilterNe(f *FilterNe) (batch, error) {
 	in, err := ex.eval(f.In)
 	if err != nil {
@@ -894,6 +971,161 @@ func (ex *executor) evalFilterEqCols(f *FilterEqCols) (batch, error) {
 	}
 	out := ex.ops.FilterEqCol(in.rel, a, b)
 	return batch{rel: out, cols: in.cols, sorted: in.sorted}, nil
+}
+
+func (ex *executor) evalFilterRange(f *FilterRange) (batch, error) {
+	in, err := ex.eval(f.In)
+	if err != nil {
+		return batch{}, err
+	}
+	c, err := in.col(f.Col)
+	if err != nil {
+		return batch{}, err
+	}
+	out := ex.ops.FilterPred(in.rel, c, RangePred(f))
+	return batch{rel: out, cols: in.cols, sorted: in.sorted}, nil
+}
+
+// RangePred builds the per-value predicate of a FilterRange node: true for
+// numeric literals inside the node's interval, false for everything else
+// (including NULL). Exported so engines' tests and the oracle can assert
+// against the one shared definition.
+func RangePred(f *FilterRange) func(uint64) bool {
+	return func(v uint64) bool {
+		x, ok := f.Num.NumericValue(rdf.ID(v))
+		if !ok {
+			return false
+		}
+		if x < f.Lo || (x == f.Lo && !f.IncLo) {
+			return false
+		}
+		if x > f.Hi || (x == f.Hi && !f.IncHi) {
+			return false
+		}
+		return true
+	}
+}
+
+func (ex *executor) evalTopN(t *TopN) (batch, error) {
+	in, err := ex.eval(t.In)
+	if err != nil {
+		return batch{}, err
+	}
+	less, err := SortLess(t.Keys, in.cols, t.Ord)
+	if err != nil {
+		return batch{}, err
+	}
+	out := ex.ops.TopN(in.rel, t.Limit, less)
+	// Value order is not identifier order, so the merge-join licence
+	// ("sorted") does not survive a TopN.
+	return batch{rel: out, cols: in.cols, sorted: ""}, nil
+}
+
+// SortLess builds the total row order of a TopN node over the given column
+// schema: per key, NULLs first, numeric literals next by value, all other
+// terms by their N-Triples rendering (Desc reverses the key); rows equal
+// under every key fall back to raw ascending value comparison, which makes
+// the order total and scheme-independent (one dictionary serves all
+// schemes).
+func SortLess(keys []SortKey, cols []string, ord ValueSource) (func(a, b []uint64) bool, error) {
+	type keyIdx struct {
+		col   int
+		desc  bool
+		count bool
+	}
+	idx := make([]keyIdx, len(keys))
+	for i, k := range keys {
+		ci := -1
+		for j, c := range cols {
+			if c == k.Col {
+				ci = j
+				break
+			}
+		}
+		if ci < 0 {
+			return nil, fmt.Errorf("no sort column %q in %v", k.Col, cols)
+		}
+		idx[i] = keyIdx{col: ci, desc: k.Desc, count: k.Count}
+	}
+	// cmpID compares two dictionary identifiers by value: NULL < numeric
+	// literals (by value) < everything else (by rendering). Resolved keys
+	// are memoized per identifier — values repeat across rows, and a sort
+	// makes O(n log n) comparisons, so parsing and rendering must not
+	// happen per comparison.
+	type sortVal struct {
+		class int
+		num   float64
+		str   string
+	}
+	cache := map[uint64]sortVal{}
+	classOf := func(v uint64) (int, float64, string) {
+		if k, ok := cache[v]; ok {
+			return k.class, k.num, k.str
+		}
+		var k sortVal
+		if v != uint64(rdf.NoID) {
+			if x, ok := ord.NumericValue(rdf.ID(v)); ok {
+				k = sortVal{class: 1, num: x}
+			} else {
+				k = sortVal{class: 2, str: ord.SortString(rdf.ID(v))}
+			}
+		}
+		cache[v] = k
+		return k.class, k.num, k.str
+	}
+	cmpID := func(a, b uint64) int {
+		if a == b {
+			return 0
+		}
+		ca, na, sa := classOf(a)
+		cb, nb, sb := classOf(b)
+		switch {
+		case ca != cb:
+			if ca < cb {
+				return -1
+			}
+			return 1
+		case ca == 1 && na != nb:
+			if na < nb {
+				return -1
+			}
+			return 1
+		case ca == 2 && sa != sb:
+			if sa < sb {
+				return -1
+			}
+			return 1
+		}
+		return 0
+	}
+	return func(a, b []uint64) bool {
+		for _, k := range idx {
+			var c int
+			if k.count {
+				switch {
+				case a[k.col] < b[k.col]:
+					c = -1
+				case a[k.col] > b[k.col]:
+					c = 1
+				}
+			} else {
+				c = cmpID(a[k.col], b[k.col])
+			}
+			if k.desc {
+				c = -c
+			}
+			if c != 0 {
+				return c < 0
+			}
+		}
+		// Total-order fallback: raw values, always ascending.
+		for i := range a {
+			if a[i] != b[i] {
+				return a[i] < b[i]
+			}
+		}
+		return false
+	}, nil
 }
 
 func (ex *executor) evalDistinct(d *Distinct) (batch, error) {

@@ -61,6 +61,90 @@ type FilterEqCols struct {
 	A, B string
 }
 
+// LeftJoin is the left outer natural join of two inputs on their shared
+// variable — SPARQL's OPTIONAL. Every left row survives: matched rows
+// extend with the right side's columns, unmatched rows carry the NULL
+// sentinel (rdf.NoID, which no dictionary ever issues) in them. The BGP
+// compiler never reorders joins across a LeftJoin boundary, so the
+// optional side always sees the complete required side.
+type LeftJoin struct {
+	L, R Node
+}
+
+// ValueSource resolves dictionary identifiers to the values the
+// order-sensitive operators compare: the numeric value of numeric literals
+// (range filters, numeric ordering) and a total-order rendering for
+// everything else. Plans are scheme-independent, so the source is the
+// workload dictionary, not any engine's.
+type ValueSource interface {
+	// NumericValue returns the numeric value of id's term and whether the
+	// term is a numeric literal.
+	NumericValue(id rdf.ID) (float64, bool)
+	// SortString returns a rendering of id's term under which string
+	// comparison is a deterministic total order (N-Triples syntax).
+	SortString(id rdf.ID) string
+}
+
+// DictValues is the rdf.Dict-backed ValueSource every compiled plan uses.
+type DictValues struct {
+	Dict rdf.Dict
+}
+
+// NumericValue implements ValueSource via rdf.NumericTerm.
+func (d DictValues) NumericValue(id rdf.ID) (float64, bool) {
+	if id == rdf.NoID {
+		return 0, false
+	}
+	return rdf.NumericTerm(d.Dict.Term(id))
+}
+
+// SortString implements ValueSource with the N-Triples rendering.
+func (d DictValues) SortString(id rdf.ID) string {
+	if id == rdf.NoID {
+		return ""
+	}
+	return d.Dict.Term(id).String()
+}
+
+// FilterRange keeps rows whose Col holds a numeric literal inside the
+// interval (Lo, Hi) — closed at either end when IncLo/IncHi is set. Rows
+// whose value is NULL or not a numeric literal are dropped (the SPARQL
+// type-error semantics). Lo = -Inf / Hi = +Inf leave that end open; the
+// compiler emits one node per comparison, so chained filters intersect.
+type FilterRange struct {
+	In           Node
+	Col          string
+	Lo, Hi       float64
+	IncLo, IncHi bool
+	// Num resolves identifiers to numeric values (the workload dictionary).
+	Num ValueSource
+}
+
+// SortKey is one ORDER BY key of a TopN node.
+type SortKey struct {
+	// Col is the output column the key orders on.
+	Col string
+	// Desc reverses the key's comparison.
+	Desc bool
+	// Count marks a column holding aggregate counts: its raw uint64 values
+	// compare numerically, without dictionary resolution.
+	Count bool
+}
+
+// TopN sorts its input by Keys and keeps the first Limit rows — ORDER BY
+// with LIMIT. Limit < 0 keeps everything (plain ORDER BY). The order is
+// total: NULLs sort lowest, numeric literals next by value, all other
+// terms after by their N-Triples rendering, and exhausted keys fall back
+// to the raw row values — so the surviving prefix is deterministic and
+// identical on every scheme (all schemes share one dictionary).
+type TopN struct {
+	In    Node
+	Keys  []SortKey
+	Limit int
+	// Ord resolves identifiers for value ordering (the workload dictionary).
+	Ord ValueSource
+}
+
 // Distinct removes duplicate rows (SQL UNION's set semantics).
 type Distinct struct {
 	In Node
@@ -96,13 +180,16 @@ type Project struct {
 
 func (*Access) node()       {}
 func (*Join) node()         {}
+func (*LeftJoin) node()     {}
 func (*FilterNe) node()     {}
 func (*FilterEqCols) node() {}
+func (*FilterRange) node()  {}
 func (*Distinct) node()     {}
 func (*Union) node()        {}
 func (*Group) node()        {}
 func (*Having) node()       {}
 func (*Project) node()      {}
+func (*TopN) node()         {}
 
 // Plan is the complete logical plan of one benchmark query.
 type Plan struct {
@@ -203,6 +290,40 @@ func PlanFor(q Query, c Constants) (*Plan, error) {
 	return &Plan{Query: q, Root: root}, nil
 }
 
+// children returns a node's input nodes in evaluation order — the one
+// place the plan vocabulary's tree shape is spelled out, shared by every
+// structural walk (access collection, use counting, formatting).
+func children(n Node) []Node {
+	switch x := n.(type) {
+	case *Access:
+		return nil
+	case *Join:
+		return []Node{x.L, x.R}
+	case *LeftJoin:
+		return []Node{x.L, x.R}
+	case *FilterNe:
+		return []Node{x.In}
+	case *FilterEqCols:
+		return []Node{x.In}
+	case *FilterRange:
+		return []Node{x.In}
+	case *Distinct:
+		return []Node{x.In}
+	case *Union:
+		return []Node{x.L, x.R}
+	case *Group:
+		return []Node{x.In}
+	case *Having:
+		return []Node{x.In}
+	case *Project:
+		return []Node{x.In}
+	case *TopN:
+		return []Node{x.In}
+	default:
+		return nil
+	}
+}
+
 // Accesses returns the plan's Access leaves in evaluation order — the
 // query's basic graph pattern as the plan sees it. Shared subexpression
 // nodes appear once.
@@ -215,27 +336,12 @@ func (p *Plan) Accesses() []*Access {
 			return
 		}
 		seen[n] = true
-		switch x := n.(type) {
-		case *Access:
-			out = append(out, x)
-		case *Join:
-			walk(x.L)
-			walk(x.R)
-		case *FilterNe:
-			walk(x.In)
-		case *FilterEqCols:
-			walk(x.In)
-		case *Distinct:
-			walk(x.In)
-		case *Union:
-			walk(x.L)
-			walk(x.R)
-		case *Group:
-			walk(x.In)
-		case *Having:
-			walk(x.In)
-		case *Project:
-			walk(x.In)
+		if a, ok := n.(*Access); ok {
+			out = append(out, a)
+			return
+		}
+		for _, c := range children(n) {
+			walk(c)
 		}
 	}
 	walk(p.Root)

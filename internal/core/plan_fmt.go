@@ -1,0 +1,125 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"blackswan/internal/rdf"
+)
+
+// FormatPlan renders a plan tree as indented text for golden-file tests
+// and diagnostics: one line per node with its operator-specific details,
+// constants resolved through term (nil falls back to raw identifiers).
+// Shared subexpression nodes print once and are referenced as "^N" on
+// later visits, so the DAG shape — and therefore join-order regressions —
+// is diffable.
+func FormatPlan(root Node, term func(rdf.ID) string) string {
+	if term == nil {
+		term = func(id rdf.ID) string { return fmt.Sprintf("#%d", id) }
+	}
+	f := &planFormatter{term: term, ids: map[Node]int{}}
+	var b strings.Builder
+	f.walk(&b, root, 0)
+	return b.String()
+}
+
+type planFormatter struct {
+	term func(rdf.ID) string
+	ids  map[Node]int
+	next int
+}
+
+func (f *planFormatter) ref(tr TermRef) string {
+	if tr.Bound() {
+		return f.term(tr.Const)
+	}
+	return "?" + tr.Var
+}
+
+func (f *planFormatter) walk(b *strings.Builder, n Node, depth int) {
+	indent := strings.Repeat("  ", depth)
+	if id, seen := f.ids[n]; seen {
+		fmt.Fprintf(b, "%s^%d\n", indent, id)
+		return
+	}
+	f.next++
+	f.ids[n] = f.next
+	line := func(format string, args ...any) {
+		fmt.Fprintf(b, "%s%d: ", indent, f.ids[n])
+		fmt.Fprintf(b, format, args...)
+		b.WriteByte('\n')
+	}
+	switch x := n.(type) {
+	case *Access:
+		restrict := ""
+		if x.Restrict {
+			restrict = " RESTRICT"
+		}
+		line("Access %s %s %s%s", f.ref(x.Pattern.S), f.ref(x.Pattern.P), f.ref(x.Pattern.O), restrict)
+	case *Join:
+		line("Join")
+	case *LeftJoin:
+		line("LeftJoin")
+	case *FilterNe:
+		line("FilterNe ?%s != %s", x.Col, f.term(x.Value))
+	case *FilterEqCols:
+		line("FilterEqCols ?%s == ?%s", x.A, x.B)
+	case *FilterRange:
+		lo, hi := "(-inf", "+inf)"
+		if !math.IsInf(x.Lo, -1) {
+			br := "("
+			if x.IncLo {
+				br = "["
+			}
+			lo = fmt.Sprintf("%s%g", br, x.Lo)
+		}
+		if !math.IsInf(x.Hi, 1) {
+			br := ")"
+			if x.IncHi {
+				br = "]"
+			}
+			hi = fmt.Sprintf("%g%s", x.Hi, br)
+		}
+		line("FilterRange ?%s in %s, %s", x.Col, lo, hi)
+	case *Distinct:
+		line("Distinct")
+	case *Union:
+		line("Union")
+	case *Group:
+		line("Group by %s", strings.Join(x.Keys, ", "))
+	case *Having:
+		line("Having %s > %d", x.Col, x.Min)
+	case *Project:
+		if x.As != nil {
+			pairs := make([]string, len(x.Cols))
+			for i := range x.Cols {
+				pairs[i] = x.Cols[i] + "→" + x.As[i]
+			}
+			line("Project %s", strings.Join(pairs, ", "))
+		} else {
+			line("Project %s", strings.Join(x.Cols, ", "))
+		}
+	case *TopN:
+		keys := make([]string, len(x.Keys))
+		for i, k := range x.Keys {
+			keys[i] = "?" + k.Col
+			if k.Desc {
+				keys[i] += " DESC"
+			}
+			if k.Count {
+				keys[i] += " (count)"
+			}
+		}
+		if x.Limit >= 0 {
+			line("TopN %s LIMIT %d", strings.Join(keys, ", "), x.Limit)
+		} else {
+			line("TopN %s", strings.Join(keys, ", "))
+		}
+	default:
+		line("%T", n)
+	}
+	for _, c := range children(n) {
+		f.walk(b, c, depth+1)
+	}
+}

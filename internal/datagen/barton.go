@@ -16,6 +16,7 @@ const (
 	LanguageIRI    = "barton/language"
 	PointIRI       = "barton/Point"
 	EncodingIRI    = "barton/Encoding"
+	PointInTimeIRI = "barton/pointInTime"
 	TextIRI        = "barton/Text"
 	DateIRI        = "barton/Date"
 	DLCIRI         = "barton/info:marcorg/DLC"
@@ -24,11 +25,20 @@ const (
 	EndLiteral     = "end"
 )
 
+// Numeric object range of the <pointInTime> property: years, as the Barton
+// catalog's date fields carry. These literals are the data set's numeric
+// population — what range filters and numeric ORDER BY exercise.
+const (
+	PointInTimeMin = 1801
+	PointInTimeMax = 2000
+)
+
 // Vocab holds the dictionary identifiers of the terms the benchmark queries
 // bind as constants.
 type Vocab struct {
-	// Properties.
-	Type, Records, Origin, Language, Point, Encoding rdf.ID
+	// Properties. PointInTime is the numeric-valued property (year
+	// literals) the SPARQL-ward range filters draw on.
+	Type, Records, Origin, Language, Point, Encoding, PointInTime rdf.ID
 	// Objects (and the q8 subject Conferences).
 	Text, Date, DLC, French, End, Conferences rdf.ID
 }
@@ -100,6 +110,7 @@ func Generate(cfg Config) (*Dataset, error) {
 		Language:    d.InternIRI(LanguageIRI),
 		Point:       d.InternIRI(PointIRI),
 		Encoding:    d.InternIRI(EncodingIRI),
+		PointInTime: d.InternIRI(PointInTimeIRI),
 		Text:        d.InternIRI(TextIRI),
 		Date:        d.InternIRI(DateIRI),
 		DLC:         d.InternIRI(DLCIRI),
@@ -150,10 +161,18 @@ func Generate(cfg Config) (*Dataset, error) {
 
 	// Property roster: specials first (they are among the most frequent in
 	// Barton), then generic properties.
-	props := []rdf.ID{v.Type, v.Records, v.Origin, v.Language, v.Point, v.Encoding}
+	props := []rdf.ID{v.Type, v.Records, v.Origin, v.Language, v.Point, v.Encoding, v.PointInTime}
 	for len(props) < cfg.Properties {
 		props = append(props, d.InternIRI(fmt.Sprintf("barton/property/%d", len(props))))
 	}
+
+	// Year literals for <pointInTime>: a Zipfian pull toward the recent end
+	// of the range, so range filters see a skewed numeric distribution.
+	years := make([]rdf.ID, 0, PointInTimeMax-PointInTimeMin+1)
+	for y := PointInTimeMax; y >= PointInTimeMin; y-- {
+		years = append(years, d.InternLiteral(fmt.Sprintf("%d", y)))
+	}
+	yearZipf := newZipf(rng, len(years), 1.05)
 
 	// Per-property target counts, calibrated to the Barton proportions:
 	//
@@ -248,6 +267,8 @@ func Generate(cfg Config) (*Dataset, error) {
 				}
 			case v.Encoding:
 				o = encodings[rng.Intn(len(encodings))]
+			case v.PointInTime:
+				o = years[yearZipf.Draw()]
 			default:
 				o = genericObject(pi, n)
 			}

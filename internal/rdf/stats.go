@@ -60,20 +60,48 @@ func ComputeStats(g *Graph) *Stats {
 }
 
 // PropDetail holds per-property cardinalities beyond the raw triple count:
-// how many distinct subjects and objects occur under the property. Together
-// with Stats' per-role frequency maps these are the selectivity inputs of
-// the BGP compiler's cost model (a pattern binding the subject under
-// property p matches on average PropFreq[p]/Subjects triples).
+// how many distinct subjects and objects occur under the property, and the
+// numeric profile of its object literals. Together with Stats' per-role
+// frequency maps these are the selectivity inputs of the BGP compiler's
+// cost model (a pattern binding the subject under property p matches on
+// average PropFreq[p]/Subjects triples; a numeric range filter over p's
+// objects keeps roughly the uniform-assumption overlap of [NumMin, NumMax]).
 type PropDetail struct {
 	Subjects int
 	Objects  int
+	// NumRows counts the property's triples whose object is a numeric
+	// literal; NumMin and NumMax bound those values. NumRows == 0 means the
+	// property carries no numeric objects and the bounds are meaningless.
+	NumRows int
+	NumMin  float64
+	NumMax  float64
 }
 
 // PropDetails computes, for every property of the graph, the number of
-// distinct subjects and distinct objects occurring under it.
+// distinct subjects and distinct objects occurring under it, plus the
+// numeric-object profile that drives range-filter selectivity estimates.
 func PropDetails(g *Graph) map[ID]PropDetail {
 	subj := make(map[ID]map[ID]struct{})
 	obj := make(map[ID]map[ID]struct{})
+	// Numeric values are parsed once per distinct object identifier, not
+	// once per triple.
+	numCache := make(map[ID]float64)
+	numKnown := make(map[ID]bool)
+	numOf := func(id ID) (float64, bool) {
+		if known, ok := numKnown[id]; ok {
+			if !known {
+				return 0, false
+			}
+			return numCache[id], true
+		}
+		v, ok := NumericTerm(g.Dict.Term(id))
+		numKnown[id] = ok
+		if ok {
+			numCache[id] = v
+		}
+		return v, ok
+	}
+	nums := make(map[ID]*PropDetail)
 	for _, t := range g.Triples {
 		s, ok := subj[t.P]
 		if !ok {
@@ -87,10 +115,28 @@ func PropDetails(g *Graph) map[ID]PropDetail {
 			obj[t.P] = o
 		}
 		o[t.O] = struct{}{}
+		if v, ok := numOf(t.O); ok {
+			d := nums[t.P]
+			if d == nil {
+				d = &PropDetail{NumMin: v, NumMax: v}
+				nums[t.P] = d
+			}
+			d.NumRows++
+			if v < d.NumMin {
+				d.NumMin = v
+			}
+			if v > d.NumMax {
+				d.NumMax = v
+			}
+		}
 	}
 	out := make(map[ID]PropDetail, len(subj))
 	for p, s := range subj {
-		out[p] = PropDetail{Subjects: len(s), Objects: len(obj[p])}
+		d := PropDetail{Subjects: len(s), Objects: len(obj[p])}
+		if n := nums[p]; n != nil {
+			d.NumRows, d.NumMin, d.NumMax = n.NumRows, n.NumMin, n.NumMax
+		}
+		out[p] = d
 	}
 	return out
 }

@@ -11,6 +11,7 @@ package rdf
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 )
 
@@ -86,15 +87,18 @@ func (t Term) String() string {
 }
 
 // escapeLiteral escapes the characters that N-Triples requires escaping
-// inside a quoted literal.
+// inside a quoted literal. It works byte-wise — every escape is ASCII —
+// so lexical forms that are not valid UTF-8 render back unchanged instead
+// of decaying to replacement runes (a round-trip bug the parser fuzzer
+// found).
 func escapeLiteral(s string) string {
 	if !strings.ContainsAny(s, "\"\\\n\r\t") {
 		return s
 	}
 	var b strings.Builder
 	b.Grow(len(s) + 8)
-	for _, r := range s {
-		switch r {
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; c {
 		case '"':
 			b.WriteString(`\"`)
 		case '\\':
@@ -106,10 +110,36 @@ func escapeLiteral(s string) string {
 		case '\t':
 			b.WriteString(`\t`)
 		default:
-			b.WriteRune(r)
+			b.WriteByte(c)
 		}
 	}
 	return b.String()
+}
+
+// NumericTerm reports the numeric value of a term: literals whose lexical
+// form parses as a decimal number (optionally signed, optionally
+// fractional) are numeric; IRIs and blank nodes never are. This is the one
+// definition of "numeric typed literal" shared by the range-filter and
+// ORDER BY semantics of every layer — engines, compiler and oracle.
+func NumericTerm(t Term) (float64, bool) {
+	if t.Kind != Literal || t.Value == "" {
+		return 0, false
+	}
+	// Reject forms strconv accepts but N-Triples data never means as
+	// numbers (hex, inf, exponents are fine to exclude too — the grammar's
+	// numeric tokens are plain decimals).
+	for i := 0; i < len(t.Value); i++ {
+		c := t.Value[i]
+		if (c >= '0' && c <= '9') || c == '.' || (i == 0 && (c == '-' || c == '+')) {
+			continue
+		}
+		return 0, false
+	}
+	v, err := strconv.ParseFloat(t.Value, 64)
+	if err != nil {
+		return 0, false
+	}
+	return v, true
 }
 
 // ParseTerm parses a single N-Triples term token.

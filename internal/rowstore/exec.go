@@ -2,6 +2,7 @@ package rowstore
 
 import (
 	"fmt"
+	"sort"
 
 	"blackswan/internal/btree"
 	"blackswan/internal/rel"
@@ -20,6 +21,7 @@ type Costs struct {
 	GroupTuple    int64 // aggregate one tuple
 	UnionTuple    int64 // move one tuple through a union
 	DistinctTuple int64 // deduplicate one tuple
+	SortTuple     int64 // one comparison while sorting (ORDER BY / TopN)
 	NodeStartup   int64 // open one plan node (optimizer + executor setup)
 }
 
@@ -34,6 +36,7 @@ func DefaultCosts() Costs {
 		GroupTuple:    130,
 		UnionTuple:    100,
 		DistinctTuple: 110,
+		SortTuple:     70,
 		NodeStartup:   25_000,
 	}
 }
@@ -278,6 +281,85 @@ func (p *preparedJoin) Probe(r *rel.Rel, rc int) *rel.Rel {
 		}
 	}
 	return out
+}
+
+// LeftJoin is the left outer hash join: every row of l survives, extended
+// with the matching rows of r, or with nullVal in every r column when no
+// match exists. Left input order is preserved (the probe iterates l), so
+// ordering properties survive the operator.
+func (e *Engine) LeftJoin(l, r *rel.Rel, lc, rc int, nullVal uint64) *rel.Rel {
+	e.node()
+	c := e.Costs
+	ht := make(map[uint64][]int, r.Len())
+	for i := 0; i < r.Len(); i++ {
+		ht[r.Row(i)[rc]] = append(ht[r.Row(i)[rc]], i)
+	}
+	e.Store.ChargeCPU(int64(r.Len()) * c.HashBuild)
+	e.Store.ChargeCPU(int64(l.Len()) * c.HashProbe)
+	out := rel.NewCap(l.W+r.W, l.Len())
+	nulls := make([]uint64, r.W)
+	for i := range nulls {
+		nulls[i] = nullVal
+	}
+	n := l.Len()
+	for i := 0; i < n; i++ {
+		lrow := l.Row(i)
+		matches := ht[lrow[lc]]
+		if len(matches) == 0 {
+			out.Data = append(out.Data, lrow...)
+			out.Data = append(out.Data, nulls...)
+			continue
+		}
+		for _, j := range matches {
+			out.Data = append(out.Data, lrow...)
+			out.Data = append(out.Data, r.Row(j)...)
+		}
+	}
+	return out
+}
+
+// FilterPred keeps rows whose col value satisfies pred — the engine-side
+// half of the plan layer's value-resolved predicates (numeric ranges).
+func (e *Engine) FilterPred(r *rel.Rel, col int, pred func(uint64) bool) *rel.Rel {
+	return e.filter(r, func(row []uint64) bool { return pred(row[col]) })
+}
+
+// TopN sorts r under less and keeps the first limit rows (limit < 0 keeps
+// all) — ORDER BY with LIMIT, as one tuple-at-a-time sort. The comparator
+// comes from the plan layer (it resolves dictionary values); the engine
+// charges one SortTuple per comparison of an n·log₂n sort plus the moves.
+func (e *Engine) TopN(r *rel.Rel, limit int, less func(a, b []uint64) bool) *rel.Rel {
+	e.node()
+	n := r.Len()
+	e.Store.ChargeCPU(sortCharge(n) * e.Costs.SortTuple)
+	rows := make([][]uint64, n)
+	for i := 0; i < n; i++ {
+		rows[i] = r.Row(i)
+	}
+	sort.Slice(rows, func(i, j int) bool { return less(rows[i], rows[j]) })
+	if limit >= 0 && n > limit {
+		rows = rows[:limit]
+	}
+	// Moving the surviving tuples is a scan-like pass of its own, mirroring
+	// the column store's materialization charge.
+	e.Store.ChargeCPU(int64(len(rows)) * e.Costs.ScanTuple)
+	out := rel.NewCap(r.W, len(rows))
+	for _, row := range rows {
+		out.Data = append(out.Data, row...)
+	}
+	return out
+}
+
+// sortCharge approximates the comparison count of sorting n rows: n·⌈log₂n⌉.
+func sortCharge(n int) int64 {
+	if n < 2 {
+		return int64(n)
+	}
+	lg := int64(0)
+	for m := n - 1; m > 0; m >>= 1 {
+		lg++
+	}
+	return int64(n) * lg
 }
 
 // MergeJoin joins two inputs already sorted on their join columns. It is the

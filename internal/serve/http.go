@@ -25,16 +25,18 @@ import (
 // queries come back as 400 with the parse position (line, column, offset),
 // unknown systems as 404, cancelled or expired requests as 504.
 
-// QueryResponse is the /query success payload.
+// QueryResponse is the /query success payload. A null row cell is an
+// unbound variable — the OPTIONAL construct's NULL — distinct from every
+// decoded term (even the empty literal, which decodes to "\"\"").
 type QueryResponse struct {
-	System    string     `json:"system"`
-	Columns   []string   `json:"columns"`
-	Rows      [][]string `json:"rows"`
-	RowCount  int        `json:"rowCount"`
-	Truncated bool       `json:"truncated,omitempty"`
-	Cached    bool       `json:"cached"`
-	LatencyMs float64    `json:"latencyMs"`
-	QueuedMs  float64    `json:"queuedMs"`
+	System    string      `json:"system"`
+	Columns   []string    `json:"columns"`
+	Rows      [][]*string `json:"rows"`
+	RowCount  int         `json:"rowCount"`
+	Truncated bool        `json:"truncated,omitempty"`
+	Cached    bool        `json:"cached"`
+	LatencyMs float64     `json:"latencyMs"`
+	QueuedMs  float64     `json:"queuedMs"`
 }
 
 // ErrorResponse is the JSON error payload; Line/Col/Offset are present for
@@ -95,7 +97,7 @@ func NewHandler(s *Service) http.Handler {
 			writeError(w, statusOf(err), errorResponseOf(err))
 			return
 		}
-		rows := s.DecodeRows(res, limit)
+		rows := s.DecodeRowsNull(res, limit)
 		writeJSON(w, http.StatusOK, QueryResponse{
 			System:    res.System,
 			Columns:   res.Cols,

@@ -68,7 +68,7 @@ func TestHTTPQuery(t *testing.T) {
 			t.Fatalf("row width %d, want %d", len(row), len(qr.Columns))
 		}
 		for _, cell := range row {
-			if cell == "" {
+			if cell == nil || *cell == "" {
 				t.Fatal("undecoded empty cell in response")
 			}
 		}

@@ -365,8 +365,28 @@ func (e *UnknownSystemError) Error() string {
 
 // DecodeRows renders up to limit rows of a result through the dictionary
 // of the snapshot the result executed on: IRIs and literals in N-Triples
-// syntax, aggregate counts as plain numbers. limit < 0 decodes everything.
+// syntax, aggregate counts as plain numbers, NULL (unbound OPTIONAL
+// variables) as the empty string — unambiguous, because an empty literal
+// renders as `""`. limit < 0 decodes everything.
 func (s *Service) DecodeRows(r *Result, limit int) [][]string {
+	nullable := s.DecodeRowsNull(r, limit)
+	out := make([][]string, len(nullable))
+	for i, row := range nullable {
+		cells := make([]string, len(row))
+		for j, c := range row {
+			if c != nil {
+				cells[j] = *c
+			}
+		}
+		out[i] = cells
+	}
+	return out
+}
+
+// DecodeRowsNull is DecodeRows with NULL cells kept distinguishable: an
+// unbound (rdf.NoID) value decodes to nil, which the HTTP layer encodes as
+// JSON null.
+func (s *Service) DecodeRowsNull(r *Result, limit int) [][]*string {
 	dict := r.dict
 	if dict == nil {
 		dict = s.Dict()
@@ -375,16 +395,21 @@ func (s *Service) DecodeRows(r *Result, limit int) [][]string {
 	if limit >= 0 && n > limit {
 		n = limit
 	}
-	out := make([][]string, n)
+	out := make([][]*string, n)
 	for i := 0; i < n; i++ {
 		row := r.Rows.Row(i)
-		cells := make([]string, len(row))
+		cells := make([]*string, len(row))
 		for j, v := range row {
 			if j < len(r.Cols) && r.Counts[r.Cols[j]] {
-				cells[j] = fmt.Sprint(v)
+				c := fmt.Sprint(v)
+				cells[j] = &c
 				continue
 			}
-			cells[j] = dict.Term(rdf.ID(v)).String()
+			if rdf.ID(v) == rdf.NoID {
+				continue // NULL: unbound OPTIONAL variable
+			}
+			c := dict.Term(rdf.ID(v)).String()
+			cells[j] = &c
 		}
 		out[i] = cells
 	}
