@@ -26,6 +26,10 @@
 //	          pipeline (triples/sec, per-stage breakdown, deterministic
 //	          byte-identity and cross-build query equivalence);
 //	          -load-report writes the JSON report
+//	stream    streaming vs materializing executor: paper queries plus a
+//	          generated ORDER BY/LIMIT workload, reporting simulated time,
+//	          host time, physical I/O and peak per-query memory;
+//	          -stream-report writes the JSON report
 //	sql       generated SQL for both schemes, with union/join counts
 //	gen       write the generated data set as N-Triples to stdout
 //	all       every experiment in paper order
@@ -75,9 +79,13 @@ func main() {
 		loadChunk   = flag.Int("load-chunk", 0, "scan-stage chunk bytes for the load experiment (defaults to 1MiB)")
 		loadQuick   = flag.Bool("load-quick", false, "skip the load experiment's scheme-build/query-equivalence phase")
 		loadReport  = flag.String("load-report", "", "write the load experiment's JSON report to this file")
+		strQueries  = flag.Int("stream-queries", 10, "generated ORDER BY/LIMIT queries for the stream experiment")
+		strHot      = flag.Bool("stream-hot", false, "run the stream experiment hot instead of cold")
+		strOverlap  = flag.Bool("stream-overlap", false, "use the overlapped-I/O clock composition for the stream experiment")
+		strReport   = flag.String("stream-report", "", "write the stream experiment's JSON report to this file")
 	)
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: swanbench [flags] <experiment>\nexperiments: table1 fig1 table2 table4 table5 fig5 table6 table7 fig6 fig7 parallel workloads serve load sql gen all\nflags:\n")
+		fmt.Fprintf(os.Stderr, "usage: swanbench [flags] <experiment>\nexperiments: table1 fig1 table2 table4 table5 fig5 table6 table7 fig6 fig7 parallel workloads serve load stream sql gen all\nflags:\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -215,6 +223,29 @@ func main() {
 				fail(os.WriteFile(*loadReport, append(data, '\n'), 0o644))
 				fmt.Fprintf(os.Stderr, "load report written to %s\n", *loadReport)
 			}
+		case "stream":
+			wseed := *bgpSeed
+			if wseed == 0 {
+				wseed = *seed
+			}
+			mode := bench.Cold
+			if *strHot {
+				mode = bench.Hot
+			}
+			section(fmt.Sprintf("Stream: streaming vs materializing executor, %d LIMIT queries (seed %d), %s runs", *strQueries, wseed, mode))
+			systems, err := bench.BGPSystems(w)
+			fail(err)
+			report, err := bench.RunStream(w, systems, bench.StreamOptions{
+				Queries: *strQueries, Seed: wseed, Mode: mode, Overlapped: *strOverlap,
+			})
+			fail(err)
+			fmt.Print(bench.FormatStream(report))
+			if *strReport != "" {
+				data, err := json.MarshalIndent(report, "", "  ")
+				fail(err)
+				fail(os.WriteFile(*strReport, append(data, '\n'), 0o644))
+				fmt.Fprintf(os.Stderr, "stream report written to %s\n", *strReport)
+			}
 		case "sql":
 			section("Generated SQL (triple-store, then vertically-partitioned)")
 			names := make([]string, 0, len(w.Cat.AllProps))
@@ -237,7 +268,7 @@ func main() {
 	}
 
 	if flag.Arg(0) == "all" {
-		for _, name := range []string{"table1", "fig1", "table2", "table4", "table5", "fig5", "table6", "table7", "fig6", "fig7", "parallel", "workloads", "serve", "load"} {
+		for _, name := range []string{"table1", "fig1", "table2", "table4", "table5", "fig5", "table6", "table7", "fig6", "fig7", "parallel", "workloads", "serve", "load", "stream"} {
 			run(name)
 		}
 		return

@@ -1,0 +1,94 @@
+package bench
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestRunStream smoke-tests the stream experiment end to end on the shared
+// workload: every scheme reports both executors' cells for every workload
+// kind, the scan-LIMIT guard ratio clears the CI threshold, the bounded
+// heap shows up in the TopN workload, and the report round-trips through
+// JSON (the CI artifact format).
+func TestRunStream(t *testing.T) {
+	w := testWorkload(t)
+	systems, err := BGPSystems(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := StreamOptions{Queries: 3, Seed: 11}
+	report, err := RunStream(w, systems, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !report.Identical {
+		t.Fatal("streaming results not byte-identical to materializing")
+	}
+	if report.PaperQueries != 12 {
+		t.Fatalf("paper queries = %d, want 12", report.PaperQueries)
+	}
+	if report.LimitQueries != opt.Queries || report.TopNQueries != opt.Queries {
+		t.Fatalf("limit/topn queries = %d/%d, want %d each",
+			report.LimitQueries, report.TopNQueries, opt.Queries)
+	}
+	if report.JoinQueries == 0 {
+		t.Fatal("join-LIMIT workload is empty")
+	}
+	kinds := map[string]int{}
+	for _, q := range report.Queries {
+		kinds[q.Kind]++
+		if q.Kind == "topn" && q.System == systems[0].Name && !q.HeapTopN {
+			t.Errorf("topn query %q did not use the bounded heap", q.Query)
+		}
+	}
+	wantRows := (report.PaperQueries + report.LimitQueries + report.JoinQueries + report.TopNQueries) * len(systems)
+	if len(report.Queries) != wantRows {
+		t.Fatalf("%d query rows, want %d (kinds: %v)", len(report.Queries), wantRows, kinds)
+	}
+	if report.HeapTopNs == 0 {
+		t.Fatal("no streaming run used the bounded heap")
+	}
+	// The CI regression guard: on the scan-shaped LIMIT workload streaming
+	// peak memory must stay below a quarter of the materializing baseline.
+	if report.MaxLimitPeakRatio <= 0 || report.MaxLimitPeakRatio > 0.25 {
+		t.Fatalf("max LIMIT peak ratio = %f, want in (0, 0.25]", report.MaxLimitPeakRatio)
+	}
+	if len(report.Systems) != len(systems) {
+		t.Fatalf("%d system rows, want %d", len(report.Systems), len(systems))
+	}
+	for _, s := range report.Systems {
+		if s.LimitPeakMat <= 0 || s.LimitPeakStream <= 0 {
+			t.Fatalf("%s: peak bytes %d/%d", s.System, s.LimitPeakMat, s.LimitPeakStream)
+		}
+		if s.LimitPeakRatio <= 0 || s.LimitPeakRatio > 0.25 {
+			t.Fatalf("%s: peak ratio = %f", s.System, s.LimitPeakRatio)
+		}
+		if s.LimitSpeedup <= 0 {
+			t.Fatalf("%s: speedup = %f", s.System, s.LimitSpeedup)
+		}
+		if s.LimitIOStream > s.LimitIOMat {
+			t.Fatalf("%s: streaming read more than materializing (%d > %d)",
+				s.System, s.LimitIOStream, s.LimitIOMat)
+		}
+	}
+
+	out := FormatStream(report)
+	for _, want := range []string{"byte-identical: true", "regression guard: 0.25", "heap"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("FormatStream lacks %q:\n%s", want, out)
+		}
+	}
+
+	data, err := json.Marshal(report)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back StreamReport
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.MaxLimitPeakRatio != report.MaxLimitPeakRatio || len(back.Queries) != len(report.Queries) {
+		t.Fatal("JSON round trip lost fields")
+	}
+}

@@ -1,0 +1,97 @@
+package btree
+
+import "fmt"
+
+// Cursor is the pull-based form of ScanPrefix: it yields the same entries
+// in the same order with the same simulated charges, but in caller-sized
+// steps, so a consumer that stops early never pays for the leaves it does
+// not visit. The descent is charged on the first Next call; leaf read-ahead
+// I/O is charged exactly when the scan enters a leaf at a read-ahead
+// boundary, as in ScanPrefix. A cursor holds no resources — abandoning one
+// is the early-termination protocol.
+type Cursor struct {
+	t       *Tree
+	prefix  Key
+	plen    int
+	start   int
+	limit   int // exclusive bound on qualifying leaves
+	leaf    int
+	idx     int // next key within leaf
+	started bool
+	done    bool
+}
+
+// NewCursor positions a cursor over all entries whose first plen fields
+// equal prefix (plen == 0 scans the whole tree). No charges happen until
+// the first Next.
+func (t *Tree) NewCursor(prefix Key, plen int) *Cursor {
+	if plen < 0 || plen > t.width {
+		panic(fmt.Sprintf("btree %q: prefix length %d out of range", t.name, plen))
+	}
+	return &Cursor{t: t, prefix: prefix, plen: plen}
+}
+
+// open charges the root-to-leaf descent and computes the qualifying leaf
+// range, mirroring the head of ScanPrefix (and of Scan for plen == 0).
+func (c *Cursor) open() {
+	c.started = true
+	t := c.t
+	if len(t.leaves) == 0 {
+		c.done = true
+		return
+	}
+	if c.plen == 0 {
+		c.start, c.limit = 0, len(t.leaves)
+		t.chargeDescent(0)
+	} else {
+		c.start = t.findLeaf(c.prefix, c.plen)
+		t.chargeDescent(c.start)
+		limit := c.start + 1
+		for limit < len(t.leaves) && Compare(t.sep[limit], c.prefix, c.plen) <= 0 {
+			limit++
+		}
+		c.limit = limit
+	}
+	c.leaf = c.start
+}
+
+// Next appends up to max matching entries to dst and returns the extended
+// slice. Exhaustion is signalled by returning dst unchanged.
+func (c *Cursor) Next(dst []Key, max int) []Key {
+	if !c.started {
+		c.open()
+	}
+	if c.done || max <= 0 {
+		return dst
+	}
+	t := c.t
+	n := 0
+	for c.leaf < c.limit {
+		if c.idx == 0 && (c.leaf-c.start)%readAheadLeaves == 0 {
+			t.readLeaf(c.leaf, c.limit)
+		}
+		keys := t.leaves[c.leaf]
+		for c.idx < len(keys) {
+			k := keys[c.idx]
+			if c.plen > 0 {
+				switch cmp := Compare(k, c.prefix, c.plen); {
+				case cmp < 0:
+					c.idx++
+					continue
+				case cmp > 0:
+					c.done = true
+					return dst
+				}
+			}
+			dst = append(dst, k)
+			c.idx++
+			if n++; n == max {
+				return dst
+			}
+		}
+		c.leaf++
+		c.idx = 0
+	}
+	c.done = true
+	return dst
+}

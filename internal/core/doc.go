@@ -1,0 +1,29 @@
+// Package core implements the study itself: the two RDF storage schemes
+// (triple-store with a chosen clustering, and the vertically-partitioned
+// scheme) instantiated over both the row-store and the column-store engine,
+// the twelve benchmark queries (q1–q8 plus the full-scale * variants of
+// q2/q3/q4/q6), the RDF query-space model of Section 2.2 (triple patterns
+// p1–p8 and join patterns A/B/C, with the Table 2 coverage analysis), and
+// the SQL text generator that plays the role of the authors' Perl script.
+//
+// Queries execute through the declarative plan layer: PlanFor declares each
+// query once as a logical operator DAG and a shared executor lowers it onto
+// any scheme from its physical properties (PhysicalSource). Two executors
+// share that lowering:
+//
+//   - the materializing executor (exec.go) evaluates operator-at-a-time,
+//     one memoized relation per plan node — the reference for results and
+//     for fully-drained simulated charges;
+//   - the streaming executor (stream.go, ExecOptions{Streaming: true})
+//     pulls fixed-size row batches through iterator pipelines with no
+//     materialization barriers except hash builds, grouping and full
+//     sorts. LIMIT and the bounded-heap TopN (n·⌈log₂ k⌉ comparisons)
+//     propagate early termination into the physical scans, so bounded
+//     queries stop paying simulated I/O and hold only a few batches of
+//     intermediate state (Trace.PeakBytes).
+//
+// The two executors produce byte-identical results — including row order —
+// on every scheme; the serving layer streams by default. ExecutePlanCtx
+// checks cancellation at batch boundaries, and ExecOptions.Workers fans
+// partitioned scans over a worker pool with deterministic charge totals.
+package core

@@ -123,12 +123,28 @@ func AllScanCols() ScanCols { return ScanCols{S: true, P: true, O: true} }
 type ExecOptions struct {
 	// Workers > 1 fans per-property scans out over a worker pool on
 	// partitioned schemes. Results are merged in property order, so the
-	// output is byte-identical to sequential execution, and CPU charges
-	// are order-independent sums. Cold-run I/O accounting (buffer-pool
-	// hits, seek detection) depends on scan interleaving, so simulated
-	// cold timings under Workers > 1 are not reproducible run-to-run —
-	// use sequential execution when regenerating the paper's tables.
+	// output is byte-identical to sequential execution, and charge
+	// accounting is interleaving-independent: CPU charges are order-
+	// independent sums, and the store's seek detection is per file, so
+	// fully-drained plans produce the same simulated cold timings under
+	// any scheduling. The one exception is a streaming plan that
+	// terminates a parallel fan-out early: how far the prefetch workers
+	// got is scheduling-dependent, so charges of abandoned work can vary —
+	// results never do. Use Workers <= 1 when regenerating timing tables
+	// for LIMIT plans.
 	Workers int
+	// Streaming selects the pull-based batched executor: operators
+	// exchange fixed-size row batches, pipelines run without
+	// materialization barriers, and TopN/LIMIT terminate their inputs
+	// early. Results are byte-identical to the materializing executor on
+	// every scheme; simulated charges may differ where the execution
+	// strategy genuinely differs (heap TopN, early-terminated scans,
+	// batch-granular I/O requests). Ignored when the engine's operator set
+	// does not implement StreamOps.
+	Streaming bool
+	// BatchRows is the streaming batch size in rows; 0 means
+	// DefaultBatchRows.
+	BatchRows int
 }
 
 // Tunable is implemented by every storage scheme: it carries the executor
@@ -164,6 +180,31 @@ type Trace struct {
 	// Parallel reports whether any operator actually fanned work over the
 	// worker pool (per-property scans, union merges, group counting).
 	Parallel bool
+	// Streamed reports that the pull-based streaming executor ran the plan.
+	Streamed bool
+	// PeakBytes is the tracked peak of live intermediate-result bytes. The
+	// materializing executor keeps every operator output live in its memo,
+	// so its peak is the sum of all intermediate results; the streaming
+	// executor counts in-flight batches plus buffered operator state
+	// (hash-join builds, group tables, TopN heaps).
+	PeakBytes int64
+	// SourceBatches counts scan batches pulled from the physical sources
+	// (streaming executor only) — early-termination tests assert a LIMIT-n
+	// plan pulls O(n) rows' worth of batches, not the whole input.
+	SourceBatches int
+	// TopNs records each executed TopN: input rows, limit, and the
+	// comparisons charged. The materializing full sort charges
+	// n·ceil(log2 n); the streaming bounded heap charges n·ceil(log2 k).
+	TopNs []TopNStat
+}
+
+// TopNStat records the sort-comparison cost of one executed TopN node.
+type TopNStat struct {
+	Input    int
+	Limit    int
+	Compares int64
+	// Heap reports the streaming bounded-heap strategy (vs. a full sort).
+	Heap bool
 }
 
 // Execute runs one benchmark query through the declarative plan layer.
@@ -217,11 +258,18 @@ func ExecutePlanCtx(ctx context.Context, src PhysicalSource, root Node, opt Exec
 		memo: make(map[Node]batch),
 		req:  requiredVars(root),
 		uses: useCounts(root),
+		mem:  &memTracker{},
+	}
+	if opt.Streaming {
+		if sops, ok := ex.ops.(StreamOps); ok {
+			return ex.runStream(root, sops)
+		}
 	}
 	b, err := ex.eval(root)
 	if err != nil {
 		return nil, nil, nil, err
 	}
+	ex.tr.PeakBytes = ex.mem.peakBytes()
 	return b.rel, b.cols, ex.tr, nil
 }
 
@@ -252,6 +300,7 @@ type executor struct {
 	memo map[Node]batch
 	req  map[Node]map[string]bool
 	uses map[Node]int
+	mem  *memTracker
 }
 
 // unionAll merges fan-out parts, parallelizing the tuple movement when the
@@ -313,6 +362,8 @@ func columnsOf(n Node) []string {
 		}
 		return x.Cols
 	case *TopN:
+		return columnsOf(x.In)
+	case *Limit:
 		return columnsOf(x.In)
 	default:
 		return nil
@@ -417,6 +468,8 @@ func requiredVars(root Node) map[Node]map[string]bool {
 				vs = append(vs, k.Col)
 			}
 			add(x.In, vs)
+		case *Limit:
+			add(x.In, all)
 		}
 	}
 	add(root, columnsOf(root))
@@ -457,12 +510,17 @@ func (ex *executor) eval(n Node) (batch, error) {
 		b, err = ex.evalProject(x)
 	case *TopN:
 		b, err = ex.evalTopN(x)
+	case *Limit:
+		b, err = ex.evalLimit(x)
 	default:
 		err = fmt.Errorf("unknown plan node %T", n)
 	}
 	if err != nil {
 		return batch{}, err
 	}
+	// Every materializing intermediate stays live in the memo until the
+	// plan finishes, so peak memory is the running sum of operator outputs.
+	ex.mem.alloc(relBytes(b.rel))
 	ex.memo[n] = b
 	return b, nil
 }
@@ -1015,6 +1073,10 @@ func (ex *executor) evalTopN(t *TopN) (batch, error) {
 	if err != nil {
 		return batch{}, err
 	}
+	n := in.rel.Len()
+	ex.tr.TopNs = append(ex.tr.TopNs, TopNStat{
+		Input: n, Limit: t.Limit, Compares: sortCompares(n),
+	})
 	out := ex.ops.TopN(in.rel, t.Limit, less)
 	// Value order is not identifier order, so the merge-join licence
 	// ("sorted") does not survive a TopN.
@@ -1126,6 +1188,27 @@ func SortLess(keys []SortKey, cols []string, ord ValueSource) (func(a, b []uint6
 		}
 		return false
 	}, nil
+}
+
+// evalLimit truncates the input to its first N rows in pipeline order. The
+// prefix of an ordered input stays ordered, and truncation is a plan-level
+// copy — neither engine charges for it — so the streaming executor's Limit
+// matches this result exactly while additionally closing its input early.
+func (ex *executor) evalLimit(l *Limit) (batch, error) {
+	in, err := ex.eval(l.In)
+	if err != nil {
+		return batch{}, err
+	}
+	n := l.N
+	if n < 0 {
+		n = 0
+	}
+	if n >= in.rel.Len() {
+		return in, nil
+	}
+	out := rel.New(in.rel.W)
+	out.Data = append(out.Data, in.rel.Data[:n*in.rel.W]...)
+	return batch{rel: out, cols: in.cols, sorted: in.sorted}, nil
 }
 
 func (ex *executor) evalDistinct(d *Distinct) (batch, error) {

@@ -145,6 +145,17 @@ type TopN struct {
 	Ord ValueSource
 }
 
+// Limit keeps the first N rows of its input, in the input's own order —
+// SPARQL's bare LIMIT (no ORDER BY). Which rows form the prefix is the
+// engine pipeline's evaluation order: deterministic for a given scheme and
+// identical between the materializing and streaming executors, but not
+// canonical across schemes. Under the streaming executor, Limit closes its
+// input after N rows, so upstream scans stop pulling batches.
+type Limit struct {
+	In Node
+	N  int
+}
+
 // Distinct removes duplicate rows (SQL UNION's set semantics).
 type Distinct struct {
 	In Node
@@ -190,6 +201,7 @@ func (*Group) node()        {}
 func (*Having) node()       {}
 func (*Project) node()      {}
 func (*TopN) node()         {}
+func (*Limit) node()        {}
 
 // Plan is the complete logical plan of one benchmark query.
 type Plan struct {
@@ -318,6 +330,8 @@ func children(n Node) []Node {
 	case *Project:
 		return []Node{x.In}
 	case *TopN:
+		return []Node{x.In}
+	case *Limit:
 		return []Node{x.In}
 	default:
 		return nil

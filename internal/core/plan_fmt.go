@@ -116,6 +116,8 @@ func (f *planFormatter) walk(b *strings.Builder, n Node, depth int) {
 		} else {
 			line("TopN %s", strings.Join(keys, ", "))
 		}
+	case *Limit:
+		line("Limit %d", x.N)
 	default:
 		line("%T", n)
 	}

@@ -1,10 +1,3 @@
-// Package core implements the study itself: the two RDF storage schemes
-// (triple-store with a chosen clustering, and the vertically-partitioned
-// scheme) instantiated over both the row-store and the column-store engine,
-// the twelve benchmark queries (q1–q8 plus the full-scale * variants of
-// q2/q3/q4/q6), the RDF query-space model of Section 2.2 (triple patterns
-// p1–p8 and join patterns A/B/C, with the Table 2 coverage analysis), and
-// the SQL text generator that plays the role of the authors' Perl script.
 package core
 
 import "fmt"

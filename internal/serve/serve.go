@@ -16,6 +16,11 @@
 //     executions, each running with core.ExecOptions{Workers: ExecWorkers},
 //     so N clients never oversubscribe the host with N×Workers goroutines;
 //     waiting clients honour context cancellation;
+//   - streaming execution: admitted queries run on the pull-based batched
+//     executor by default (Config.Materialize opts out), so each in-flight
+//     query holds batches plus operator state rather than every
+//     intermediate result, and LIMIT/TopN requests release their admission
+//     slot as soon as their prefix is complete;
 //   - request contexts: the client's context threads through
 //     core.ExecutePlanCtx, so a cancelled or expired request aborts at the
 //     next operator (or per-property scan) boundary.
@@ -71,6 +76,12 @@ type Config struct {
 	// negative value disables caching (every execution compiles — the
 	// cold baseline the benchmark compares against).
 	CacheSize int
+	// Materialize switches executions back to the materializing executor.
+	// The default is the streaming executor — results are byte-identical,
+	// but per-query memory stays bounded by batches plus operator state and
+	// LIMIT/TopN queries terminate their scans early, which is what matters
+	// most under concurrent traffic.
+	Materialize bool
 }
 
 // DefaultCacheSize is the plan-cache capacity when Config.CacheSize is 0.
@@ -333,7 +344,10 @@ func (s *Service) exec(ctx context.Context, sn *snapshot, p *Prepared, ti int, c
 		s.metrics.released()
 		<-s.sem
 	}()
-	out, _, _, err := core.ExecutePlanCtx(ctx, t.Src, p.Compiled.Root, core.ExecOptions{Workers: s.cfg.ExecWorkers})
+	out, _, _, err := core.ExecutePlanCtx(ctx, t.Src, p.Compiled.Root, core.ExecOptions{
+		Workers:   s.cfg.ExecWorkers,
+		Streaming: !s.cfg.Materialize,
+	})
 	latency := time.Since(start)
 	if err != nil {
 		s.metrics.failed()

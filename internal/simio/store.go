@@ -46,9 +46,10 @@ type Stats struct {
 //
 // A mutex serializes the accounting paths (ChargeCPU, ReadRange and the
 // catalog methods), so the plan executor's parallel per-property scans can
-// share one store. The simulated clock still models the paper's
-// single-threaded systems — costs are summed, never overlapped; parallelism
-// only shortens host time.
+// share one store. Charges model the paper's single-threaded systems —
+// costs are summed regardless of host parallelism, which only shortens host
+// time. Whether CPU and I/O charges overlap in *reported* real time is the
+// clock's composition mode (Clock.SetOverlapped), a per-measurement choice.
 type Store struct {
 	mu       sync.Mutex
 	machine  Machine
@@ -65,10 +66,14 @@ type Store struct {
 	lru      *list.List
 	index    map[pageKey]*list.Element
 
-	// lastPhys detects physically sequential access for seek accounting.
-	lastPhysFile FileID
-	lastPhysPage int64
-	hasLast      bool
+	// lastPhys detects physically sequential access for seek accounting,
+	// tracked per file: a read is seek-free iff it continues directly after
+	// the previous physical read of the *same* file. This models per-file
+	// OS read-ahead streams and, crucially, makes seek accounting
+	// independent of how concurrent scans interleave — the charge total for
+	// a set of scans is the same under any scheduling, so cold-run timings
+	// stay deterministic under the executor's worker pool.
+	lastPhys map[FileID]int64
 
 	stats Stats
 }
@@ -105,6 +110,7 @@ func NewStore(cfg Config) *Store {
 		capacity: cfg.PoolBytes,
 		lru:      list.New(),
 		index:    make(map[pageKey]*list.Element),
+		lastPhys: make(map[FileID]int64),
 	}
 }
 
@@ -202,7 +208,7 @@ func (s *Store) DropCaches() {
 	s.lru.Init()
 	s.index = make(map[pageKey]*list.Element)
 	s.used = 0
-	s.hasLast = false
+	s.lastPhys = make(map[FileID]int64)
 }
 
 // ReadRange simulates reading [off, off+length) of file f through the buffer
@@ -269,15 +275,15 @@ func (s *Store) physicalRead(f FileID, first, last int64) {
 	// The fixed request cost applies only to physical reads; buffered page
 	// accesses never reach the device.
 	s.clock.ChargeIO(s.machine.RequestOverhead)
-	sequential := s.hasLast && s.lastPhysFile == f && s.lastPhysPage == first-1
-	if !sequential {
+	prev, seen := s.lastPhys[f]
+	if !seen || prev != first-1 {
 		s.clock.ChargeIO(s.machine.SeekLatency)
 		s.stats.Seeks++
 	}
 	s.clock.ChargeIO(s.machine.TransferTime(n))
 	s.stats.BytesRead += n
 	s.trace.Record(s.clock.Real(), n)
-	s.lastPhysFile, s.lastPhysPage, s.hasLast = f, last, true
+	s.lastPhys[f] = last
 
 	for p := first; p <= last; p++ {
 		s.install(pageKey{f, p})
