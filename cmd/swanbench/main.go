@@ -30,6 +30,10 @@
 //	          generated ORDER BY/LIMIT workload, reporting simulated time,
 //	          host time, physical I/O and peak per-query memory;
 //	          -stream-report writes the JSON report
+//	profile   per-operator EXPLAIN ANALYZE on every scheme and both
+//	          executors: estimate-vs-actual rows (q-error), simulated
+//	          charges per operator, and the profiling host-overhead ratio;
+//	          -profile-report writes the JSON report
 //	sql       generated SQL for both schemes, with union/join counts
 //	gen       write the generated data set as N-Triples to stdout
 //	all       every experiment in paper order
@@ -83,9 +87,12 @@ func main() {
 		strHot      = flag.Bool("stream-hot", false, "run the stream experiment hot instead of cold")
 		strOverlap  = flag.Bool("stream-overlap", false, "use the overlapped-I/O clock composition for the stream experiment")
 		strReport   = flag.String("stream-report", "", "write the stream experiment's JSON report to this file")
+		profQueries = flag.Int("profile-queries", 6, "generated BGP queries for the profile experiment")
+		profCold    = flag.Bool("profile-cold", false, "run the profile experiment cold instead of hot")
+		profReport  = flag.String("profile-report", "", "write the profile experiment's JSON report to this file")
 	)
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: swanbench [flags] <experiment>\nexperiments: table1 fig1 table2 table4 table5 fig5 table6 table7 fig6 fig7 parallel workloads serve load stream sql gen all\nflags:\n")
+		fmt.Fprintf(os.Stderr, "usage: swanbench [flags] <experiment>\nexperiments: table1 fig1 table2 table4 table5 fig5 table6 table7 fig6 fig7 parallel workloads serve load stream profile sql gen all\nflags:\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -246,6 +253,29 @@ func main() {
 				fail(os.WriteFile(*strReport, append(data, '\n'), 0o644))
 				fmt.Fprintf(os.Stderr, "stream report written to %s\n", *strReport)
 			}
+		case "profile":
+			wseed := *bgpSeed
+			if wseed == 0 {
+				wseed = *seed
+			}
+			mode := bench.Hot
+			if *profCold {
+				mode = bench.Cold
+			}
+			section(fmt.Sprintf("Profile: EXPLAIN ANALYZE on all schemes, %d generated queries (seed %d), %s runs", *profQueries, wseed, mode))
+			systems, err := bench.BGPSystems(w)
+			fail(err)
+			report, err := bench.RunProfile(w, systems, bench.ProfileOptions{
+				Queries: *profQueries, Seed: wseed, Mode: mode,
+			})
+			fail(err)
+			fmt.Print(bench.FormatProfile(report))
+			if *profReport != "" {
+				data, err := json.MarshalIndent(report, "", "  ")
+				fail(err)
+				fail(os.WriteFile(*profReport, append(data, '\n'), 0o644))
+				fmt.Fprintf(os.Stderr, "profile report written to %s\n", *profReport)
+			}
 		case "sql":
 			section("Generated SQL (triple-store, then vertically-partitioned)")
 			names := make([]string, 0, len(w.Cat.AllProps))
@@ -268,7 +298,7 @@ func main() {
 	}
 
 	if flag.Arg(0) == "all" {
-		for _, name := range []string{"table1", "fig1", "table2", "table4", "table5", "fig5", "table6", "table7", "fig6", "fig7", "parallel", "workloads", "serve", "load", "stream"} {
+		for _, name := range []string{"table1", "fig1", "table2", "table4", "table5", "fig5", "table6", "table7", "fig6", "fig7", "parallel", "workloads", "serve", "load", "stream", "profile"} {
 			run(name)
 		}
 		return

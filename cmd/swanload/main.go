@@ -53,6 +53,9 @@ func main() {
 		lst.Statements, lst.Lines, float64(lst.Bytes)/(1<<20), lst.Wall.Seconds(), lst.Workers, lst.TriplesPerSec())
 	fmt.Fprintf(os.Stderr, "stages (busy): scan %.3fs, parse %.3fs, assemble %.3fs over %d chunks\n",
 		lst.ScanBusy.Seconds(), lst.ParseBusy.Seconds(), lst.AssembleBusy.Seconds(), lst.Chunks)
+	fmt.Fprintf(os.Stderr, "simulated: blocking %.3fs vs pipelined %.3fs (overlap gain %.2fx; cpu %.3fs, io %.3fs)\n",
+		lst.SimSync.Seconds(), lst.SimOverlapped.Seconds(), lst.OverlapGain(),
+		lst.SimCPU.Seconds(), lst.SimIO.Seconds())
 
 	dups := g.Normalize()
 	st := rdf.ComputeStats(g)

@@ -7,11 +7,19 @@
 //
 //	swanserve [-addr :8080] [-triples 100000] [-props 60] [...]
 //
+// With -ingest file.nt the dataset comes from the file instead, loaded
+// through the parallel ingest pipeline; the load's throughput and
+// simulated pipeline-overlap figures then appear at /metrics and /stats.
+// -slow-threshold enables the slow-query log (readable at /debug/slow),
+// -slow-log bounds its ring.
+//
 // Endpoints (see internal/serve):
 //
-//	GET  /query?q=<bgp text>&system=<name>[&limit=n][&timeout=d]
+//	GET  /query?q=<bgp text>&system=<name>[&limit=n][&timeout=d][&profile=1]
 //	GET  /systems
 //	GET  /stats
+//	GET  /metrics       Prometheus text exposition
+//	GET  /debug/slow    slow-query log, newest first
 //	POST /reload[?seed=N][&triples=N][&props=N]
 //
 // /reload regenerates the dataset with the given parameters (defaulting
@@ -43,6 +51,7 @@ import (
 
 	"blackswan/internal/bench"
 	"blackswan/internal/datagen"
+	"blackswan/internal/ingest"
 	"blackswan/internal/serve"
 )
 
@@ -56,21 +65,39 @@ func main() {
 		cacheSize   = flag.Int("cache", serve.DefaultCacheSize, "plan-cache capacity in entries (negative disables)")
 		maxConc     = flag.Int("max-concurrent", runtime.GOMAXPROCS(0), "admission bound: concurrently executing queries")
 		workers     = flag.Int("workers", 1, "core executor workers per admitted query")
+		ingestFile  = flag.String("ingest", "", "serve this N-Triples file (loaded through the parallel ingest pipeline) instead of generated data")
+		ingestWk    = flag.Int("ingest-workers", 0, "ingest pipeline workers (0 means one per CPU)")
+		slowThresh  = flag.Duration("slow-threshold", 0, "record served queries at or above this latency in the slow-query log (0 disables)")
+		slowSize    = flag.Int("slow-log", serve.DefaultSlowLogSize, "slow-query log capacity in entries")
 	)
 	flag.Parse()
 
-	fmt.Fprintf(os.Stderr, "generating %d triples over %d properties (seed %d)...\n", *triples, *props, *seed)
-	w, err := bench.NewWorkload(datagen.Config{
-		Triples: *triples, Properties: *props, Interesting: *interesting, Seed: *seed,
-	})
-	fail(err)
+	var w *bench.Workload
+	var ingestSnap *serve.IngestSnapshot
+	if *ingestFile != "" {
+		fmt.Fprintf(os.Stderr, "ingesting %s through the parallel pipeline...\n", *ingestFile)
+		var err error
+		w, ingestSnap, err = ingestWorkload(*ingestFile, *ingestWk)
+		fail(err)
+	} else {
+		fmt.Fprintf(os.Stderr, "generating %d triples over %d properties (seed %d)...\n", *triples, *props, *seed)
+		var err error
+		w, err = bench.NewWorkload(datagen.Config{
+			Triples: *triples, Properties: *props, Interesting: *interesting, Seed: *seed,
+		})
+		fail(err)
+	}
 	fmt.Fprintln(os.Stderr, "loading the four storage schemes...")
 	systems, err := bench.BGPSystems(w)
 	fail(err)
 	svc, err := bench.NewService(w, systems, serve.Config{
 		MaxConcurrent: *maxConc, ExecWorkers: *workers, CacheSize: *cacheSize,
+		SlowQueryThreshold: *slowThresh, SlowLogSize: *slowSize,
 	})
 	fail(err)
+	if ingestSnap != nil {
+		svc.RecordIngest(*ingestSnap)
+	}
 
 	mux := http.NewServeMux()
 	mux.Handle("/", serve.NewHandler(svc))
@@ -119,6 +146,44 @@ func main() {
 	fmt.Fprintf(os.Stderr, "serving %v on %s (cache %d entries, %d admission slots × %d workers)\n",
 		svc.Systems(), *addr, *cacheSize, *maxConc, *workers)
 	fail(http.ListenAndServe(*addr, mux))
+}
+
+// ingestWorkload loads an N-Triples file through the parallel ingest
+// pipeline and derives the serving workload from the loaded graph, keeping
+// the load's stage breakdown for RecordIngest.
+func ingestWorkload(path string, workers int) (*bench.Workload, *serve.IngestSnapshot, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	g, st, err := ingest.Load(f, ingest.Options{Workers: workers})
+	if err != nil {
+		return nil, nil, err
+	}
+	fmt.Fprintf(os.Stderr, "ingested %d statements in %.3fs with %d workers (%.0f triples/sec; simulated overlap gain %.2fx)\n",
+		st.Statements, st.Wall.Seconds(), st.Workers, st.TriplesPerSec(), st.OverlapGain())
+	w, err := bench.WorkloadFromGraph(g)
+	if err != nil {
+		return nil, nil, err
+	}
+	return w, &serve.IngestSnapshot{
+		Statements: st.Statements,
+		Bytes:      st.Bytes,
+		Wall:       st.Wall,
+		StageBusy: map[string]time.Duration{
+			"scan":     st.ScanBusy,
+			"parse":    st.ParseBusy,
+			"assemble": st.AssembleBusy,
+		},
+		SimCPU:        st.SimCPU,
+		SimIO:         st.SimIO,
+		SimSync:       st.SimSync,
+		SimOverlapped: st.SimOverlapped,
+	}, nil
 }
 
 // intParam reads an integer query parameter, falling back to def.

@@ -297,6 +297,8 @@ func FormatLoad(r *LoadReport) string {
 	stage := func(name string, st *ingest.Stats) {
 		fmt.Fprintf(&b, "\n%s stages (busy time): scan %.3fs, parse %.3fs across %d workers, assemble %.3fs over %d chunks\n",
 			name, st.ScanBusy.Seconds(), st.ParseBusy.Seconds(), st.Workers, st.AssembleBusy.Seconds(), st.Chunks)
+		fmt.Fprintf(&b, "%s simulated: blocking %.3fs vs pipelined %.3fs (overlap gain %.2fx)\n",
+			name, st.SimSync.Seconds(), st.SimOverlapped.Seconds(), st.OverlapGain())
 	}
 	if r.Det != nil {
 		stage("deterministic", r.Det)

@@ -222,6 +222,20 @@ func EstimateCost(root core.Node, e *Estimator) float64 {
 	return c.cost
 }
 
+// EstimateCards runs the coster over a plan DAG and returns the estimated
+// output cardinality of every node it visited. EXPLAIN ANALYZE joins these
+// estimates with measured actuals so estimate-vs-actual drift (q-error) is
+// visible per operator.
+func EstimateCards(root core.Node, e *Estimator) map[core.Node]float64 {
+	c := &coster{e: e, memo: map[core.Node]nodeEst{}}
+	c.estimate(root)
+	cards := make(map[core.Node]float64, len(c.memo))
+	for n, est := range c.memo {
+		cards[n] = est.card
+	}
+	return cards
+}
+
 type coster struct {
 	e    *Estimator
 	memo map[core.Node]nodeEst
@@ -345,6 +359,10 @@ func (c *coster) estimate(n core.Node) nodeEst {
 		if x.Limit >= 0 {
 			card = minf(card, float64(x.Limit))
 		}
+		est = scaleEst(in, card/clamp(in.card))
+	case *core.Limit:
+		in := c.estimate(x.In)
+		card := minf(in.card, float64(x.N))
 		est = scaleEst(in, card/clamp(in.card))
 	default:
 		est = nodeEst{card: defCard, nd: map[string]float64{}}

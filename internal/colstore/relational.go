@@ -17,6 +17,13 @@ type Relational struct {
 	E *Engine
 }
 
+// Charges implements the plan executor's charge-meter contract (see
+// core.ChargeMeter): a locked snapshot of the store's simulated CPU and
+// I/O nanoseconds plus physical bytes read, for per-operator profiling.
+func (r Relational) Charges() (cpuNs, ioNs, bytesRead int64) {
+	return r.E.Store.Charges()
+}
+
 // key extracts a column as a join/grouping key vector, charging one fetch
 // per value.
 func (r Relational) key(x *rel.Rel, c int) []uint64 {

@@ -4,6 +4,8 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"blackswan/internal/rdf"
 	"blackswan/internal/rel"
@@ -145,6 +147,12 @@ type ExecOptions struct {
 	// BatchRows is the streaming batch size in rows; 0 means
 	// DefaultBatchRows.
 	BatchRows int
+	// Profile turns on the per-operator collector: Trace.Profile carries
+	// an OpProfile tree recording rows, batches, simulated CPU/IO, host
+	// time and peak live bytes per plan node. Observation-only — results
+	// and simulated charges are byte-identical with or without it. See
+	// profile.go for the attribution contract under parallelism.
+	Profile bool
 }
 
 // Tunable is implemented by every storage scheme: it carries the executor
@@ -196,6 +204,9 @@ type Trace struct {
 	// comparisons charged. The materializing full sort charges
 	// n·ceil(log2 n); the streaming bounded heap charges n·ceil(log2 k).
 	TopNs []TopNStat
+	// Profile is the per-operator EXPLAIN ANALYZE tree, present only when
+	// ExecOptions.Profile was set.
+	Profile *OpProfile
 }
 
 // TopNStat records the sort-comparison cost of one executed TopN node.
@@ -260,9 +271,16 @@ func ExecutePlanCtx(ctx context.Context, src PhysicalSource, root Node, opt Exec
 		uses: useCounts(root),
 		mem:  &memTracker{},
 	}
+	if opt.Profile {
+		ex.prof = newProfiler(ex.ops, ex.mem)
+	}
 	if opt.Streaming {
 		if sops, ok := ex.ops.(StreamOps); ok {
-			return ex.runStream(root, sops)
+			out, cols, tr, err := ex.runStream(root, sops)
+			if err == nil && ex.prof != nil {
+				tr.Profile = ex.prof.finish()
+			}
+			return out, cols, tr, err
 		}
 	}
 	b, err := ex.eval(root)
@@ -270,6 +288,9 @@ func ExecutePlanCtx(ctx context.Context, src PhysicalSource, root Node, opt Exec
 		return nil, nil, nil, err
 	}
 	ex.tr.PeakBytes = ex.mem.peakBytes()
+	if ex.prof != nil {
+		ex.tr.Profile = ex.prof.finish()
+	}
 	return b.rel, b.cols, ex.tr, nil
 }
 
@@ -301,6 +322,8 @@ type executor struct {
 	req  map[Node]map[string]bool
 	uses map[Node]int
 	mem  *memTracker
+	// prof is the EXPLAIN ANALYZE collector, nil unless opt.Profile.
+	prof *profiler
 }
 
 // unionAll merges fan-out parts, parallelizing the tuple movement when the
@@ -482,6 +505,20 @@ func (ex *executor) eval(n Node) (batch, error) {
 	}
 	if b, ok := ex.memo[n]; ok {
 		return b, nil
+	}
+	if ex.prof != nil {
+		prof := ex.prof.enter(n)
+		c0 := ex.prof.charges()
+		t0 := time.Now()
+		defer func() {
+			prof.add(ex.prof.charges().sub(c0), time.Since(t0))
+			prof.observe(ex.mem)
+			if b, ok := ex.memo[n]; ok {
+				prof.Rows = b.rel.Len()
+				prof.Batches = 1
+			}
+			ex.prof.exit()
+		}()
 	}
 	var b batch
 	var err error
@@ -844,20 +881,35 @@ func (ex *executor) evalPartitionedJoin(other batch, a *Access, f *FilterNe) (ba
 		props = ex.src.Cat().Interesting
 	}
 	prep := ex.ops.PrepareHashJoin(other.rel, oc)
+	// Atomics: the parallel fan-out runs step concurrently. Touched only
+	// when profiling, so the unprofiled path stays zero-cost.
+	var accRows, filtRows atomic.Int64
 	step := func(p rdf.ID, part *rel.Rel) *rel.Rel {
 		pv := uint64(p)
 		tagged, _ := assemble(slots, part.Len(), func(i int) [3]uint64 {
 			r := part.Row(i)
 			return [3]uint64{r[0], pv, r[1]}
 		})
+		if ex.prof != nil {
+			accRows.Add(int64(tagged.Len()))
+		}
 		if fc >= 0 {
 			tagged = ex.ops.FilterNe(tagged, fc, uint64(f.Value))
+			if ex.prof != nil {
+				filtRows.Add(int64(tagged.Len()))
+			}
 		}
 		return prep.Probe(tagged, ac)
 	}
 	parts, err := ex.scanProps(props, tp.S.Const, tp.O.Const, needOf(slots), step)
 	if err != nil {
 		return batch{}, err
+	}
+	if ex.prof != nil {
+		// The fused access (and filter) never evaluate standalone, so give
+		// them zero-charge frames under the join recording the rows that
+		// flowed through each fused step; their work is charged to the join.
+		ex.profileFused(a, f, len(parts), int(accRows.Load()), int(filtRows.Load()))
 	}
 	ex.tr.UnionParts += len(parts)
 	ex.tr.Joins = append(ex.tr.Joins, JoinChoice{Var: v, Merge: false})
@@ -879,6 +931,45 @@ func (ex *executor) evalPartitionedJoin(other batch, a *Access, f *FilterNe) (ba
 	return batch{rel: joined.Project(keep...), cols: cols}, nil
 }
 
+// profileFused records zero-charge child frames for a partitioned join's
+// fused access (and optional filter) steps — the caller holds the join's
+// profile frame, so the nesting lands under it.
+func (ex *executor) profileFused(a *Access, f *FilterNe, parts, accRows, filtRows int) {
+	if f != nil {
+		fp := ex.prof.enter(f)
+		fp.Note = "fused"
+		fp.Rows, fp.Batches = filtRows, parts
+		defer ex.prof.exit()
+	}
+	ap := ex.prof.enter(a)
+	ap.Note = "fused"
+	ap.Rows, ap.Batches = accRows, parts
+	ex.prof.exit()
+}
+
+// profileFusedStream is profileFused's streaming counterpart: the frames
+// open now, under the join being built, but the per-part arms only run —
+// possibly on prefetch workers — once the pipeline is pulled, so row
+// totals land through the atomics at finish().
+func (ex *executor) profileFusedStream(a *Access, f *FilterNe, accRows, accBatches, filtRows, filtBatches *atomic.Int64) {
+	fill := func(p *OpProfile, rows, batches *atomic.Int64) {
+		ex.prof.onFinish = append(ex.prof.onFinish, func() {
+			p.Rows = int(rows.Load())
+			p.Batches = int(batches.Load())
+		})
+	}
+	if f != nil {
+		fp := ex.prof.enter(f)
+		fp.Note = "fused"
+		fill(fp, filtRows, filtBatches)
+		defer ex.prof.exit()
+	}
+	ap := ex.prof.enter(a)
+	ap.Note = "fused"
+	fill(ap, accRows, accBatches)
+	ex.prof.exit()
+}
+
 func (ex *executor) evalJoin(j *Join) (batch, error) {
 	// Join pushdown: a partitioned unbound-property access joins per
 	// property table, inside the fan-out.
@@ -887,12 +978,18 @@ func (ex *executor) evalJoin(j *Join) (batch, error) {
 		if err != nil {
 			return batch{}, err
 		}
+		if ex.prof != nil {
+			ex.prof.note(j, "partitioned hash")
+		}
 		return ex.evalPartitionedJoin(other, a, f)
 	}
 	if a, f := ex.partitionedJoinSide(j.L); a != nil {
 		other, err := ex.eval(j.R)
 		if err != nil {
 			return batch{}, err
+		}
+		if ex.prof != nil {
+			ex.prof.note(j, "partitioned hash")
 		}
 		return ex.evalPartitionedJoin(other, a, f)
 	}
@@ -928,6 +1025,13 @@ func (ex *executor) evalJoin(j *Join) (batch, error) {
 		joined = ex.ops.HashJoin(l.rel, r.rel, lc, rc)
 	}
 	ex.tr.Joins = append(ex.tr.Joins, JoinChoice{Var: v, Merge: merge})
+	if ex.prof != nil {
+		if merge {
+			ex.prof.note(j, "merge")
+		} else {
+			ex.prof.note(j, "hash")
+		}
+	}
 	// Drop the right side's copy of the join column.
 	keep := make([]int, 0, l.rel.W+r.rel.W-1)
 	cols := make([]string, 0, l.rel.W+r.rel.W-1)
@@ -980,6 +1084,9 @@ func (ex *executor) evalLeftJoin(j *LeftJoin) (batch, error) {
 	rc, _ := r.col(v)
 	joined := ex.ops.LeftJoin(l.rel, r.rel, lc, rc, uint64(rdf.NoID))
 	ex.tr.Joins = append(ex.tr.Joins, JoinChoice{Var: v, Merge: false})
+	if ex.prof != nil {
+		ex.prof.note(j, "hash")
+	}
 	// Drop the right side's copy of the join column (NoID on unmatched
 	// rows, never the left value — the left copy is the surviving one).
 	keep := make([]int, 0, l.rel.W+r.rel.W-1)
@@ -1077,6 +1184,9 @@ func (ex *executor) evalTopN(t *TopN) (batch, error) {
 	ex.tr.TopNs = append(ex.tr.TopNs, TopNStat{
 		Input: n, Limit: t.Limit, Compares: sortCompares(n),
 	})
+	if ex.prof != nil {
+		ex.prof.note(t, "sort")
+	}
 	out := ex.ops.TopN(in.rel, t.Limit, less)
 	// Value order is not identifier order, so the merge-join licence
 	// ("sorted") does not survive a TopN.

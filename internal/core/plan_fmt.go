@@ -30,13 +30,6 @@ type planFormatter struct {
 	next int
 }
 
-func (f *planFormatter) ref(tr TermRef) string {
-	if tr.Bound() {
-		return f.term(tr.Const)
-	}
-	return "?" + tr.Var
-}
-
 func (f *planFormatter) walk(b *strings.Builder, n Node, depth int) {
 	indent := strings.Repeat("  ", depth)
 	if id, seen := f.ids[n]; seen {
@@ -45,10 +38,24 @@ func (f *planFormatter) walk(b *strings.Builder, n Node, depth int) {
 	}
 	f.next++
 	f.ids[n] = f.next
-	line := func(format string, args ...any) {
-		fmt.Fprintf(b, "%s%d: ", indent, f.ids[n])
-		fmt.Fprintf(b, format, args...)
-		b.WriteByte('\n')
+	fmt.Fprintf(b, "%s%d: %s\n", indent, f.ids[n], NodeLabel(n, f.term))
+	for _, c := range children(n) {
+		f.walk(b, c, depth+1)
+	}
+}
+
+// NodeLabel renders one plan node's operator line — the shared vocabulary
+// of FormatPlan, FormatAnalyze and the serving layer's JSON profiles.
+// term resolves constants (nil falls back to raw identifiers).
+func NodeLabel(n Node, term func(rdf.ID) string) string {
+	if term == nil {
+		term = func(id rdf.ID) string { return fmt.Sprintf("#%d", id) }
+	}
+	ref := func(tr TermRef) string {
+		if tr.Bound() {
+			return term(tr.Const)
+		}
+		return "?" + tr.Var
 	}
 	switch x := n.(type) {
 	case *Access:
@@ -56,15 +63,15 @@ func (f *planFormatter) walk(b *strings.Builder, n Node, depth int) {
 		if x.Restrict {
 			restrict = " RESTRICT"
 		}
-		line("Access %s %s %s%s", f.ref(x.Pattern.S), f.ref(x.Pattern.P), f.ref(x.Pattern.O), restrict)
+		return fmt.Sprintf("Access %s %s %s%s", ref(x.Pattern.S), ref(x.Pattern.P), ref(x.Pattern.O), restrict)
 	case *Join:
-		line("Join")
+		return "Join"
 	case *LeftJoin:
-		line("LeftJoin")
+		return "LeftJoin"
 	case *FilterNe:
-		line("FilterNe ?%s != %s", x.Col, f.term(x.Value))
+		return fmt.Sprintf("FilterNe ?%s != %s", x.Col, term(x.Value))
 	case *FilterEqCols:
-		line("FilterEqCols ?%s == ?%s", x.A, x.B)
+		return fmt.Sprintf("FilterEqCols ?%s == ?%s", x.A, x.B)
 	case *FilterRange:
 		lo, hi := "(-inf", "+inf)"
 		if !math.IsInf(x.Lo, -1) {
@@ -81,25 +88,24 @@ func (f *planFormatter) walk(b *strings.Builder, n Node, depth int) {
 			}
 			hi = fmt.Sprintf("%g%s", x.Hi, br)
 		}
-		line("FilterRange ?%s in %s, %s", x.Col, lo, hi)
+		return fmt.Sprintf("FilterRange ?%s in %s, %s", x.Col, lo, hi)
 	case *Distinct:
-		line("Distinct")
+		return "Distinct"
 	case *Union:
-		line("Union")
+		return "Union"
 	case *Group:
-		line("Group by %s", strings.Join(x.Keys, ", "))
+		return fmt.Sprintf("Group by %s", strings.Join(x.Keys, ", "))
 	case *Having:
-		line("Having %s > %d", x.Col, x.Min)
+		return fmt.Sprintf("Having %s > %d", x.Col, x.Min)
 	case *Project:
 		if x.As != nil {
 			pairs := make([]string, len(x.Cols))
 			for i := range x.Cols {
 				pairs[i] = x.Cols[i] + "→" + x.As[i]
 			}
-			line("Project %s", strings.Join(pairs, ", "))
-		} else {
-			line("Project %s", strings.Join(x.Cols, ", "))
+			return fmt.Sprintf("Project %s", strings.Join(pairs, ", "))
 		}
+		return fmt.Sprintf("Project %s", strings.Join(x.Cols, ", "))
 	case *TopN:
 		keys := make([]string, len(x.Keys))
 		for i, k := range x.Keys {
@@ -112,16 +118,12 @@ func (f *planFormatter) walk(b *strings.Builder, n Node, depth int) {
 			}
 		}
 		if x.Limit >= 0 {
-			line("TopN %s LIMIT %d", strings.Join(keys, ", "), x.Limit)
-		} else {
-			line("TopN %s", strings.Join(keys, ", "))
+			return fmt.Sprintf("TopN %s LIMIT %d", strings.Join(keys, ", "), x.Limit)
 		}
+		return fmt.Sprintf("TopN %s", strings.Join(keys, ", "))
 	case *Limit:
-		line("Limit %d", x.N)
+		return fmt.Sprintf("Limit %d", x.N)
 	default:
-		line("%T", n)
-	}
-	for _, c := range children(n) {
-		f.walk(b, c, depth+1)
+		return fmt.Sprintf("%T", n)
 	}
 }

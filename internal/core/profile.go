@@ -1,0 +1,326 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"blackswan/internal/rdf"
+	"blackswan/internal/rel"
+)
+
+// This file is the per-operator profile collector behind EXPLAIN ANALYZE:
+// with ExecOptions.Profile set, both executors record, for every plan node
+// they evaluate, the rows and batches it emitted, the simulated CPU and
+// I/O it charged, its host wall time, and the live intermediate-result
+// bytes observed at its batch boundaries. Collection is observation-only —
+// no operator output, row order, or simulated charge changes when
+// profiling is on — and costs nothing when it is off (a nil pointer check
+// per operator).
+//
+// Charge attribution works by differencing the engine's charge meter
+// around each operator frame (the recursive eval call in the materializing
+// executor, each next()/close() of the wrapping iterator in the streaming
+// one). Frames nest, so the recorded figures are inclusive of children;
+// finish() derives per-node self figures by subtracting each child once.
+// Attribution is exact when the plan runs single-goroutine (Workers <= 1,
+// the serving default); under the parallel fan-out, prefetch workers
+// charge the shared store concurrently, so per-node simulated columns
+// become approximate while rows, batches and totals stay exact. The same
+// caveat applies to concurrent queries sharing one store: the meter is
+// store-global, so a profile taken under concurrent traffic soaks up
+// neighbours' charges.
+
+// ChargeMeter is the optional engine extension the profiler snapshots:
+// cumulative simulated CPU and I/O nanoseconds plus physical bytes read,
+// under the engine's accounting lock. Both storage engines implement it by
+// delegating to their simio.Store. Engines without a meter still profile
+// rows, batches, host time and peak bytes; the simulated columns read zero.
+type ChargeMeter interface {
+	Charges() (cpuNs, ioNs, bytesRead int64)
+}
+
+// OpProfile is one plan node's recorded actuals. The tree mirrors the
+// order the executor actually evaluated nodes in: a shared DAG node
+// appears under the parent that first evaluated it, and an access fused
+// into a partitioned join appears under that join with the "fused" note
+// (its work is charged to the join frame).
+type OpProfile struct {
+	// Node is the profiled plan node — the identity estimate annotation
+	// and label rendering key on.
+	Node Node `json:"-"`
+	// Note records a lowering decision the plan tree alone cannot show:
+	// "hash", "merge", "heap", "sort", "fused", "partitioned".
+	Note string
+	// Rows and Batches count the node's emitted output (Batches is 1 per
+	// materialized result, one per non-empty batch when streaming).
+	Rows    int
+	Batches int
+	// CPU, IO, IOBytes and Host are inclusive of children (the node's
+	// whole subtree); the Self fields are this node's own share.
+	CPU         time.Duration
+	IO          time.Duration
+	IOBytes     int64
+	Host        time.Duration
+	SelfCPU     time.Duration
+	SelfIO      time.Duration
+	SelfIOBytes int64
+	SelfHost    time.Duration
+	// PeakBytes is the high-water of live intermediate-result bytes
+	// observed at this node's operator boundaries while it ran.
+	PeakBytes int64
+	// EstRows is the optimizer's cardinality estimate for this node, < 0
+	// when none was attached (see AnnotateEstimates).
+	EstRows  float64
+	Children []*OpProfile
+}
+
+// charge is one meter reading.
+type charge struct {
+	cpuNs, ioNs, bytes int64
+}
+
+func (c charge) sub(o charge) charge {
+	return charge{c.cpuNs - o.cpuNs, c.ioNs - o.ioNs, c.bytes - o.bytes}
+}
+
+// profiler threads the collector through one execution. enter/exit calls
+// happen only on the evaluating goroutine (eval recursion and streaming
+// build/next), so the stack needs no lock; only the meter itself is
+// shared with charge-producing workers, and it locks internally.
+type profiler struct {
+	meter ChargeMeter
+	mem   *memTracker
+	root  *OpProfile
+	stack []*OpProfile
+	nodes map[Node]*OpProfile
+	// onFinish hooks run at finish(): the streaming partitioned join
+	// counts fused-step rows on worker goroutines through atomics and
+	// folds them into the (single-goroutine) profile tree here.
+	onFinish []func()
+}
+
+func newProfiler(ops PhysicalOps, mem *memTracker) *profiler {
+	p := &profiler{mem: mem, nodes: map[Node]*OpProfile{}}
+	if m, ok := ops.(ChargeMeter); ok {
+		p.meter = m
+	}
+	return p
+}
+
+func (p *profiler) charges() charge {
+	if p.meter == nil {
+		return charge{}
+	}
+	cpu, io, b := p.meter.Charges()
+	return charge{cpu, io, b}
+}
+
+// enter opens a profile frame for n under the current frame.
+func (p *profiler) enter(n Node) *OpProfile {
+	prof := &OpProfile{Node: n, EstRows: -1}
+	p.nodes[n] = prof
+	if len(p.stack) > 0 {
+		top := p.stack[len(p.stack)-1]
+		top.Children = append(top.Children, prof)
+	} else if p.root == nil {
+		p.root = prof
+	}
+	p.stack = append(p.stack, prof)
+	return prof
+}
+
+func (p *profiler) exit() {
+	p.stack = p.stack[:len(p.stack)-1]
+}
+
+// note records a lowering decision on n's profile, if n was profiled.
+func (p *profiler) note(n Node, s string) {
+	if prof := p.nodes[n]; prof != nil {
+		prof.Note = s
+	}
+}
+
+// add folds one measured window into a profile frame.
+func (prof *OpProfile) add(d charge, host time.Duration) {
+	prof.CPU += time.Duration(d.cpuNs)
+	prof.IO += time.Duration(d.ioNs)
+	prof.IOBytes += d.bytes
+	prof.Host += host
+}
+
+// observe updates the node's live-bytes high-water mark.
+func (prof *OpProfile) observe(mem *memTracker) {
+	if cur := mem.current(); cur > prof.PeakBytes {
+		prof.PeakBytes = cur
+	}
+}
+
+// finish derives the self figures (inclusive minus children, each child
+// subtracted exactly once — the tree has no shared profiles) and returns
+// the root, clamping negatives from measurement skew to zero.
+func (p *profiler) finish() *OpProfile {
+	if p == nil || p.root == nil {
+		return nil
+	}
+	for _, fn := range p.onFinish {
+		fn()
+	}
+	var walk func(prof *OpProfile)
+	walk = func(prof *OpProfile) {
+		cpu, io, host := prof.CPU, prof.IO, prof.Host
+		bytes := prof.IOBytes
+		for _, c := range prof.Children {
+			walk(c)
+			cpu -= c.CPU
+			io -= c.IO
+			bytes -= c.IOBytes
+			host -= c.Host
+		}
+		prof.SelfCPU = maxDur(cpu, 0)
+		prof.SelfIO = maxDur(io, 0)
+		prof.SelfHost = maxDur(host, 0)
+		if bytes < 0 {
+			bytes = 0
+		}
+		prof.SelfIOBytes = bytes
+	}
+	walk(p.root)
+	return p.root
+}
+
+func maxDur(d, floor time.Duration) time.Duration {
+	if d < floor {
+		return floor
+	}
+	return d
+}
+
+// profIter wraps one streaming operator's finished edge: every
+// next()/close() window is measured inclusively (parents wrap children, so
+// nesting matches the eval recursion) and emitted batches are tallied.
+// Pulled only by the consuming goroutine — prefetch workers run the
+// unwrapped per-part iterators, whose charges surface through the meter.
+type profIter struct {
+	p    *profiler
+	prof *OpProfile
+	in   iter
+}
+
+func (pi *profIter) next() (*rel.Rel, error) {
+	c0 := pi.p.charges()
+	t0 := time.Now()
+	b, err := pi.in.next()
+	pi.prof.add(pi.p.charges().sub(c0), time.Since(t0))
+	if b != nil {
+		pi.prof.Rows += b.Len()
+		pi.prof.Batches++
+	}
+	pi.prof.observe(pi.p.mem)
+	return b, err
+}
+
+func (pi *profIter) close() {
+	c0 := pi.p.charges()
+	t0 := time.Now()
+	pi.in.close()
+	pi.prof.add(pi.p.charges().sub(c0), time.Since(t0))
+}
+
+// countIter tallies rows/batches flowing through one per-part pipeline arm
+// into shared atomics — safe under the parallel fan-out's workers.
+type countIter struct {
+	in      iter
+	rows    *atomic.Int64
+	batches *atomic.Int64
+}
+
+func (c *countIter) next() (*rel.Rel, error) {
+	b, err := c.in.next()
+	if b != nil {
+		c.rows.Add(int64(b.Len()))
+		c.batches.Add(1)
+	}
+	return b, err
+}
+
+func (c *countIter) close() { c.in.close() }
+
+// AnnotateEstimates attaches per-node optimizer cardinality estimates
+// (such as bgp.EstimateCards produces) to the profile tree. Nodes absent
+// from the map keep EstRows < 0.
+func (prof *OpProfile) AnnotateEstimates(est map[Node]float64) {
+	if prof == nil || est == nil {
+		return
+	}
+	if e, ok := est[prof.Node]; ok {
+		prof.EstRows = e
+	}
+	for _, c := range prof.Children {
+		c.AnnotateEstimates(est)
+	}
+}
+
+// Walk visits the profile tree depth-first, parents before children.
+func (prof *OpProfile) Walk(fn func(*OpProfile)) {
+	if prof == nil {
+		return
+	}
+	fn(prof)
+	for _, c := range prof.Children {
+		c.Walk(fn)
+	}
+}
+
+// FormatAnalyze renders a profile tree as the EXPLAIN ANALYZE companion of
+// FormatPlan: the same numbered, indented node lines, each annotated with
+// actual rows/batches, the optimizer's estimate when attached, the node's
+// self share of simulated CPU/IO and host time (inclusive totals live on
+// the root line), and the peak live bytes observed at the node.
+func FormatAnalyze(prof *OpProfile, term func(rdf.ID) string) string {
+	if prof == nil {
+		return ""
+	}
+	if term == nil {
+		term = func(id rdf.ID) string { return fmt.Sprintf("#%d", id) }
+	}
+	var b strings.Builder
+	next := 0
+	var walk func(p *OpProfile, depth int)
+	walk = func(p *OpProfile, depth int) {
+		next++
+		fmt.Fprintf(&b, "%s%d: %s", strings.Repeat("  ", depth), next, NodeLabel(p.Node, term))
+		if p.Note != "" {
+			fmt.Fprintf(&b, " [%s]", p.Note)
+		}
+		fmt.Fprintf(&b, "  rows=%d batches=%d", p.Rows, p.Batches)
+		if p.EstRows >= 0 {
+			fmt.Fprintf(&b, " est=%.1f", p.EstRows)
+		}
+		fmt.Fprintf(&b, " cpu=%s io=%s read=%dB host=%s peak=%dB",
+			fmtDur(p.SelfCPU), fmtDur(p.SelfIO), p.SelfIOBytes, fmtDur(p.SelfHost), p.PeakBytes)
+		if depth == 0 {
+			fmt.Fprintf(&b, " (total cpu=%s io=%s read=%dB host=%s)",
+				fmtDur(p.CPU), fmtDur(p.IO), p.IOBytes, fmtDur(p.Host))
+		}
+		b.WriteByte('\n')
+		for _, c := range p.Children {
+			walk(c, depth+1)
+		}
+	}
+	walk(prof, 0)
+	return b.String()
+}
+
+// fmtDur rounds durations to a dashboard-friendly precision.
+func fmtDur(d time.Duration) string {
+	switch {
+	case d >= time.Second:
+		return d.Round(time.Millisecond).String()
+	case d >= time.Millisecond:
+		return d.Round(time.Microsecond).String()
+	default:
+		return d.String()
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"blackswan/internal/rdf"
 	"blackswan/internal/rel"
@@ -122,6 +123,10 @@ func (m *memTracker) free(n int64) {
 }
 
 func (m *memTracker) peakBytes() int64 { return m.peak.Load() }
+
+// current returns the live bytes right now — the profiler samples it at
+// operator boundaries for per-node peak attribution.
+func (m *memTracker) current() int64 { return m.cur.Load() }
 
 // relBytes is the tracked size of a relation: its row data.
 func relBytes(r *rel.Rel) int64 {
@@ -252,6 +257,17 @@ func (st *streamer) build(n Node) (stream, error) {
 			sorted: b.sorted,
 		}, nil
 	}
+	// Open the node's profile frame across the build phase (pipeline
+	// breakers like the partitioned join's hash build charge here) and
+	// wrap the finished edge so every next()/close() window accrues too.
+	var prof *OpProfile
+	var c0 charge
+	var t0 time.Time
+	if ex.prof != nil {
+		prof = ex.prof.enter(n)
+		c0 = ex.prof.charges()
+		t0 = time.Now()
+	}
 	var s stream
 	var err error
 	switch x := n.(type) {
@@ -314,11 +330,18 @@ func (st *streamer) build(n Node) (stream, error) {
 	default:
 		err = fmt.Errorf("unknown plan node %T", n)
 	}
+	if prof != nil {
+		prof.add(ex.prof.charges().sub(c0), time.Since(t0))
+		ex.prof.exit()
+	}
 	if err != nil {
 		return stream{}, err
 	}
 	// Every edge's in-flight batch counts toward peak memory.
 	s.it = &edge{mem: ex.mem, in: s.it}
+	if prof != nil {
+		s.it = &profIter{p: ex.prof, prof: prof, in: s.it}
+	}
 	return s, nil
 }
 
@@ -853,12 +876,18 @@ func (st *streamer) buildJoin(j *Join) (stream, error) {
 		if err != nil {
 			return stream{}, err
 		}
+		if ex.prof != nil {
+			ex.prof.note(j, "partitioned hash")
+		}
 		return st.buildPartitionedJoin(other, a, f)
 	}
 	if a, f := ex.partitionedJoinSide(j.L); a != nil {
 		other, err := st.build(j.R)
 		if err != nil {
 			return stream{}, err
+		}
+		if ex.prof != nil {
+			ex.prof.note(j, "partitioned hash")
 		}
 		return st.buildPartitionedJoin(other, a, f)
 	}
@@ -881,6 +910,13 @@ func (st *streamer) buildJoin(j *Join) (stream, error) {
 	rc, _ := r.col(v)
 	merge := l.sorted == v && r.sorted == v
 	ex.tr.Joins = append(ex.tr.Joins, JoinChoice{Var: v, Merge: merge})
+	if ex.prof != nil {
+		if merge {
+			ex.prof.note(j, "merge")
+		} else {
+			ex.prof.note(j, "hash")
+		}
+	}
 	cols := joinOutCols(l.cols, r.cols, rc)
 	st.sops.StreamNode()
 	var it iter
@@ -1117,6 +1153,9 @@ func (st *streamer) buildLeftJoin(j *LeftJoin) (stream, error) {
 	lc, _ := l.col(v)
 	rc, _ := r.col(v)
 	st.ex.tr.Joins = append(st.ex.tr.Joins, JoinChoice{Var: v, Merge: false})
+	if st.ex.prof != nil {
+		st.ex.prof.note(j, "hash")
+	}
 	cols := joinOutCols(l.cols, r.cols, rc)
 	st.sops.StreamNode()
 	it := &leftJoinIter{st: st, l: l.it, r: r.it, lc: lc, rc: rc, lw: len(l.cols), rw: len(r.cols)}
@@ -1414,6 +1453,13 @@ func (st *streamer) buildPartitionedJoin(other stream, a *Access, f *FilterNe) (
 		k := orel.Row(i)[oc]
 		ht[k] = append(ht[k], i)
 	}
+	// Fused-step profiles: the access (and filter) never stream standalone,
+	// so count their per-part rows through atomics (prefetch workers pull
+	// the arms concurrently) and fold the totals in at finish().
+	var accRows, accBatches, filtRows, filtBatches atomic.Int64
+	if ex.prof != nil {
+		ex.profileFusedStream(a, f, &accRows, &accBatches, &filtRows, &filtBatches)
+	}
 	open := func(i int) (iter, error) {
 		it, err := st.propStream(props[i], tp.S.Const, tp.O.Const, needOf(slots))
 		if err != nil {
@@ -1423,12 +1469,18 @@ func (st *streamer) buildPartitionedJoin(other stream, a *Access, f *FilterNe) (
 		tagged := assembleIter(it, slots, func(r []uint64) [3]uint64 {
 			return [3]uint64{r[0], pv, r[1]}
 		})
+		if ex.prof != nil {
+			tagged = &countIter{in: tagged, rows: &accRows, batches: &accBatches}
+		}
 		if fc >= 0 {
 			st.sops.StreamNode()
 			val := uint64(f.Value)
 			tagged = &filterIter{st: st, in: tagged, w: len(accCols), pred: func(row []uint64) bool {
 				return row[fc] != val
 			}}
+			if ex.prof != nil {
+				tagged = &countIter{in: tagged, rows: &filtRows, batches: &filtBatches}
+			}
 		}
 		st.sops.StreamNode() // the per-table probe dispatch
 		return &partProbeIter{st: st, in: tagged, orel: orel, ht: ht, ac: ac, aw: len(accCols)}, nil
@@ -1777,6 +1829,13 @@ func (st *streamer) buildTopN(t *TopN) (stream, error) {
 		return stream{}, err
 	}
 	st.sops.StreamNode()
+	if st.ex.prof != nil {
+		if t.Limit >= 0 {
+			st.ex.prof.note(t, "heap")
+		} else {
+			st.ex.prof.note(t, "sort")
+		}
+	}
 	it := &topNIter{st: st, in: s.it, less: less, limit: t.Limit, w: len(s.cols)}
 	return stream{it: it, cols: s.cols, sorted: ""}, nil
 }

@@ -39,6 +39,7 @@ import (
 	"time"
 
 	"blackswan/internal/rdf"
+	"blackswan/internal/simio"
 )
 
 // Options tunes a bulk load. The zero value is a good default: GOMAXPROCS
@@ -88,6 +89,40 @@ type Stats struct {
 	ParseBusy     time.Duration `json:"parseBusyNs"`
 	AssembleBusy  time.Duration `json:"assembleBusyNs"`
 	Wall          time.Duration `json:"wallNs"`
+
+	// The simulated-clock view of the same load: the scan stage's busy time
+	// charges the clock's I/O component (it is the stage that moves bytes)
+	// and the parse and assemble stages charge CPU. SimSync composes them
+	// synchronously (cpu+io — the sequential loader, which blocks on every
+	// read) while SimOverlapped composes them with simio.Clock.SetOverlapped
+	// (max(cpu,io) — the pipelined loader, whose scanner reads ahead under
+	// the parse workers). The gap between the two is the simulated gain of
+	// pipelining the load, independent of host scheduling noise.
+	SimCPU        time.Duration `json:"simCpuNs"`
+	SimIO         time.Duration `json:"simIoNs"`
+	SimSync       time.Duration `json:"simSyncNs"`
+	SimOverlapped time.Duration `json:"simOverlappedNs"`
+}
+
+// simulate fills the simulated-clock fields from the stage busy times.
+func (s *Stats) simulate() {
+	clk := simio.NewClock()
+	clk.ChargeIO(s.ScanBusy)
+	clk.ChargeCPU(s.ParseBusy + s.AssembleBusy)
+	s.SimCPU = clk.User()
+	s.SimIO = clk.IO()
+	s.SimSync = clk.Real()
+	clk.SetOverlapped(true)
+	s.SimOverlapped = clk.Real()
+}
+
+// OverlapGain is the ratio of the synchronous to the overlapped simulated
+// real time — how much the pipelined composition saves (1 = nothing).
+func (s *Stats) OverlapGain() float64 {
+	if s.SimOverlapped <= 0 {
+		return 1
+	}
+	return float64(s.SimSync) / float64(s.SimOverlapped)
 }
 
 // TriplesPerSec is the load's throughput: statements over wall time.
@@ -128,6 +163,7 @@ func Load(r io.Reader, opt Options) (*rdf.Graph, *Stats, error) {
 		g, err = loadParallel(r, opt, st)
 	}
 	st.Wall = time.Since(start)
+	st.simulate()
 	if err != nil {
 		return nil, st, err
 	}

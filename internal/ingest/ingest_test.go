@@ -198,3 +198,39 @@ func TestStatsBreakdown(t *testing.T) {
 		t.Fatal("TriplesPerSec = 0")
 	}
 }
+
+// TestSimulatedOverlap checks the simulated-clock composition of a load:
+// the blocking composition is the sum of the CPU and I/O components, the
+// pipelined composition is their max, and the overlap gain is their ratio.
+func TestSimulatedOverlap(t *testing.T) {
+	nt := corpus(t)
+	_, st, err := Load(bytes.NewReader(nt), Options{Workers: 4, ChunkBytes: 16 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.SimCPU <= 0 || st.SimIO <= 0 {
+		t.Fatalf("simulated components missing: cpu=%v io=%v", st.SimCPU, st.SimIO)
+	}
+	if st.SimSync != st.SimCPU+st.SimIO {
+		t.Fatalf("SimSync = %v, want SimCPU+SimIO = %v", st.SimSync, st.SimCPU+st.SimIO)
+	}
+	wantOverlap := st.SimCPU
+	if st.SimIO > wantOverlap {
+		wantOverlap = st.SimIO
+	}
+	if st.SimOverlapped != wantOverlap {
+		t.Fatalf("SimOverlapped = %v, want max(cpu, io) = %v", st.SimOverlapped, wantOverlap)
+	}
+	if g := st.OverlapGain(); g < 1 {
+		t.Fatalf("OverlapGain = %.3f, want >= 1", g)
+	}
+	// A failed load still reports its partial volume with consistent sim
+	// fields (simulate runs on the error path too).
+	_, bad, err := Load(strings.NewReader("<a> <b> .\n"), Options{Workers: 2})
+	if err == nil {
+		t.Fatal("malformed input loaded successfully")
+	}
+	if bad.SimSync != bad.SimCPU+bad.SimIO {
+		t.Fatalf("failed load SimSync = %v, want %v", bad.SimSync, bad.SimCPU+bad.SimIO)
+	}
+}

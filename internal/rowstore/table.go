@@ -228,6 +228,13 @@ func quickSortKeys(keys []btree.Key, w, lo, hi int) {
 	}
 }
 
+// Charges implements the plan executor's charge-meter contract (see
+// core.ChargeMeter): a locked snapshot of the store's simulated CPU and
+// I/O nanoseconds plus physical bytes read, for per-operator profiling.
+func (e *Engine) Charges() (cpuNs, ioNs, bytesRead int64) {
+	return e.Store.Charges()
+}
+
 // Table returns a table by name, or an error if absent.
 func (e *Engine) Table(name string) (*Table, error) {
 	t, ok := e.tables[name]

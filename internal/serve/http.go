@@ -4,8 +4,10 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"io"
 	"net/http"
 	"strconv"
+	"strings"
 	"time"
 
 	"blackswan/internal/bgp"
@@ -13,37 +15,62 @@ import (
 
 // The HTTP front-end: a minimal JSON API over a Service.
 //
-//	GET|POST /query?q=<text>&system=<name>[&limit=n][&timeout=d]
+//	GET|POST /query?q=<text>&system=<name>[&limit=n][&timeout=d][&profile=1]
 //	GET      /systems
 //	GET      /stats
+//	GET      /metrics
+//	GET      /debug/slow
 //
 // /query executes q on the named system (default: the service's first
-// target) and returns the decoded rows. limit caps the rows decoded into
-// the response (default 100, limit=-1 for all; rowCount always reports the
-// full result size). timeout is a Go duration (e.g. 250ms) bounding the
-// request, demonstrating cancellation through the executor. Malformed
-// queries come back as 400 with the parse position (line, column, offset),
-// unknown systems as 404, cancelled or expired requests as 504.
+// target) and returns the decoded rows. POST also accepts a JSON body
+// ({"q": ..., "system": ..., "limit": ..., "timeout": ..., "profile": ...})
+// when sent with Content-Type application/json. limit caps the rows decoded
+// into the response (default 100, limit=-1 for all; rowCount always reports
+// the full result size). timeout is a Go duration (e.g. 250ms) bounding the
+// request, demonstrating cancellation through the executor. profile turns
+// on per-operator EXPLAIN ANALYZE collection; the response then carries the
+// profile tree (measured rows, simulated CPU/IO, host time, peak memory,
+// cardinality estimates per operator) next to the unchanged rows.
+// Malformed queries come back as 400 with the parse position (line, column,
+// offset), unknown systems as 404, cancelled or expired requests as 504;
+// every error response names its class ("parse", "unknown_system",
+// "canceled", "exec") matching the blackswan_errors_total metric labels.
+//
+// /metrics is the Prometheus text-exposition endpoint (see prom.go) and
+// /debug/slow returns the slow-query log, newest first (see slowlog.go).
+
+// QueryRequest is the JSON body POST /query accepts as an alternative to
+// form parameters. Zero values fall back to the form-parameter defaults.
+type QueryRequest struct {
+	Q       string `json:"q"`
+	System  string `json:"system,omitempty"`
+	Limit   *int   `json:"limit,omitempty"`
+	Timeout string `json:"timeout,omitempty"`
+	Profile bool   `json:"profile,omitempty"`
+}
 
 // QueryResponse is the /query success payload. A null row cell is an
 // unbound variable — the OPTIONAL construct's NULL — distinct from every
 // decoded term (even the empty literal, which decodes to "\"\"").
 type QueryResponse struct {
-	System    string      `json:"system"`
-	Columns   []string    `json:"columns"`
-	Rows      [][]*string `json:"rows"`
-	RowCount  int         `json:"rowCount"`
-	Truncated bool        `json:"truncated,omitempty"`
-	Cached    bool        `json:"cached"`
-	LatencyMs float64     `json:"latencyMs"`
-	QueuedMs  float64     `json:"queuedMs"`
+	System    string       `json:"system"`
+	Columns   []string     `json:"columns"`
+	Rows      [][]*string  `json:"rows"`
+	RowCount  int          `json:"rowCount"`
+	Truncated bool         `json:"truncated,omitempty"`
+	Cached    bool         `json:"cached"`
+	LatencyMs float64      `json:"latencyMs"`
+	QueuedMs  float64      `json:"queuedMs"`
+	Profile   *ProfileNode `json:"profile,omitempty"`
 }
 
-// ErrorResponse is the JSON error payload; Line/Col/Offset are present for
-// parse errors (Line and Col are 1-based, so zero means absent; Offset is
-// a pointer because byte offset 0 is a valid position).
+// ErrorResponse is the JSON error payload; Class matches the error-class
+// metric labels. Line/Col/Offset are present for parse errors (Line and
+// Col are 1-based, so zero means absent; Offset is a pointer because byte
+// offset 0 is a valid position).
 type ErrorResponse struct {
 	Error  string `json:"error"`
+	Class  string `json:"errorClass,omitempty"`
 	Line   int    `json:"line,omitempty"`
 	Col    int    `json:"col,omitempty"`
 	Offset *int   `json:"offset,omitempty"`
@@ -52,7 +79,8 @@ type ErrorResponse struct {
 // StatsResponse is the /stats payload.
 type StatsResponse struct {
 	Snapshot
-	Systems []string `json:"systems"`
+	Systems []string        `json:"systems"`
+	Ingest  *IngestSnapshot `json:"ingest,omitempty"`
 }
 
 // NewHandler returns the HTTP front-end of s.
@@ -63,36 +91,35 @@ func NewHandler(s *Service) http.Handler {
 			writeError(w, http.StatusMethodNotAllowed, ErrorResponse{Error: "use GET or POST"})
 			return
 		}
-		q := r.FormValue("q")
-		if q == "" {
-			writeError(w, http.StatusBadRequest, ErrorResponse{Error: "missing q parameter"})
+		req, errResp := parseQueryRequest(r)
+		if errResp != nil {
+			writeError(w, http.StatusBadRequest, *errResp)
 			return
 		}
-		system := r.FormValue("system")
+		if req.Q == "" {
+			writeError(w, http.StatusBadRequest, ErrorResponse{Error: "missing q parameter", Class: ErrClassParse})
+			return
+		}
+		system := req.System
 		if system == "" {
 			system = s.DefaultSystem()
 		}
 		limit := 100
-		if v := r.FormValue("limit"); v != "" {
-			n, err := strconv.Atoi(v)
-			if err != nil {
-				writeError(w, http.StatusBadRequest, ErrorResponse{Error: "bad limit: " + err.Error()})
-				return
-			}
-			limit = n
+		if req.Limit != nil {
+			limit = *req.Limit
 		}
 		ctx := r.Context()
-		if v := r.FormValue("timeout"); v != "" {
-			d, err := time.ParseDuration(v)
+		if req.Timeout != "" {
+			d, err := time.ParseDuration(req.Timeout)
 			if err != nil {
-				writeError(w, http.StatusBadRequest, ErrorResponse{Error: "bad timeout: " + err.Error()})
+				writeError(w, http.StatusBadRequest, ErrorResponse{Error: "bad timeout: " + err.Error(), Class: ErrClassParse})
 				return
 			}
 			var cancel context.CancelFunc
 			ctx, cancel = context.WithTimeout(ctx, d)
 			defer cancel()
 		}
-		res, err := s.ExecText(ctx, q, system)
+		res, err := s.ExecTextOpts(ctx, req.Q, system, ExecOpts{Profile: req.Profile})
 		if err != nil {
 			writeError(w, statusOf(err), errorResponseOf(err))
 			return
@@ -107,41 +134,78 @@ func NewHandler(s *Service) http.Handler {
 			Cached:    res.Cached,
 			LatencyMs: float64(res.Latency.Microseconds()) / 1e3,
 			QueuedMs:  float64(res.Queued.Microseconds()) / 1e3,
+			Profile:   profileJSON(res.Profile, termFunc(res.dict)),
 		})
 	})
 	mux.HandleFunc("/systems", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, s.Systems())
 	})
 	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, StatsResponse{Snapshot: s.Stats(), Systems: s.Systems()})
+		writeJSON(w, http.StatusOK, StatsResponse{Snapshot: s.Stats(), Systems: s.Systems(), Ingest: s.Ingest()})
+	})
+	mux.Handle("/metrics", MetricsHandler(s))
+	mux.HandleFunc("/debug/slow", func(w http.ResponseWriter, r *http.Request) {
+		entries := s.SlowQueries()
+		if entries == nil {
+			entries = []SlowEntry{}
+		}
+		writeJSON(w, http.StatusOK, entries)
 	})
 	return mux
 }
 
-// statusOf maps service errors to HTTP statuses: parse and compile
-// problems are the client's (400), unknown systems are 404, context ends
-// are 504, the rest is 500.
+// parseQueryRequest extracts the query parameters from either a JSON body
+// (POST with Content-Type application/json) or form/query parameters.
+func parseQueryRequest(r *http.Request) (QueryRequest, *ErrorResponse) {
+	var req QueryRequest
+	ct := r.Header.Get("Content-Type")
+	if r.Method == http.MethodPost && strings.HasPrefix(ct, "application/json") {
+		body, err := io.ReadAll(http.MaxBytesReader(nil, r.Body, 1<<20))
+		if err != nil {
+			return req, &ErrorResponse{Error: "reading body: " + err.Error(), Class: ErrClassParse}
+		}
+		if err := json.Unmarshal(body, &req); err != nil {
+			return req, &ErrorResponse{Error: "bad JSON body: " + err.Error(), Class: ErrClassParse}
+		}
+		return req, nil
+	}
+	req.Q = r.FormValue("q")
+	req.System = r.FormValue("system")
+	req.Timeout = r.FormValue("timeout")
+	if v := r.FormValue("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			return req, &ErrorResponse{Error: "bad limit: " + err.Error(), Class: ErrClassParse}
+		}
+		req.Limit = &n
+	}
+	if v := r.FormValue("profile"); v != "" && v != "0" && !strings.EqualFold(v, "false") {
+		req.Profile = true
+	}
+	return req, nil
+}
+
+// statusOf maps service errors to HTTP statuses through their class: parse
+// and compile problems are the client's (400), unknown systems are 404,
+// context ends are 504, the rest is 500.
 func statusOf(err error) int {
-	var pe *bgp.ParseError
-	var ue *bgp.UnknownTermError
-	var ce *bgp.CompileError
-	var se *UnknownSystemError
-	switch {
-	case errors.As(err, &pe), errors.As(err, &ue), errors.As(err, &ce):
+	switch ErrorClass(err) {
+	case ErrClassParse:
 		return http.StatusBadRequest
-	case errors.As(err, &se):
+	case ErrClassUnknownSystem:
 		return http.StatusNotFound
-	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+	case ErrClassCanceled:
 		return http.StatusGatewayTimeout
 	default:
 		return http.StatusInternalServerError
 	}
 }
 
-// errorResponseOf renders err, attaching the parse position when there is
-// one — the client-facing diagnostic the positioned parser exists for.
+// errorResponseOf renders err with its class, attaching the parse position
+// when there is one — the client-facing diagnostic the positioned parser
+// exists for.
 func errorResponseOf(err error) ErrorResponse {
-	resp := ErrorResponse{Error: err.Error()}
+	resp := ErrorResponse{Error: err.Error(), Class: ErrorClass(err)}
 	var pe *bgp.ParseError
 	if errors.As(err, &pe) {
 		off := pe.Offset

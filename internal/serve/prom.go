@@ -1,0 +1,161 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+)
+
+// The Prometheus text-exposition endpoint. The renderer is dependency-free:
+// the text format is lines of `name{labels} value` with # HELP / # TYPE
+// comments, and the service's counters map onto it directly. Counters and
+// gauges come from the Metrics atomics and the current snapshot's plan
+// cache; the latency histogram re-exposes the power-of-two buckets as a
+// cumulative Prometheus histogram (bucket upper bounds in seconds); the
+// last recorded bulk load (RecordIngest) appears as gauges so load
+// throughput and the simulated pipeline-overlap gain sit next to the
+// query-side series.
+
+// promSnapshot is everything one /metrics render reads, gathered up front
+// so the text is internally consistent-enough (each value read atomically).
+type promSnapshot struct {
+	snap   Snapshot
+	hist   [64]int64
+	ingest *IngestSnapshot
+}
+
+// WriteMetrics renders the service's metrics in Prometheus text format.
+func (s *Service) WriteMetrics(w io.Writer) error {
+	ps := promSnapshot{
+		snap:   s.Stats(),
+		hist:   s.metrics.histSnapshot(),
+		ingest: s.Ingest(),
+	}
+	return writeProm(w, ps)
+}
+
+// MetricsHandler returns the /metrics endpoint of s.
+func MetricsHandler(s *Service) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = s.WriteMetrics(w)
+	})
+}
+
+func writeProm(w io.Writer, ps promSnapshot) error {
+	b := &strings.Builder{}
+	sn := ps.snap
+
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v int64) {
+		fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+	}
+	gaugeF := func(name, help string, v float64) {
+		fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", name, help, name, name, v)
+	}
+
+	counter("blackswan_queries_total", "Successfully served query executions.", sn.Queries)
+	counter("blackswan_query_rows_total", "Total result rows served.", sn.Rows)
+	counter("blackswan_cached_plan_executions_total", "Served executions that ran a cached plan.", sn.CachedPlans)
+	counter("blackswan_profiled_executions_total", "Served executions that carried an EXPLAIN ANALYZE profile.", sn.Profiled)
+	counter("blackswan_slow_queries_total", "Served executions recorded in the slow-query log.", sn.SlowQueries)
+	counter("blackswan_dataset_swaps_total", "Dataset snapshots installed via Swap.", sn.Swaps)
+
+	// Errors: one total plus a by-class breakdown with stable label order.
+	fmt.Fprintf(b, "# HELP blackswan_errors_total Failed requests by error class.\n# TYPE blackswan_errors_total counter\n")
+	classes := make([]string, 0, len(sn.ErrorsBy))
+	for c := range sn.ErrorsBy {
+		classes = append(classes, c)
+	}
+	sort.Strings(classes)
+	for _, c := range classes {
+		fmt.Fprintf(b, "blackswan_errors_total{class=%q} %d\n", c, sn.ErrorsBy[c])
+	}
+
+	// Admission control.
+	counter("blackswan_admission_rejected_total", "Admissions abandoned because the request context ended while waiting.", sn.Rejected)
+	gauge("blackswan_admission_waiting", "Requests currently blocked in admission (queue depth).", sn.Waiting)
+	gaugeF("blackswan_admission_wait_seconds_total", "Summed admission wait of admitted executions.", sn.QueuedSum.Seconds())
+	gauge("blackswan_in_flight", "Currently admitted executions.", sn.InFlight)
+	gauge("blackswan_in_flight_max", "High-water mark of concurrently admitted executions.", sn.MaxInFlight)
+
+	// Plan cache.
+	counter("blackswan_plan_cache_hits_total", "Plan-cache hits.", sn.Cache.Hits)
+	counter("blackswan_plan_cache_misses_total", "Plan-cache misses (actual compilations).", sn.Cache.Misses)
+	counter("blackswan_plan_cache_evictions_total", "Plan-cache evictions.", sn.Cache.Evictions)
+	counter("blackswan_plan_cache_coalesced_total", "Compilations coalesced onto a concurrent leader (singleflight).", sn.Cache.Coalesced)
+	gauge("blackswan_plan_cache_entries", "Plan-cache resident entries.", int64(sn.Cache.Entries))
+
+	// Per-system traffic; Snapshot.Systems is already sorted by name.
+	if len(sn.Systems) > 0 {
+		fmt.Fprintf(b, "# HELP blackswan_system_queries_total Served executions per target system.\n# TYPE blackswan_system_queries_total counter\n")
+		for _, sys := range sn.Systems {
+			fmt.Fprintf(b, "blackswan_system_queries_total{system=%q} %d\n", sys.System, sys.Queries)
+		}
+		fmt.Fprintf(b, "# HELP blackswan_system_latency_seconds_total Summed latency per target system.\n# TYPE blackswan_system_latency_seconds_total counter\n")
+		for _, sys := range sn.Systems {
+			fmt.Fprintf(b, "blackswan_system_latency_seconds_total{system=%q} %g\n", sys.System, sys.LatencySum.Seconds())
+		}
+	}
+
+	// Latency histogram: the power-of-two buckets become a cumulative
+	// Prometheus histogram. Bucket i of the internal histogram counts
+	// latencies with bits.Len64(ns) == i, i.e. ns < 2^i, so 2^i ns is the
+	// bucket's upper bound. Empty tail buckets collapse into +Inf.
+	fmt.Fprintf(b, "# HELP blackswan_query_latency_seconds Latency of served executions (admission wait included).\n# TYPE blackswan_query_latency_seconds histogram\n")
+	hi := 0
+	for i, n := range ps.hist {
+		if n > 0 {
+			hi = i
+		}
+	}
+	var cum int64
+	for i := 0; i <= hi; i++ {
+		cum += ps.hist[i]
+		ub := float64(int64(1)<<uint(i)) / 1e9
+		fmt.Fprintf(b, "blackswan_query_latency_seconds_bucket{le=%q} %d\n", trimFloat(ub), cum)
+	}
+	fmt.Fprintf(b, "blackswan_query_latency_seconds_bucket{le=\"+Inf\"} %d\n", cum)
+	fmt.Fprintf(b, "blackswan_query_latency_seconds_sum %g\n", sn.LatencySum.Seconds())
+	fmt.Fprintf(b, "blackswan_query_latency_seconds_count %d\n", cum)
+
+	// Last bulk load, when one was recorded.
+	if in := ps.ingest; in != nil {
+		counter("blackswan_ingest_statements", "Statements loaded by the last bulk ingest.", in.Statements)
+		counter("blackswan_ingest_bytes", "Input bytes of the last bulk ingest.", in.Bytes)
+		gaugeF("blackswan_ingest_wall_seconds", "Host wall time of the last bulk ingest.", in.Wall.Seconds())
+		if len(in.StageBusy) > 0 {
+			fmt.Fprintf(b, "# HELP blackswan_ingest_stage_busy_seconds Host busy time per ingest pipeline stage.\n# TYPE blackswan_ingest_stage_busy_seconds gauge\n")
+			stages := make([]string, 0, len(in.StageBusy))
+			for st := range in.StageBusy {
+				stages = append(stages, st)
+			}
+			sort.Strings(stages)
+			for _, st := range stages {
+				fmt.Fprintf(b, "blackswan_ingest_stage_busy_seconds{stage=%q} %g\n", st, in.StageBusy[st].Seconds())
+			}
+		}
+		gaugeF("blackswan_ingest_sim_cpu_seconds", "Simulated CPU component of the last bulk ingest.", in.SimCPU.Seconds())
+		gaugeF("blackswan_ingest_sim_io_seconds", "Simulated I/O component of the last bulk ingest.", in.SimIO.Seconds())
+		gaugeF("blackswan_ingest_sim_sync_seconds", "Simulated real time of the last bulk ingest under blocking reads (cpu+io).", in.SimSync.Seconds())
+		gaugeF("blackswan_ingest_sim_overlapped_seconds", "Simulated real time of the last bulk ingest under pipelined read-ahead (max(cpu,io)).", in.SimOverlapped.Seconds())
+	}
+
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// trimFloat renders a bucket bound compactly ("0.000262144", "1.073741824").
+func trimFloat(f float64) string {
+	s := fmt.Sprintf("%.9f", f)
+	s = strings.TrimRight(s, "0")
+	s = strings.TrimRight(s, ".")
+	if s == "" {
+		s = "0"
+	}
+	return s
+}

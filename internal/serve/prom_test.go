@@ -1,0 +1,141 @@
+package serve
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// TestPromExposition is the golden test of the Prometheus text renderer: a
+// hand-constructed snapshot renders to a byte-exact, stable exposition.
+// The snapshot values are arbitrary but distinct, so a counter wired to
+// the wrong series moves the wrong line.
+func TestPromExposition(t *testing.T) {
+	ps := promSnapshot{
+		snap: Snapshot{
+			Queries:     120,
+			CachedPlans: 90,
+			Profiled:    7,
+			Rows:        4321,
+			Rejected:    3,
+			InFlight:    2,
+			MaxInFlight: 5,
+			Waiting:     1,
+			QueuedSum:   1500 * time.Microsecond,
+			Swaps:       2,
+			SlowQueries: 4,
+			LatencySum:  600 * time.Millisecond,
+			ErrorsBy: map[string]int64{
+				ErrClassParse:         6,
+				ErrClassUnknownSystem: 2,
+				ErrClassCanceled:      1,
+				ErrClassExec:          0,
+			},
+			Systems: []SystemSnapshot{
+				{System: "colstore vert", Queries: 70, Rows: 3000, LatencySum: 350 * time.Millisecond},
+				{System: "rowstore triple", Queries: 50, Rows: 1321, LatencySum: 250 * time.Millisecond},
+			},
+			Cache: CacheStats{Entries: 8, Capacity: 256, Hits: 100, Misses: 15, Evictions: 7, Coalesced: 5},
+		},
+		ingest: &IngestSnapshot{
+			Statements: 100000,
+			Bytes:      9 << 20,
+			Wall:       2 * time.Second,
+			StageBusy: map[string]time.Duration{
+				"scan":     400 * time.Millisecond,
+				"parse":    3 * time.Second,
+				"assemble": 600 * time.Millisecond,
+			},
+			SimCPU:        3600 * time.Millisecond,
+			SimIO:         400 * time.Millisecond,
+			SimSync:       4 * time.Second,
+			SimOverlapped: 3600 * time.Millisecond,
+		},
+	}
+	// A small histogram: 100 queries in bucket 20 (~1ms), 20 in bucket 23.
+	ps.hist[20] = 100
+	ps.hist[23] = 20
+
+	var b strings.Builder
+	if err := writeProm(&b, ps); err != nil {
+		t.Fatal(err)
+	}
+	got := b.String()
+
+	golden := filepath.Join("testdata", "prom.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("reading golden (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("exposition differs from golden (run with -update after intentional changes)\ngot:\n%s\nwant:\n%s", got, want)
+	}
+
+	// Structural guards independent of the golden bytes: the required
+	// series and the histogram's invariants.
+	for _, series := range []string{
+		"blackswan_queries_total 120",
+		"blackswan_query_rows_total 4321",
+		"blackswan_cached_plan_executions_total 90",
+		"blackswan_profiled_executions_total 7",
+		"blackswan_slow_queries_total 4",
+		"blackswan_dataset_swaps_total 2",
+		`blackswan_errors_total{class="parse"} 6`,
+		`blackswan_errors_total{class="unknown_system"} 2`,
+		`blackswan_errors_total{class="canceled"} 1`,
+		`blackswan_errors_total{class="exec"} 0`,
+		"blackswan_admission_rejected_total 3",
+		"blackswan_admission_waiting 1",
+		"blackswan_in_flight 2",
+		"blackswan_in_flight_max 5",
+		"blackswan_plan_cache_hits_total 100",
+		"blackswan_plan_cache_misses_total 15",
+		"blackswan_plan_cache_evictions_total 7",
+		"blackswan_plan_cache_coalesced_total 5",
+		"blackswan_plan_cache_entries 8",
+		`blackswan_system_queries_total{system="colstore vert"} 70`,
+		`blackswan_system_queries_total{system="rowstore triple"} 50`,
+		`blackswan_query_latency_seconds_bucket{le="+Inf"} 120`,
+		"blackswan_query_latency_seconds_count 120",
+		"blackswan_ingest_statements 100000",
+		`blackswan_ingest_stage_busy_seconds{stage="parse"} 3`,
+		"blackswan_ingest_sim_overlapped_seconds 3.6",
+	} {
+		if !strings.Contains(got, series+"\n") {
+			t.Errorf("exposition is missing the line %q", series)
+		}
+	}
+
+	// Cumulative buckets must be monotone and end at the total count.
+	var lastCum int64 = -1
+	for _, line := range strings.Split(got, "\n") {
+		if !strings.HasPrefix(line, "blackswan_query_latency_seconds_bucket") {
+			continue
+		}
+		cum, err := strconv.ParseInt(line[strings.LastIndexByte(line, ' ')+1:], 10, 64)
+		if err != nil {
+			t.Fatalf("bad bucket line %q: %v", line, err)
+		}
+		if cum < lastCum {
+			t.Fatalf("non-monotone cumulative bucket: %q after %d", line, lastCum)
+		}
+		lastCum = cum
+	}
+	if lastCum != 120 {
+		t.Fatalf("final cumulative bucket = %d, want 120", lastCum)
+	}
+}

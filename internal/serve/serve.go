@@ -35,8 +35,18 @@
 //
 // Every execution returns per-query metrics (latency, admission wait, row
 // count, cache state) and feeds the service-level counters and latency
-// histogram behind Stats. The HTTP front-end in http.go exposes the same
-// service over JSON, with positioned parse diagnostics for bad queries.
+// histogram behind Stats. The observability surface goes further:
+// ExecOpts{Profile: true} attaches a per-operator EXPLAIN ANALYZE tree
+// (measured rows, simulated CPU/IO charges, host time, peak memory, the
+// planner's cardinality estimates — see internal/core's profile collector)
+// without changing a byte of the result; WriteMetrics renders every
+// counter, the latency histogram and the last bulk load as a
+// dependency-free Prometheus text exposition (prom.go); and queries at or
+// above Config.SlowQueryThreshold land in a bounded newest-first ring with
+// their plan and profile (slowlog.go). The HTTP front-end in http.go
+// exposes all of it over JSON — /query (with profile support), /stats,
+// /metrics, /debug/slow — with positioned parse diagnostics and classified
+// errors for bad queries.
 package serve
 
 import (
@@ -82,6 +92,13 @@ type Config struct {
 	// LIMIT/TopN queries terminate their scans early, which is what matters
 	// most under concurrent traffic.
 	Materialize bool
+	// SlowQueryThreshold enables the slow-query log: served queries whose
+	// latency (admission wait included) reaches the threshold are recorded
+	// in a bounded ring readable at /debug/slow. 0 disables the log.
+	SlowQueryThreshold time.Duration
+	// SlowLogSize bounds the slow-query ring in entries; 0 defaults to
+	// DefaultSlowLogSize. Older entries are overwritten.
+	SlowLogSize int
 }
 
 // DefaultCacheSize is the plan-cache capacity when Config.CacheSize is 0.
@@ -136,6 +153,8 @@ type Service struct {
 	snap    atomic.Pointer[snapshot]
 	sem     chan struct{}
 	metrics *Metrics
+	slow    *slowLog
+	ingest  atomic.Pointer[IngestSnapshot]
 
 	// compileHook, when set (tests only), runs inside the singleflight
 	// leader immediately before compilation — it widens the window in
@@ -165,9 +184,43 @@ func New(dict rdf.Dict, est *bgp.Estimator, cfg Config, targets ...Target) (*Ser
 		sem:     make(chan struct{}, cfg.MaxConcurrent),
 		metrics: &Metrics{},
 	}
+	if cfg.SlowQueryThreshold > 0 {
+		s.slow = newSlowLog(cfg.SlowLogSize)
+	}
 	s.snap.Store(sn)
 	return s, nil
 }
+
+// IngestSnapshot describes the most recent bulk load behind the served
+// data, recorded by the loader (swanserve's ingest path) so /metrics can
+// expose load throughput and the simulated pipeline-overlap gain next to
+// the query-side counters.
+type IngestSnapshot struct {
+	// Statements and Bytes are the load's input volume.
+	Statements int64 `json:"statements"`
+	Bytes      int64 `json:"bytes"`
+	// Wall is the host time of the load; StageBusy the host busy time per
+	// pipeline stage ("scan", "parse", "assemble").
+	Wall      time.Duration            `json:"wallNs"`
+	StageBusy map[string]time.Duration `json:"stageBusyNs,omitempty"`
+	// SimSync and SimOverlapped are the simulated-clock compositions of the
+	// same load: blocking reads (cpu+io) vs the pipelined read-ahead the
+	// parallel loader achieves (max(cpu,io), simio.Clock.SetOverlapped).
+	SimCPU        time.Duration `json:"simCpuNs"`
+	SimIO         time.Duration `json:"simIoNs"`
+	SimSync       time.Duration `json:"simSyncNs"`
+	SimOverlapped time.Duration `json:"simOverlappedNs"`
+}
+
+// RecordIngest publishes the stats of the load behind the current dataset.
+// Callers pair it with Swap; the snapshot is served by /metrics and /stats
+// until the next RecordIngest.
+func (s *Service) RecordIngest(in IngestSnapshot) {
+	s.ingest.Store(&in)
+}
+
+// Ingest returns the last recorded load snapshot, or nil if none.
+func (s *Service) Ingest() *IngestSnapshot { return s.ingest.Load() }
 
 // Swap atomically replaces the served dataset: dictionary, estimator and
 // targets are installed together with a fresh plan cache (plans compiled
@@ -248,10 +301,20 @@ func (s *Service) prepare(sn *snapshot, text string) (*Prepared, bool, error) {
 		return &Prepared{Text: canon, Compiled: c, snap: sn}, nil
 	})
 	if err != nil {
-		s.metrics.failed()
+		s.metrics.failed(ErrorClass(err))
 		return nil, false, err
 	}
 	return p, cached, nil
+}
+
+// ExecOpts carries per-execution options beyond the query text and target.
+type ExecOpts struct {
+	// Profile turns on per-operator profiling (EXPLAIN ANALYZE): the result
+	// carries a profile tree with measured rows, simulated CPU/IO charges,
+	// host time and peak memory per operator, annotated with the planner's
+	// cardinality estimates. Result rows are byte-identical either way —
+	// profiling only observes.
+	Profile bool
 }
 
 // Result is one executed query with its per-query metrics.
@@ -272,6 +335,10 @@ type Result struct {
 	// the wait (compilation excluded — prepare happens before admission).
 	Queued  time.Duration
 	Latency time.Duration
+	// Profile is the per-operator EXPLAIN ANALYZE tree, present when the
+	// execution ran with ExecOpts.Profile. Estimates are annotated from the
+	// estimator of the snapshot the query ran on.
+	Profile *core.OpProfile
 
 	// dict decodes this result: the dictionary of the snapshot the query
 	// executed on, immune to concurrent swaps.
@@ -285,6 +352,11 @@ type Result struct {
 // datasets. The target is validated first, so requests bound for an
 // unknown system never pay compilation or occupy cache entries.
 func (s *Service) ExecText(ctx context.Context, text, system string) (*Result, error) {
+	return s.ExecTextOpts(ctx, text, system, ExecOpts{})
+}
+
+// ExecTextOpts is ExecText with per-execution options (profiling).
+func (s *Service) ExecTextOpts(ctx context.Context, text, system string, opt ExecOpts) (*Result, error) {
 	sn := s.snap.Load()
 	ti, err := s.target(sn, system)
 	if err != nil {
@@ -294,13 +366,18 @@ func (s *Service) ExecText(ctx context.Context, text, system string) (*Result, e
 	if err != nil {
 		return nil, err
 	}
-	return s.exec(ctx, sn, p, ti, cached)
+	return s.exec(ctx, sn, p, ti, cached, opt)
 }
 
 // Exec executes a prepared handle on the named target of the handle's own
 // snapshot. The result is marked Cached: the handle exists, so parse and
 // ordering are paid off.
 func (s *Service) Exec(ctx context.Context, p *Prepared, system string) (*Result, error) {
+	return s.ExecOptions(ctx, p, system, ExecOpts{})
+}
+
+// ExecOptions is Exec with per-execution options (profiling).
+func (s *Service) ExecOptions(ctx context.Context, p *Prepared, system string, opt ExecOpts) (*Result, error) {
 	sn := p.snap
 	if sn == nil {
 		sn = s.snap.Load()
@@ -309,20 +386,20 @@ func (s *Service) Exec(ctx context.Context, p *Prepared, system string) (*Result
 	if err != nil {
 		return nil, err
 	}
-	return s.exec(ctx, sn, p, ti, true)
+	return s.exec(ctx, sn, p, ti, true, opt)
 }
 
 // target resolves a system name, counting and typing the failure.
 func (s *Service) target(sn *snapshot, system string) (int, error) {
 	ti, ok := sn.byName[system]
 	if !ok {
-		s.metrics.failed()
+		s.metrics.failed(ErrClassUnknownSystem)
 		return 0, &UnknownSystemError{System: system, Known: append([]string(nil), sn.names...)}
 	}
 	return ti, nil
 }
 
-func (s *Service) exec(ctx context.Context, sn *snapshot, p *Prepared, ti int, cached bool) (*Result, error) {
+func (s *Service) exec(ctx context.Context, sn *snapshot, p *Prepared, ti int, cached bool, opt ExecOpts) (*Result, error) {
 	t := sn.targets[ti]
 	start := time.Now()
 	// Admission: block until a slot frees or the request context ends. The
@@ -332,29 +409,38 @@ func (s *Service) exec(ctx context.Context, sn *snapshot, p *Prepared, ti int, c
 		s.metrics.rejected()
 		return nil, err
 	}
+	s.metrics.waitStart()
 	select {
 	case s.sem <- struct{}{}:
+		s.metrics.waitEnd()
 	case <-ctx.Done():
+		s.metrics.waitEnd()
 		s.metrics.rejected()
 		return nil, ctx.Err()
 	}
 	queued := time.Since(start)
-	s.metrics.admitted()
+	s.metrics.admitted(queued)
 	defer func() {
 		s.metrics.released()
 		<-s.sem
 	}()
-	out, _, _, err := core.ExecutePlanCtx(ctx, t.Src, p.Compiled.Root, core.ExecOptions{
+	out, _, tr, err := core.ExecutePlanCtx(ctx, t.Src, p.Compiled.Root, core.ExecOptions{
 		Workers:   s.cfg.ExecWorkers,
 		Streaming: !s.cfg.Materialize,
+		Profile:   opt.Profile,
 	})
 	latency := time.Since(start)
 	if err != nil {
-		s.metrics.failed()
+		s.metrics.failed(ErrorClass(err))
 		return nil, fmt.Errorf("serve: %s: %w", t.Name, err)
 	}
-	s.metrics.served(latency, int64(out.Len()), cached)
-	return &Result{
+	var prof *core.OpProfile
+	if opt.Profile && tr != nil && tr.Profile != nil {
+		prof = tr.Profile
+		prof.AnnotateEstimates(bgp.EstimateCards(p.Compiled.Root, sn.est))
+	}
+	s.metrics.served(t.Name, latency, int64(out.Len()), cached, prof != nil)
+	res := &Result{
 		System:  t.Name,
 		Cols:    p.Compiled.Cols,
 		Rows:    out,
@@ -362,8 +448,41 @@ func (s *Service) exec(ctx context.Context, sn *snapshot, p *Prepared, ti int, c
 		Cached:  cached,
 		Queued:  queued,
 		Latency: latency,
+		Profile: prof,
 		dict:    sn.dict,
-	}, nil
+	}
+	if s.slow != nil && latency >= s.cfg.SlowQueryThreshold {
+		s.metrics.slow()
+		s.slow.add(SlowEntry{
+			When:    time.Now(),
+			Query:   p.Text,
+			System:  t.Name,
+			Rows:    out.Len(),
+			Cached:  cached,
+			Queued:  queued,
+			Latency: latency,
+			Plan:    core.FormatPlan(p.Compiled.Root, termFunc(sn.dict)),
+			Profile: profileJSON(prof, termFunc(sn.dict)),
+		})
+	}
+	return res, nil
+}
+
+// termFunc adapts a dictionary to the plan formatters' term resolver.
+func termFunc(dict rdf.Dict) func(rdf.ID) string {
+	if dict == nil {
+		return nil
+	}
+	return func(id rdf.ID) string { return dict.Term(id).String() }
+}
+
+// SlowQueries returns the slow-query log's entries, newest first; empty
+// when the log is disabled.
+func (s *Service) SlowQueries() []SlowEntry {
+	if s.slow == nil {
+		return nil
+	}
+	return s.slow.entries()
 }
 
 // UnknownSystemError reports an Exec against a target the service does not

@@ -1,0 +1,75 @@
+package serve
+
+import (
+	"sync"
+	"time"
+)
+
+// DefaultSlowLogSize is the slow-query ring capacity when
+// Config.SlowLogSize is 0.
+const DefaultSlowLogSize = 128
+
+// SlowEntry is one recorded slow query: enough to reproduce it (canonical
+// text, target system) and enough to diagnose it (latency breakdown, plan,
+// and — when the request was profiled — the full per-operator profile).
+type SlowEntry struct {
+	// When the query finished.
+	When time.Time `json:"when"`
+	// Query is the canonical text, the same key the plan cache uses.
+	Query string `json:"query"`
+	// System names the target the query ran on.
+	System string `json:"system"`
+	// Rows is the full result size (not the decoded/truncated count).
+	Rows int `json:"rows"`
+	// Cached reports whether the plan came from the cache.
+	Cached bool `json:"cached"`
+	// Queued is the admission wait; Latency the total including the wait.
+	Queued  time.Duration `json:"queuedNs"`
+	Latency time.Duration `json:"latencyNs"`
+	// Plan is the compiled plan rendered as indented text.
+	Plan string `json:"plan"`
+	// Profile is the per-operator profile when the request ran with
+	// profiling on, nil otherwise — the log never re-runs a query.
+	Profile *ProfileNode `json:"profile,omitempty"`
+}
+
+// slowLog is a fixed-capacity ring of the most recent slow queries. Writes
+// overwrite the oldest entry; reads return newest-first. A mutex (not
+// atomics) guards it — the log records only queries already past the
+// threshold, so the hot path never takes this lock.
+type slowLog struct {
+	mu   sync.Mutex
+	ring []SlowEntry
+	next int // ring index the next entry lands in
+	n    int // entries recorded so far, capped at len(ring)
+}
+
+func newSlowLog(capacity int) *slowLog {
+	if capacity <= 0 {
+		capacity = DefaultSlowLogSize
+	}
+	return &slowLog{ring: make([]SlowEntry, capacity)}
+}
+
+func (l *slowLog) add(e SlowEntry) {
+	l.mu.Lock()
+	l.ring[l.next] = e
+	l.next = (l.next + 1) % len(l.ring)
+	if l.n < len(l.ring) {
+		l.n++
+	}
+	l.mu.Unlock()
+}
+
+// entries returns a copy of the recorded entries, newest first.
+func (l *slowLog) entries() []SlowEntry {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]SlowEntry, 0, l.n)
+	for i := 1; i <= l.n; i++ {
+		// Walk backwards from the most recently written slot.
+		idx := (l.next - i + len(l.ring)) % len(l.ring)
+		out = append(out, l.ring[idx])
+	}
+	return out
+}

@@ -126,6 +126,18 @@ func (s *Store) Machine() Machine { return s.machine }
 // PageSize returns the page size in bytes.
 func (s *Store) PageSize() int64 { return s.pageSize }
 
+// Charges returns the clock's accumulated simulated CPU and I/O charges
+// in nanoseconds plus the physical bytes read so far, as one consistent
+// reading under the accounting lock. The clock's fields are not
+// independently synchronized — every charging path holds s.mu — so this
+// is the only safe way to sample charges while a plan is running, and it
+// is what the profiling executor diffs around each operator.
+func (s *Store) Charges() (cpuNs, ioNs, bytesRead int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return int64(s.clock.User()), int64(s.clock.IO()), s.stats.BytesRead
+}
+
 // Stats returns a copy of the accumulated counters.
 func (s *Store) Stats() Stats {
 	s.mu.Lock()
