@@ -34,6 +34,10 @@
 //	          executors: estimate-vs-actual rows (q-error), simulated
 //	          charges per operator, and the profiling host-overhead ratio;
 //	          -profile-report writes the JSON report
+//	trace     request-tracing overhead: every scheme and both executors
+//	          through the serving layer, traced (100%% sampling) vs
+//	          untraced, gated on byte-identical rows and identical
+//	          simulated charges; -trace-report writes the JSON report
 //	sql       generated SQL for both schemes, with union/join counts
 //	gen       write the generated data set as N-Triples to stdout
 //	all       every experiment in paper order
@@ -90,9 +94,12 @@ func main() {
 		profQueries = flag.Int("profile-queries", 6, "generated BGP queries for the profile experiment")
 		profCold    = flag.Bool("profile-cold", false, "run the profile experiment cold instead of hot")
 		profReport  = flag.String("profile-report", "", "write the profile experiment's JSON report to this file")
+		trcQueries  = flag.Int("trace-queries", 8, "generated BGP queries for the trace experiment")
+		trcReps     = flag.Int("trace-reps", 3, "repetitions per cell for the trace experiment (min host time kept)")
+		trcReport   = flag.String("trace-report", "", "write the trace experiment's JSON report to this file")
 	)
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: swanbench [flags] <experiment>\nexperiments: table1 fig1 table2 table4 table5 fig5 table6 table7 fig6 fig7 parallel workloads serve load stream profile sql gen all\nflags:\n")
+		fmt.Fprintf(os.Stderr, "usage: swanbench [flags] <experiment>\nexperiments: table1 fig1 table2 table4 table5 fig5 table6 table7 fig6 fig7 parallel workloads serve load stream profile trace sql gen all\nflags:\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -276,6 +283,25 @@ func main() {
 				fail(os.WriteFile(*profReport, append(data, '\n'), 0o644))
 				fmt.Fprintf(os.Stderr, "profile report written to %s\n", *profReport)
 			}
+		case "trace":
+			wseed := *bgpSeed
+			if wseed == 0 {
+				wseed = *seed
+			}
+			section(fmt.Sprintf("Trace: tracing overhead through the serving layer, %d generated queries (seed %d)", *trcQueries, wseed))
+			systems, err := bench.BGPSystems(w)
+			fail(err)
+			report, err := bench.RunTraceBench(w, systems, bench.TraceBenchOptions{
+				Queries: *trcQueries, Seed: wseed, Reps: *trcReps,
+			})
+			fail(err)
+			fmt.Print(bench.FormatTraceBench(report))
+			if *trcReport != "" {
+				data, err := json.MarshalIndent(report, "", "  ")
+				fail(err)
+				fail(os.WriteFile(*trcReport, append(data, '\n'), 0o644))
+				fmt.Fprintf(os.Stderr, "trace report written to %s\n", *trcReport)
+			}
 		case "sql":
 			section("Generated SQL (triple-store, then vertically-partitioned)")
 			names := make([]string, 0, len(w.Cat.AllProps))
@@ -298,7 +324,7 @@ func main() {
 	}
 
 	if flag.Arg(0) == "all" {
-		for _, name := range []string{"table1", "fig1", "table2", "table4", "table5", "fig5", "table6", "table7", "fig6", "fig7", "parallel", "workloads", "serve", "load", "stream", "profile"} {
+		for _, name := range []string{"table1", "fig1", "table2", "table4", "table5", "fig5", "table6", "table7", "fig6", "fig7", "parallel", "workloads", "serve", "load", "stream", "profile", "trace"} {
 			run(name)
 		}
 		return

@@ -13,6 +13,15 @@
 // -slow-threshold enables the slow-query log (readable at /debug/slow),
 // -slow-log bounds its ring.
 //
+// Every request is traced: -trace-sample sets the head sampling rate
+// (default 1.0 — keep everything; slow and errored requests are kept
+// regardless), -trace-ring bounds the finished-trace ring served at
+// /debug/traces. Responses carry the trace ID (traceId field and
+// traceparent header) and every structured log line (slog, stderr)
+// carries it too, so one ID joins response, trace, slow-log entry and
+// log line. -log-level tunes verbosity (debug logs every served query).
+// -pprof mounts Go's net/http/pprof handlers under /debug/pprof/.
+//
 // Endpoints (see internal/serve):
 //
 //	GET  /query?q=<bgp text>&system=<name>[&limit=n][&timeout=d][&profile=1]
@@ -20,6 +29,9 @@
 //	GET  /stats
 //	GET  /metrics       Prometheus text exposition
 //	GET  /debug/slow    slow-query log, newest first
+//	GET  /debug/traces  retained traces, newest first
+//	GET  /debug/traces/<id>[?format=otlp]
+//	GET  /debug/pprof/  Go runtime profiles (with -pprof)
 //	POST /reload[?seed=N][&triples=N][&props=N]
 //
 // /reload regenerates the dataset with the given parameters (defaulting
@@ -42,10 +54,13 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"runtime"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -53,6 +68,7 @@ import (
 	"blackswan/internal/datagen"
 	"blackswan/internal/ingest"
 	"blackswan/internal/serve"
+	"blackswan/internal/trace"
 )
 
 func main() {
@@ -69,30 +85,41 @@ func main() {
 		ingestWk    = flag.Int("ingest-workers", 0, "ingest pipeline workers (0 means one per CPU)")
 		slowThresh  = flag.Duration("slow-threshold", 0, "record served queries at or above this latency in the slow-query log (0 disables)")
 		slowSize    = flag.Int("slow-log", serve.DefaultSlowLogSize, "slow-query log capacity in entries")
+		traceRate   = flag.Float64("trace-sample", 1.0, "head sampling rate for request traces in [0,1]; slow and errored requests are kept regardless")
+		traceRing   = flag.Int("trace-ring", trace.DefaultRingSize, "finished-trace ring capacity (0 disables tracing)")
+		logLevel    = flag.String("log-level", "info", "structured-log level: debug, info, warn, error")
+		pprofOn     = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	)
 	flag.Parse()
+
+	log := newLogger(*logLevel)
+	var tracer *trace.Tracer
+	if *traceRing > 0 {
+		tracer = trace.New(trace.Config{SampleRate: *traceRate, RingSize: *traceRing, Service: "swanserve"})
+	}
 
 	var w *bench.Workload
 	var ingestSnap *serve.IngestSnapshot
 	if *ingestFile != "" {
-		fmt.Fprintf(os.Stderr, "ingesting %s through the parallel pipeline...\n", *ingestFile)
+		log.Info("ingesting through the parallel pipeline", "file", *ingestFile)
 		var err error
-		w, ingestSnap, err = ingestWorkload(*ingestFile, *ingestWk)
+		w, ingestSnap, err = ingestWorkload(log, *ingestFile, *ingestWk)
 		fail(err)
 	} else {
-		fmt.Fprintf(os.Stderr, "generating %d triples over %d properties (seed %d)...\n", *triples, *props, *seed)
+		log.Info("generating dataset", "triples", *triples, "props", *props, "seed", *seed)
 		var err error
 		w, err = bench.NewWorkload(datagen.Config{
 			Triples: *triples, Properties: *props, Interesting: *interesting, Seed: *seed,
 		})
 		fail(err)
 	}
-	fmt.Fprintln(os.Stderr, "loading the four storage schemes...")
+	log.Info("loading the four storage schemes")
 	systems, err := bench.BGPSystems(w)
 	fail(err)
 	svc, err := bench.NewService(w, systems, serve.Config{
 		MaxConcurrent: *maxConc, ExecWorkers: *workers, CacheSize: *cacheSize,
 		SlowQueryThreshold: *slowThresh, SlowLogSize: *slowSize,
+		Tracer: tracer, Logger: log,
 	})
 	fail(err)
 	if ingestSnap != nil {
@@ -101,6 +128,13 @@ func main() {
 
 	mux := http.NewServeMux()
 	mux.Handle("/", serve.NewHandler(svc))
+	if *pprofOn {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	var reloadMu sync.Mutex // one dataset build at a time; queries keep flowing
 	mux.HandleFunc("/reload", func(rw http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodPost {
@@ -129,13 +163,15 @@ func main() {
 			}
 		}
 		if err != nil {
+			log.Warn("reload failed", "error", err.Error(), "seed", cfg.Seed)
 			rw.Header().Set("Content-Type", "application/json")
 			rw.WriteHeader(status)
 			_ = json.NewEncoder(rw).Encode(map[string]string{"error": err.Error()})
 			return
 		}
-		fmt.Fprintf(os.Stderr, "reloaded %d triples (seed %d) in %s; snapshot swapped\n",
-			nw.DS.Graph.Len(), cfg.Seed, time.Since(start).Round(time.Millisecond))
+		log.Info("reloaded dataset",
+			"triples", nw.DS.Graph.Len(), "seed", cfg.Seed,
+			"loadSecs", time.Since(start).Seconds())
 		rw.Header().Set("Content-Type", "application/json")
 		_ = json.NewEncoder(rw).Encode(map[string]any{
 			"triples": nw.DS.Graph.Len(), "seed": cfg.Seed,
@@ -143,15 +179,34 @@ func main() {
 		})
 	})
 
-	fmt.Fprintf(os.Stderr, "serving %v on %s (cache %d entries, %d admission slots × %d workers)\n",
-		svc.Systems(), *addr, *cacheSize, *maxConc, *workers)
+	log.Info("serving",
+		"systems", fmt.Sprint(svc.Systems()), "addr", *addr,
+		"cache", *cacheSize, "admission", *maxConc, "workers", *workers,
+		"traceSample", *traceRate, "pprof", *pprofOn)
 	fail(http.ListenAndServe(*addr, mux))
+}
+
+// newLogger builds the process's structured logger: slog text lines on
+// stderr at the requested level.
+func newLogger(level string) *slog.Logger {
+	var lv slog.Level
+	switch strings.ToLower(level) {
+	case "debug":
+		lv = slog.LevelDebug
+	case "warn":
+		lv = slog.LevelWarn
+	case "error":
+		lv = slog.LevelError
+	default:
+		lv = slog.LevelInfo
+	}
+	return slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: lv}))
 }
 
 // ingestWorkload loads an N-Triples file through the parallel ingest
 // pipeline and derives the serving workload from the loaded graph, keeping
 // the load's stage breakdown for RecordIngest.
-func ingestWorkload(path string, workers int) (*bench.Workload, *serve.IngestSnapshot, error) {
+func ingestWorkload(log *slog.Logger, path string, workers int) (*bench.Workload, *serve.IngestSnapshot, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, nil, err
@@ -160,12 +215,10 @@ func ingestWorkload(path string, workers int) (*bench.Workload, *serve.IngestSna
 	if workers <= 0 {
 		workers = runtime.NumCPU()
 	}
-	g, st, err := ingest.Load(f, ingest.Options{Workers: workers})
+	g, st, err := ingest.Load(f, ingest.Options{Workers: workers, Logger: log})
 	if err != nil {
 		return nil, nil, err
 	}
-	fmt.Fprintf(os.Stderr, "ingested %d statements in %.3fs with %d workers (%.0f triples/sec; simulated overlap gain %.2fx)\n",
-		st.Statements, st.Wall.Seconds(), st.Workers, st.TriplesPerSec(), st.OverlapGain())
 	w, err := bench.WorkloadFromGraph(g)
 	if err != nil {
 		return nil, nil, err

@@ -1,8 +1,9 @@
 // Observability walkthrough: run a profiled query and read its EXPLAIN
 // ANALYZE tree (measured rows and simulated charges beside the planner's
-// estimates), trip the slow-query log, and scrape the Prometheus text
-// exposition — the whole surface swanserve offers at /query?profile=1,
-// /debug/slow and /metrics, driven here in-process.
+// estimates), trip the slow-query log, trace a request end to end and
+// walk its span tree, and scrape the Prometheus text exposition — the
+// whole surface swanserve offers at /query?profile=1, /debug/slow,
+// /debug/traces and /metrics, driven here in-process.
 package main
 
 import (
@@ -18,6 +19,7 @@ import (
 	"blackswan/internal/datagen"
 	"blackswan/internal/rdf"
 	"blackswan/internal/serve"
+	"blackswan/internal/trace"
 )
 
 func main() {
@@ -36,6 +38,7 @@ func main() {
 	}
 	svc, err := bench.NewService(w, systems, serve.Config{
 		SlowQueryThreshold: time.Microsecond, SlowLogSize: 8,
+		Tracer: trace.New(trace.Config{SampleRate: 1, Service: "observe"}),
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -84,7 +87,25 @@ func main() {
 			e.System, e.Rows, e.Latency.Round(time.Microsecond), e.Query, profiled)
 	}
 
-	// 5. The Prometheus scrape — what a monitoring stack would collect from
+	// 5. Request tracing: TraceStart opens the request-scoped trace (the
+	// HTTP handler does this from the traceparent header); the context
+	// threads it through plan-cache lookup, compilation, admission wait and
+	// execution, and a profiled run bridges every operator into a span.
+	// finish commits the trace to the ring /debug/traces serves.
+	tctx, tr, finish := svc.TraceStart(ctx, "query", "")
+	res, err := svc.ExecTextOpts(tctx, text, svc.Systems()[0], serve.ExecOpts{Profile: true})
+	finish(err)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rec, ok := svc.Tracer().Get(tr.ID().String())
+	if !ok {
+		log.Fatal("traced query missing from the ring")
+	}
+	fmt.Printf("== trace %s (%d rows, %d spans) ==\n", rec.TraceID, res.Rows.Len(), len(rec.Spans))
+	printSpanTree(rec, rec.RootSpan, 0)
+
+	// 6. The Prometheus scrape — what a monitoring stack would collect from
 	// GET /metrics. Shown here filtered to the counters this run moved.
 	var b strings.Builder
 	if err := svc.WriteMetrics(&b); err != nil {
@@ -96,10 +117,33 @@ func main() {
 			strings.HasPrefix(line, "blackswan_profiled_executions_total") ||
 			strings.HasPrefix(line, "blackswan_slow_queries_total") ||
 			strings.HasPrefix(line, "blackswan_system_queries_total") ||
-			strings.HasPrefix(line, "blackswan_plan_cache_misses_total") {
+			strings.HasPrefix(line, "blackswan_plan_cache_misses_total") ||
+			strings.HasPrefix(line, "blackswan_traces_kept_total") ||
+			strings.HasPrefix(line, "blackswan_go_goroutines") {
 			fmt.Println(line)
 		}
 	}
 
 	os.Exit(0)
+}
+
+// printSpanTree renders a recorded trace as an indented tree, children
+// under their parent span, each with its duration and attributes.
+func printSpanTree(rec trace.Recorded, parent string, depth int) {
+	for _, sp := range rec.Spans {
+		if sp.SpanID != parent {
+			continue
+		}
+		attrs := ""
+		for _, a := range sp.Attrs {
+			attrs += fmt.Sprintf(" %s=%v", a.Key, a.Value)
+		}
+		fmt.Printf("%s%s (%v)%s\n", strings.Repeat("  ", depth), sp.Name,
+			sp.Duration.Round(time.Microsecond), attrs)
+		for _, child := range rec.Spans {
+			if child.Parent == sp.SpanID {
+				printSpanTree(rec, child.SpanID, depth+1)
+			}
+		}
+	}
 }

@@ -1,12 +1,14 @@
 package bgp
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
 
 	"blackswan/internal/core"
 	"blackswan/internal/rdf"
+	"blackswan/internal/trace"
 )
 
 // Compiled is one compiled query: an executable plan DAG for the core
@@ -48,11 +50,35 @@ func (e *CompileError) Unwrap() error { return e.Err }
 
 // CompileText parses and compiles a query in one step.
 func CompileText(text string, dict rdf.Dict, est *Estimator) (*Compiled, error) {
+	return CompileTextCtx(context.Background(), text, dict, est)
+}
+
+// CompileTextCtx is CompileText under a request context: when ctx carries
+// a request trace (internal/trace), the parse and plan phases each record
+// a span — "bgp.parse" with the text length, "bgp.plan" with the chosen
+// join order's cost and step count — so a cache-miss compilation is
+// visible inside the request's trace. Untraced contexts pay one nil
+// check per phase.
+func CompileTextCtx(ctx context.Context, text string, dict rdf.Dict, est *Estimator) (*Compiled, error) {
+	_, psp := trace.StartSpan(ctx, "bgp.parse")
+	psp.SetAttr(trace.Int("bytes", int64(len(text))))
 	q, err := Parse(text)
 	if err != nil {
+		psp.SetError(err)
+		psp.End()
 		return nil, err
 	}
-	return Compile(q, dict, est)
+	psp.End()
+	_, csp := trace.StartSpan(ctx, "bgp.plan")
+	c, err := Compile(q, dict, est)
+	if err != nil {
+		csp.SetError(err)
+		csp.End()
+		return nil, err
+	}
+	csp.SetAttr(trace.Int("joinSteps", int64(len(c.Order))), trace.String("estCost", fmt.Sprintf("%.0f", c.Cost)))
+	csp.End()
+	return c, nil
 }
 
 // Compile lowers a query to a core plan. Constants resolve against dict;

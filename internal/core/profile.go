@@ -57,6 +57,12 @@ type OpProfile struct {
 	// materialized result, one per non-empty batch when streaming).
 	Rows    int
 	Batches int
+	// Start is the host-clock instant the executor opened this node's
+	// frame: the eval call in the materializing executor, the pipeline
+	// build in the streaming one (work then accrues at next() windows).
+	// With Host it lets the tracing layer bridge the profile tree into
+	// request-scoped spans without re-timing anything.
+	Start time.Time
 	// CPU, IO, IOBytes and Host are inclusive of children (the node's
 	// whole subtree); the Self fields are this node's own share.
 	CPU         time.Duration
@@ -119,7 +125,7 @@ func (p *profiler) charges() charge {
 
 // enter opens a profile frame for n under the current frame.
 func (p *profiler) enter(n Node) *OpProfile {
-	prof := &OpProfile{Node: n, EstRows: -1}
+	prof := &OpProfile{Node: n, EstRows: -1, Start: time.Now()}
 	p.nodes[n] = prof
 	if len(p.stack) > 0 {
 		top := p.stack[len(p.stack)-1]

@@ -33,6 +33,7 @@ import (
 	"bytes"
 	"fmt"
 	"io"
+	"log/slog"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -60,6 +61,9 @@ type Options struct {
 	// Shards is the ShardedDictionary shard count for fast mode. <= 0
 	// defaults to rdf.DefaultShards.
 	Shards int
+	// Logger receives a structured completion line (statements, wall
+	// time, throughput, overlap gain). nil logs nothing.
+	Logger *slog.Logger
 }
 
 func (o Options) withDefaults() Options {
@@ -169,6 +173,14 @@ func Load(r io.Reader, opt Options) (*rdf.Graph, *Stats, error) {
 	}
 	if verr := g.Validate(); verr != nil {
 		return nil, st, verr
+	}
+	if opt.Logger != nil {
+		opt.Logger.Info("ingest complete",
+			"statements", st.Statements,
+			"wallSecs", st.Wall.Seconds(),
+			"workers", st.Workers,
+			"triplesPerSec", st.TriplesPerSec(),
+			"overlapGain", st.OverlapGain())
 	}
 	return g, st, nil
 }

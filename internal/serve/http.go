@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"blackswan/internal/bgp"
+	"blackswan/internal/trace"
 )
 
 // The HTTP front-end: a minimal JSON API over a Service.
@@ -20,6 +21,8 @@ import (
 //	GET      /stats
 //	GET      /metrics
 //	GET      /debug/slow
+//	GET      /debug/traces
+//	GET      /debug/traces/<traceId>[?format=otlp]
 //
 // /query executes q on the named system (default: the service's first
 // target) and returns the decoded rows. POST also accepts a JSON body
@@ -38,6 +41,15 @@ import (
 //
 // /metrics is the Prometheus text-exposition endpoint (see prom.go) and
 // /debug/slow returns the slow-query log, newest first (see slowlog.go).
+//
+// When the service has a tracer (Config.Tracer), every /query request is
+// traced: an incoming W3C `traceparent` header is honoured (so blackswan
+// joins its caller's distributed trace), a fresh trace is minted
+// otherwise, and the response — success or error — carries the trace ID
+// in the `traceId` field and a `traceparent` response header. Retained
+// traces (head-sampled, or tail-captured because the request was slow or
+// errored) are listed at /debug/traces and fetched by ID at
+// /debug/traces/<id>, natively or OTLP-shaped with ?format=otlp.
 
 // QueryRequest is the JSON body POST /query accepts as an alternative to
 // form parameters. Zero values fall back to the form-parameter defaults.
@@ -62,6 +74,10 @@ type QueryResponse struct {
 	LatencyMs float64      `json:"latencyMs"`
 	QueuedMs  float64      `json:"queuedMs"`
 	Profile   *ProfileNode `json:"profile,omitempty"`
+	// TraceID is the request's trace ID (hex), present when the service
+	// traces requests — the key to /debug/traces/<id>, the slow log and
+	// the structured log.
+	TraceID string `json:"traceId,omitempty"`
 }
 
 // ErrorResponse is the JSON error payload; Class matches the error-class
@@ -74,6 +90,9 @@ type ErrorResponse struct {
 	Line   int    `json:"line,omitempty"`
 	Col    int    `json:"col,omitempty"`
 	Offset *int   `json:"offset,omitempty"`
+	// TraceID joins a failed request with its retained trace (errored
+	// requests are always tail-captured).
+	TraceID string `json:"traceId,omitempty"`
 }
 
 // StatsResponse is the /stats payload.
@@ -119,9 +138,18 @@ func NewHandler(s *Service) http.Handler {
 			ctx, cancel = context.WithTimeout(ctx, d)
 			defer cancel()
 		}
+		ctx, tr, finishTrace := s.TraceStart(ctx, "query", r.Header.Get("traceparent"))
+		traceID := ""
+		if tr != nil {
+			traceID = tr.ID().String()
+			w.Header().Set("traceparent", tr.Traceparent())
+		}
 		res, err := s.ExecTextOpts(ctx, req.Q, system, ExecOpts{Profile: req.Profile})
+		finishTrace(err)
 		if err != nil {
-			writeError(w, statusOf(err), errorResponseOf(err))
+			resp := errorResponseOf(err)
+			resp.TraceID = traceID
+			writeError(w, statusOf(err), resp)
 			return
 		}
 		rows := s.DecodeRowsNull(res, limit)
@@ -135,6 +163,7 @@ func NewHandler(s *Service) http.Handler {
 			LatencyMs: float64(res.Latency.Microseconds()) / 1e3,
 			QueuedMs:  float64(res.Queued.Microseconds()) / 1e3,
 			Profile:   profileJSON(res.Profile, termFunc(res.dict)),
+			TraceID:   traceID,
 		})
 	})
 	mux.HandleFunc("/systems", func(w http.ResponseWriter, r *http.Request) {
@@ -151,7 +180,40 @@ func NewHandler(s *Service) http.Handler {
 		}
 		writeJSON(w, http.StatusOK, entries)
 	})
+	mux.HandleFunc("/debug/traces", func(w http.ResponseWriter, r *http.Request) {
+		t := s.Tracer()
+		if t == nil {
+			writeError(w, http.StatusNotFound, ErrorResponse{Error: "tracing disabled"})
+			return
+		}
+		writeJSON(w, http.StatusOK, TracesResponse{Stats: t.Stats(), Traces: t.Traces()})
+	})
+	mux.HandleFunc("/debug/traces/", func(w http.ResponseWriter, r *http.Request) {
+		t := s.Tracer()
+		if t == nil {
+			writeError(w, http.StatusNotFound, ErrorResponse{Error: "tracing disabled"})
+			return
+		}
+		id := strings.TrimPrefix(r.URL.Path, "/debug/traces/")
+		rec, ok := t.Get(id)
+		if !ok {
+			writeError(w, http.StatusNotFound, ErrorResponse{Error: "no such trace: " + id})
+			return
+		}
+		if r.FormValue("format") == "otlp" {
+			writeJSON(w, http.StatusOK, trace.OTLP(rec, t.Service()))
+			return
+		}
+		writeJSON(w, http.StatusOK, rec)
+	})
 	return mux
+}
+
+// TracesResponse is the /debug/traces list payload: the tracer's counters
+// plus the retained traces, newest first.
+type TracesResponse struct {
+	Stats  trace.Stats      `json:"stats"`
+	Traces []trace.Recorded `json:"traces"`
 }
 
 // parseQueryRequest extracts the query parameters from either a JSON body

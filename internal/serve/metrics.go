@@ -83,11 +83,15 @@ type Metrics struct {
 	sys   map[string]*systemCounters
 }
 
-// systemCounters is one target's share of the served traffic.
+// systemCounters is one target's share of the served traffic. lat is the
+// same power-of-two latency histogram the service keeps globally, kept
+// per system so /metrics can expose per-scheme latency distributions —
+// the serving-time analogue of the paper's per-scheme comparison.
 type systemCounters struct {
 	queries int64
 	rows    int64
 	latNs   int64
+	lat     [64]int64
 }
 
 func (m *Metrics) swapped() { m.swaps.Add(1) }
@@ -155,6 +159,7 @@ func (m *Metrics) served(system string, latency time.Duration, rows int64, cache
 	sc.queries++
 	sc.rows += rows
 	sc.latNs += ns
+	sc.lat[bits.Len64(uint64(ns))]++
 	m.sysMu.Unlock()
 }
 
@@ -190,6 +195,10 @@ type SystemSnapshot struct {
 	Queries    int64         `json:"queries"`
 	Rows       int64         `json:"rows"`
 	LatencySum time.Duration `json:"latencySumNs"`
+	// LatHist is the per-system power-of-two latency histogram, rendered
+	// by /metrics; omitted from /stats JSON (64 mostly-zero buckets per
+	// system would dominate the payload).
+	LatHist [64]int64 `json:"-"`
 }
 
 func (m *Metrics) snapshot() Snapshot {
@@ -233,6 +242,7 @@ func (m *Metrics) snapshot() Snapshot {
 			Queries:    sc.queries,
 			Rows:       sc.rows,
 			LatencySum: time.Duration(sc.latNs),
+			LatHist:    sc.lat,
 		})
 	}
 	m.sysMu.Unlock()

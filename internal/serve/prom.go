@@ -4,8 +4,12 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"runtime"
 	"sort"
 	"strings"
+	"time"
+
+	"blackswan/internal/trace"
 )
 
 // The Prometheus text-exposition endpoint. The renderer is dependency-free:
@@ -24,6 +28,36 @@ type promSnapshot struct {
 	snap   Snapshot
 	hist   [64]int64
 	ingest *IngestSnapshot
+	// rt is the Go runtime's health reading at render time; hasRT gates
+	// the section so the golden test controls its values exactly.
+	rt    runtimeStats
+	hasRT bool
+	// tr is the tracer's counter snapshot; hasTrace gates the section
+	// (absent when tracing is disabled).
+	tr       trace.Stats
+	hasTrace bool
+}
+
+// runtimeStats is the Go runtime gauge set exposed on /metrics: enough to
+// see whether the process itself — not the query engine — is the problem.
+type runtimeStats struct {
+	goroutines   int64
+	gomaxprocs   int64
+	heapBytes    int64
+	gcPauseTotal time.Duration
+	gcCycles     int64
+}
+
+func readRuntimeStats() runtimeStats {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return runtimeStats{
+		goroutines:   int64(runtime.NumGoroutine()),
+		gomaxprocs:   int64(runtime.GOMAXPROCS(0)),
+		heapBytes:    int64(ms.HeapAlloc),
+		gcPauseTotal: time.Duration(ms.PauseTotalNs),
+		gcCycles:     int64(ms.NumGC),
+	}
 }
 
 // WriteMetrics renders the service's metrics in Prometheus text format.
@@ -32,6 +66,12 @@ func (s *Service) WriteMetrics(w io.Writer) error {
 		snap:   s.Stats(),
 		hist:   s.metrics.histSnapshot(),
 		ingest: s.Ingest(),
+		rt:     readRuntimeStats(),
+		hasRT:  true,
+	}
+	if t := s.cfg.Tracer; t != nil {
+		ps.tr = t.Stats()
+		ps.hasTrace = true
 	}
 	return writeProm(w, ps)
 }
@@ -100,6 +140,27 @@ func writeProm(w io.Writer, ps promSnapshot) error {
 		for _, sys := range sn.Systems {
 			fmt.Fprintf(b, "blackswan_system_latency_seconds_total{system=%q} %g\n", sys.System, sys.LatencySum.Seconds())
 		}
+		// Per-system latency distribution: one cumulative histogram per
+		// target, same power-of-two buckets as the service-wide one, so a
+		// dashboard can put the four schemes' latency curves side by side.
+		fmt.Fprintf(b, "# HELP blackswan_system_query_latency_seconds Latency of served executions per target system.\n# TYPE blackswan_system_query_latency_seconds histogram\n")
+		for _, sys := range sn.Systems {
+			hi := 0
+			for i, n := range sys.LatHist {
+				if n > 0 {
+					hi = i
+				}
+			}
+			var cum int64
+			for i := 0; i <= hi; i++ {
+				cum += sys.LatHist[i]
+				ub := float64(int64(1)<<uint(i)) / 1e9
+				fmt.Fprintf(b, "blackswan_system_query_latency_seconds_bucket{system=%q,le=%q} %d\n", sys.System, trimFloat(ub), cum)
+			}
+			fmt.Fprintf(b, "blackswan_system_query_latency_seconds_bucket{system=%q,le=\"+Inf\"} %d\n", sys.System, cum)
+			fmt.Fprintf(b, "blackswan_system_query_latency_seconds_sum{system=%q} %g\n", sys.System, sys.LatencySum.Seconds())
+			fmt.Fprintf(b, "blackswan_system_query_latency_seconds_count{system=%q} %d\n", sys.System, cum)
+		}
 	}
 
 	// Latency histogram: the power-of-two buckets become a cumulative
@@ -143,6 +204,25 @@ func writeProm(w io.Writer, ps promSnapshot) error {
 		gaugeF("blackswan_ingest_sim_io_seconds", "Simulated I/O component of the last bulk ingest.", in.SimIO.Seconds())
 		gaugeF("blackswan_ingest_sim_sync_seconds", "Simulated real time of the last bulk ingest under blocking reads (cpu+io).", in.SimSync.Seconds())
 		gaugeF("blackswan_ingest_sim_overlapped_seconds", "Simulated real time of the last bulk ingest under pipelined read-ahead (max(cpu,io)).", in.SimOverlapped.Seconds())
+	}
+
+	// Tracing, when a tracer is configured.
+	if ps.hasTrace {
+		counter("blackswan_traces_started_total", "Requests that began a trace.", ps.tr.Started)
+		counter("blackswan_traces_kept_total", "Finished traces committed to the ring (sampled or forced).", ps.tr.Kept)
+		counter("blackswan_traces_forced_total", "Traces kept only by tail capture (slow or errored requests).", ps.tr.Forced)
+		counter("blackswan_traces_dropped_total", "Finished traces not recorded (head decision, no tail force).", ps.tr.Dropped)
+		gauge("blackswan_traces_ring_entries", "Traces currently held in the finished-trace ring.", int64(ps.tr.Ring))
+	}
+
+	// Go runtime health: is the process itself — goroutine leak, heap
+	// growth, GC pressure — the problem, rather than the query engine?
+	if ps.hasRT {
+		gauge("blackswan_go_goroutines", "Live goroutines.", ps.rt.goroutines)
+		gauge("blackswan_go_gomaxprocs", "GOMAXPROCS at render time.", ps.rt.gomaxprocs)
+		gauge("blackswan_go_heap_alloc_bytes", "Bytes of allocated heap objects.", ps.rt.heapBytes)
+		gaugeF("blackswan_go_gc_pause_seconds_total", "Cumulative stop-the-world GC pause time.", ps.rt.gcPauseTotal.Seconds())
+		counter("blackswan_go_gc_cycles_total", "Completed GC cycles.", ps.rt.gcCycles)
 	}
 
 	_, err := io.WriteString(w, b.String())

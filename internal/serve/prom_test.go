@@ -8,6 +8,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"blackswan/internal/trace"
 )
 
 var updateGolden = flag.Bool("update", false, "rewrite golden files")
@@ -61,6 +63,24 @@ func TestPromExposition(t *testing.T) {
 	// A small histogram: 100 queries in bucket 20 (~1ms), 20 in bucket 23.
 	ps.hist[20] = 100
 	ps.hist[23] = 20
+	// Per-system histograms splitting the same totals.
+	ps.snap.Systems[0].LatHist[20] = 60
+	ps.snap.Systems[0].LatHist[23] = 10
+	ps.snap.Systems[1].LatHist[20] = 40
+	ps.snap.Systems[1].LatHist[23] = 10
+	// Tracer counters and runtime gauges with fixed values — the live
+	// renderer reads them from the tracer and the Go runtime; the golden
+	// pins the rendering, not the readings.
+	ps.tr = trace.Stats{Started: 130, Kept: 25, Forced: 5, Dropped: 105, Ring: 25}
+	ps.hasTrace = true
+	ps.rt = runtimeStats{
+		goroutines:   12,
+		gomaxprocs:   8,
+		heapBytes:    5 << 20,
+		gcPauseTotal: 7 * time.Millisecond,
+		gcCycles:     42,
+	}
+	ps.hasRT = true
 
 	var b strings.Builder
 	if err := writeProm(&b, ps); err != nil {
@@ -109,11 +129,25 @@ func TestPromExposition(t *testing.T) {
 		"blackswan_plan_cache_entries 8",
 		`blackswan_system_queries_total{system="colstore vert"} 70`,
 		`blackswan_system_queries_total{system="rowstore triple"} 50`,
+		`blackswan_system_query_latency_seconds_bucket{system="colstore vert",le="+Inf"} 70`,
+		`blackswan_system_query_latency_seconds_count{system="colstore vert"} 70`,
+		`blackswan_system_query_latency_seconds_bucket{system="rowstore triple",le="+Inf"} 50`,
+		`blackswan_system_query_latency_seconds_count{system="rowstore triple"} 50`,
 		`blackswan_query_latency_seconds_bucket{le="+Inf"} 120`,
 		"blackswan_query_latency_seconds_count 120",
 		"blackswan_ingest_statements 100000",
 		`blackswan_ingest_stage_busy_seconds{stage="parse"} 3`,
 		"blackswan_ingest_sim_overlapped_seconds 3.6",
+		"blackswan_traces_started_total 130",
+		"blackswan_traces_kept_total 25",
+		"blackswan_traces_forced_total 5",
+		"blackswan_traces_dropped_total 105",
+		"blackswan_traces_ring_entries 25",
+		"blackswan_go_goroutines 12",
+		"blackswan_go_gomaxprocs 8",
+		"blackswan_go_heap_alloc_bytes 5242880",
+		"blackswan_go_gc_pause_seconds_total 0.007",
+		"blackswan_go_gc_cycles_total 42",
 	} {
 		if !strings.Contains(got, series+"\n") {
 			t.Errorf("exposition is missing the line %q", series)

@@ -52,6 +52,7 @@ package serve
 import (
 	"context"
 	"fmt"
+	"log/slog"
 	"runtime"
 	"sort"
 	"sync/atomic"
@@ -61,6 +62,7 @@ import (
 	"blackswan/internal/core"
 	"blackswan/internal/rdf"
 	"blackswan/internal/rel"
+	"blackswan/internal/trace"
 )
 
 // Target is one servable storage scheme: a loaded database exposed through
@@ -97,8 +99,20 @@ type Config struct {
 	// in a bounded ring readable at /debug/slow. 0 disables the log.
 	SlowQueryThreshold time.Duration
 	// SlowLogSize bounds the slow-query ring in entries; 0 defaults to
-	// DefaultSlowLogSize. Older entries are overwritten.
+	// DefaultSlowLogSize. Older entries are overwritten. Setting it (with
+	// a zero threshold) arms the ring for errored executions only.
 	SlowLogSize int
+	// Tracer enables request-scoped tracing: every request that enters
+	// through TraceStart gets a trace whose spans follow it through
+	// admission, the plan cache, compilation and execution, joined to the
+	// slow log and the structured log by the trace ID. nil disables
+	// tracing entirely (untraced requests pay one nil check per span
+	// site).
+	Tracer *trace.Tracer
+	// Logger receives the service's structured log lines (slow queries,
+	// failed executions, swaps, ingest records), each carrying the trace
+	// ID when the request was traced. nil discards them.
+	Logger *slog.Logger
 }
 
 // DefaultCacheSize is the plan-cache capacity when Config.CacheSize is 0.
@@ -154,6 +168,7 @@ type Service struct {
 	sem     chan struct{}
 	metrics *Metrics
 	slow    *slowLog
+	log     *slog.Logger
 	ingest  atomic.Pointer[IngestSnapshot]
 
 	// compileHook, when set (tests only), runs inside the singleflight
@@ -183,8 +198,14 @@ func New(dict rdf.Dict, est *bgp.Estimator, cfg Config, targets ...Target) (*Ser
 		cfg:     cfg,
 		sem:     make(chan struct{}, cfg.MaxConcurrent),
 		metrics: &Metrics{},
+		log:     cfg.Logger,
 	}
-	if cfg.SlowQueryThreshold > 0 {
+	if s.log == nil {
+		s.log = slog.New(slog.DiscardHandler)
+	}
+	// The ring also captures errored executions, so an explicit size arms
+	// it even without a latency threshold.
+	if cfg.SlowQueryThreshold > 0 || cfg.SlowLogSize > 0 {
 		s.slow = newSlowLog(cfg.SlowLogSize)
 	}
 	s.snap.Store(sn)
@@ -217,6 +238,11 @@ type IngestSnapshot struct {
 // until the next RecordIngest.
 func (s *Service) RecordIngest(in IngestSnapshot) {
 	s.ingest.Store(&in)
+	s.log.LogAttrs(context.Background(), slog.LevelInfo, "ingest recorded",
+		slog.Int64("statements", in.Statements),
+		slog.Int64("bytes", in.Bytes),
+		slog.Duration("wall", in.Wall),
+		slog.Duration("simOverlapped", in.SimOverlapped))
 }
 
 // Ingest returns the last recorded load snapshot, or nil if none.
@@ -236,7 +262,45 @@ func (s *Service) Swap(dict rdf.Dict, est *bgp.Estimator, targets ...Target) err
 	}
 	s.snap.Store(sn)
 	s.metrics.swapped()
+	s.log.LogAttrs(context.Background(), slog.LevelInfo, "dataset swapped",
+		slog.Int("targets", len(targets)))
 	return nil
+}
+
+// Tracer returns the service's tracer, nil when tracing is disabled.
+func (s *Service) Tracer() *trace.Tracer { return s.cfg.Tracer }
+
+// Logger returns the service's structured logger (never nil — a discard
+// logger when none was configured).
+func (s *Service) Logger() *slog.Logger { return s.log }
+
+// TraceStart opens a request-scoped trace named name, honouring an
+// incoming W3C traceparent header when given (minting a fresh trace ID
+// otherwise), and returns the derived context plus a finish function.
+// When tracing is disabled the trace is nil, the context is returned
+// unchanged and finish is a no-op; callers need no nil checks.
+// finish(err) ends the root span and commits the trace to the tracer's
+// ring; head-unsampled traces still record spans so that finish can
+// force retention when the request errored or ran at or above
+// SlowQueryThreshold — the tail that matters is always captured.
+func (s *Service) TraceStart(ctx context.Context, name, traceparent string) (context.Context, *trace.Trace, func(error)) {
+	if s.cfg.Tracer == nil {
+		return ctx, nil, func(error) {}
+	}
+	tr, root := s.cfg.Tracer.StartRequest(name, traceparent)
+	ctx = trace.NewContext(ctx, tr, root.ID())
+	start := time.Now()
+	finish := func(err error) {
+		if err != nil {
+			root.SetError(err)
+		}
+		root.End()
+		latency := time.Since(start)
+		force := err != nil ||
+			(s.cfg.SlowQueryThreshold > 0 && latency >= s.cfg.SlowQueryThreshold)
+		s.cfg.Tracer.Finish(tr, force)
+	}
+	return ctx, tr, finish
 }
 
 // Systems returns the current snapshot's target names, sorted.
@@ -276,7 +340,7 @@ type Prepared struct {
 // it in the plan cache. The returned handle can be executed any number of
 // times on any target of the snapshot it was prepared against.
 func (s *Service) Prepare(text string) (*Prepared, error) {
-	p, _, err := s.prepare(s.snap.Load(), text)
+	p, _, err := s.prepare(context.Background(), s.snap.Load(), text)
 	return p, err
 }
 
@@ -284,8 +348,12 @@ func (s *Service) Prepare(text string) (*Prepared, error) {
 // coalesced onto a concurrent compilation — either way parse and join
 // ordering were skipped). A failed compilation counts into the error
 // metrics here, so Prepare and ExecText agree on what Stats().Errors
-// means.
-func (s *Service) prepare(sn *snapshot, text string) (*Prepared, bool, error) {
+// means. A traced request records the cache consultation as a
+// "plan.cache" span; a miss nests the compiler's parse and plan spans
+// under it (followers coalescing onto a concurrent leader get only the
+// cache span — the compile work happens on the leader's trace).
+func (s *Service) prepare(ctx context.Context, sn *snapshot, text string) (*Prepared, bool, error) {
+	ctx, sp := trace.StartSpan(ctx, "plan.cache")
 	canon := bgp.CanonicalText(text)
 	p, cached, err := sn.cache.do(canon, func() (*Prepared, error) {
 		if s.compileHook != nil {
@@ -294,16 +362,20 @@ func (s *Service) prepare(sn *snapshot, text string) (*Prepared, bool, error) {
 		// Compile the client's original text, not the canonical key: the
 		// token streams are identical, but error positions must point into
 		// the text the client actually sent.
-		c, err := bgp.CompileText(text, sn.dict, sn.est)
+		c, err := bgp.CompileTextCtx(ctx, text, sn.dict, sn.est)
 		if err != nil {
 			return nil, err
 		}
 		return &Prepared{Text: canon, Compiled: c, snap: sn}, nil
 	})
+	sp.SetAttr(trace.Bool("cached", cached))
 	if err != nil {
+		sp.SetError(err)
+		sp.End()
 		s.metrics.failed(ErrorClass(err))
 		return nil, false, err
 	}
+	sp.End()
 	return p, cached, nil
 }
 
@@ -339,6 +411,10 @@ type Result struct {
 	// execution ran with ExecOpts.Profile. Estimates are annotated from the
 	// estimator of the snapshot the query ran on.
 	Profile *core.OpProfile
+	// TraceID is the request's trace ID in hex when the request was
+	// traced (see Config.Tracer and TraceStart) — the key that joins this
+	// result with /debug/traces, the slow log and the structured log.
+	TraceID string
 
 	// dict decodes this result: the dictionary of the snapshot the query
 	// executed on, immune to concurrent swaps.
@@ -362,7 +438,7 @@ func (s *Service) ExecTextOpts(ctx context.Context, text, system string, opt Exe
 	if err != nil {
 		return nil, err
 	}
-	p, cached, err := s.prepare(sn, text)
+	p, cached, err := s.prepare(ctx, sn, text)
 	if err != nil {
 		return nil, err
 	}
@@ -401,6 +477,11 @@ func (s *Service) target(sn *snapshot, system string) (int, error) {
 
 func (s *Service) exec(ctx context.Context, sn *snapshot, p *Prepared, ti int, cached bool, opt ExecOpts) (*Result, error) {
 	t := sn.targets[ti]
+	reqTrace, _ := trace.FromContext(ctx)
+	traceID := ""
+	if reqTrace != nil {
+		traceID = reqTrace.ID().String()
+	}
 	start := time.Now()
 	// Admission: block until a slot frees or the request context ends. The
 	// up-front check makes an already-ended context reject deterministically
@@ -409,13 +490,17 @@ func (s *Service) exec(ctx context.Context, sn *snapshot, p *Prepared, ti int, c
 		s.metrics.rejected()
 		return nil, err
 	}
+	_, waitSpan := trace.StartSpan(ctx, "queue.wait")
 	s.metrics.waitStart()
 	select {
 	case s.sem <- struct{}{}:
 		s.metrics.waitEnd()
+		waitSpan.End()
 	case <-ctx.Done():
 		s.metrics.waitEnd()
 		s.metrics.rejected()
+		waitSpan.SetError(ctx.Err())
+		waitSpan.End()
 		return nil, ctx.Err()
 	}
 	queued := time.Since(start)
@@ -424,20 +509,56 @@ func (s *Service) exec(ctx context.Context, sn *snapshot, p *Prepared, ti int, c
 		s.metrics.released()
 		<-s.sem
 	}()
-	out, _, tr, err := core.ExecutePlanCtx(ctx, t.Src, p.Compiled.Root, core.ExecOptions{
+	execCtx, execSpan := trace.StartSpan(ctx, "execute")
+	execSpan.SetAttr(trace.String("system", t.Name), trace.Bool("streaming", !s.cfg.Materialize))
+	out, _, tr, err := core.ExecutePlanCtx(execCtx, t.Src, p.Compiled.Root, core.ExecOptions{
 		Workers:   s.cfg.ExecWorkers,
 		Streaming: !s.cfg.Materialize,
 		Profile:   opt.Profile,
 	})
 	latency := time.Since(start)
 	if err != nil {
-		s.metrics.failed(ErrorClass(err))
+		execSpan.SetError(err)
+		execSpan.End()
+		class := ErrorClass(err)
+		s.metrics.failed(class)
+		// Errored executions land in the slow ring regardless of the
+		// latency threshold: a query that died is at least as interesting
+		// as one that was merely slow.
+		if s.slow != nil {
+			s.slow.add(SlowEntry{
+				When:    time.Now(),
+				Query:   p.Text,
+				System:  t.Name,
+				Cached:  cached,
+				Queued:  queued,
+				Latency: latency,
+				Plan:    core.FormatPlan(p.Compiled.Root, termFunc(sn.dict)),
+				TraceID: traceID,
+				Error:   err.Error(),
+				Class:   class,
+			})
+		}
+		s.log.LogAttrs(ctx, slog.LevelWarn, "query failed",
+			slog.String("traceId", traceID),
+			slog.String("system", t.Name),
+			slog.String("class", class),
+			slog.String("error", err.Error()),
+			slog.Duration("latency", latency))
 		return nil, fmt.Errorf("serve: %s: %w", t.Name, err)
 	}
 	var prof *core.OpProfile
 	if opt.Profile && tr != nil && tr.Profile != nil {
 		prof = tr.Profile
 		prof.AnnotateEstimates(bgp.EstimateCards(p.Compiled.Root, sn.est))
+	}
+	execSpan.SetAttr(trace.Int("rows", int64(out.Len())))
+	execSpan.End()
+	// Bridge the per-operator profile into the trace: the executor already
+	// measured every operator, so a profiled, traced request yields a full
+	// operator-level trace for free.
+	if reqTrace != nil && prof != nil {
+		bridgeProfile(reqTrace, execSpan.ID(), prof, termFunc(sn.dict))
 	}
 	s.metrics.served(t.Name, latency, int64(out.Len()), cached, prof != nil)
 	res := &Result{
@@ -449,9 +570,10 @@ func (s *Service) exec(ctx context.Context, sn *snapshot, p *Prepared, ti int, c
 		Queued:  queued,
 		Latency: latency,
 		Profile: prof,
+		TraceID: traceID,
 		dict:    sn.dict,
 	}
-	if s.slow != nil && latency >= s.cfg.SlowQueryThreshold {
+	if s.slow != nil && s.cfg.SlowQueryThreshold > 0 && latency >= s.cfg.SlowQueryThreshold {
 		s.metrics.slow()
 		s.slow.add(SlowEntry{
 			When:    time.Now(),
@@ -463,7 +585,23 @@ func (s *Service) exec(ctx context.Context, sn *snapshot, p *Prepared, ti int, c
 			Latency: latency,
 			Plan:    core.FormatPlan(p.Compiled.Root, termFunc(sn.dict)),
 			Profile: profileJSON(prof, termFunc(sn.dict)),
+			TraceID: traceID,
 		})
+		s.log.LogAttrs(ctx, slog.LevelInfo, "slow query",
+			slog.String("traceId", traceID),
+			slog.String("system", t.Name),
+			slog.Int("rows", out.Len()),
+			slog.Bool("cached", cached),
+			slog.Duration("queued", queued),
+			slog.Duration("latency", latency),
+			slog.String("query", p.Text))
+	} else {
+		s.log.LogAttrs(ctx, slog.LevelDebug, "query served",
+			slog.String("traceId", traceID),
+			slog.String("system", t.Name),
+			slog.Int("rows", out.Len()),
+			slog.Bool("cached", cached),
+			slog.Duration("latency", latency))
 	}
 	return res, nil
 }

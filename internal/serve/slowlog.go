@@ -12,6 +12,8 @@ const DefaultSlowLogSize = 128
 // SlowEntry is one recorded slow query: enough to reproduce it (canonical
 // text, target system) and enough to diagnose it (latency breakdown, plan,
 // and — when the request was profiled — the full per-operator profile).
+// Errored executions land here too (Error/Class set, Rows zero), so the
+// ring is also the service's recent-failures buffer.
 type SlowEntry struct {
 	// When the query finished.
 	When time.Time `json:"when"`
@@ -31,6 +33,13 @@ type SlowEntry struct {
 	// Profile is the per-operator profile when the request ran with
 	// profiling on, nil otherwise — the log never re-runs a query.
 	Profile *ProfileNode `json:"profile,omitempty"`
+	// TraceID joins this entry with /debug/traces and the structured log
+	// when the request was traced.
+	TraceID string `json:"traceId,omitempty"`
+	// Error and Class are set on errored executions (the execution failed
+	// after compiling — see ErrorClass for the class vocabulary).
+	Error string `json:"error,omitempty"`
+	Class string `json:"errorClass,omitempty"`
 }
 
 // slowLog is a fixed-capacity ring of the most recent slow queries. Writes

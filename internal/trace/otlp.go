@@ -1,0 +1,105 @@
+package trace
+
+import "strconv"
+
+// OTLP-shaped JSON export: the ExportTraceServiceRequest layout of the
+// OpenTelemetry protocol (resourceSpans → scopeSpans → spans), rendered
+// with encoding/json and no OTLP dependency. IDs are lowercase hex (the
+// OTLP/JSON common practice for human-facing tooling), timestamps are
+// unix nanoseconds as decimal strings (proto3 JSON renders uint64 fields
+// as strings), attributes are string values. The shape is close enough
+// for trace viewers and for piping into a collector's JSON receiver.
+
+// OTLPExport is the top-level OTLP-shaped document for one trace.
+type OTLPExport struct {
+	ResourceSpans []OTLPResourceSpans `json:"resourceSpans"`
+}
+
+// OTLPResourceSpans scopes spans to the emitting service.
+type OTLPResourceSpans struct {
+	Resource   OTLPResource     `json:"resource"`
+	ScopeSpans []OTLPScopeSpans `json:"scopeSpans"`
+}
+
+// OTLPResource carries the resource attributes (service.name).
+type OTLPResource struct {
+	Attributes []OTLPAttr `json:"attributes"`
+}
+
+// OTLPScopeSpans groups spans under their instrumentation scope.
+type OTLPScopeSpans struct {
+	Scope OTLPScope  `json:"scope"`
+	Spans []OTLPSpan `json:"spans"`
+}
+
+// OTLPScope names the instrumentation that produced the spans.
+type OTLPScope struct {
+	Name string `json:"name"`
+}
+
+// OTLPSpan is one span in OTLP JSON shape.
+type OTLPSpan struct {
+	TraceID      string     `json:"traceId"`
+	SpanID       string     `json:"spanId"`
+	ParentSpanID string     `json:"parentSpanId,omitempty"`
+	Name         string     `json:"name"`
+	Kind         int        `json:"kind"` // 2 = SERVER (root), 1 = INTERNAL
+	StartNanos   string     `json:"startTimeUnixNano"`
+	EndNanos     string     `json:"endTimeUnixNano"`
+	Attributes   []OTLPAttr `json:"attributes,omitempty"`
+	Status       OTLPStatus `json:"status"`
+}
+
+// OTLPAttr is one OTLP key/value attribute (string values only).
+type OTLPAttr struct {
+	Key   string    `json:"key"`
+	Value OTLPValue `json:"value"`
+}
+
+// OTLPValue is the OTLP AnyValue wrapper.
+type OTLPValue struct {
+	StringValue string `json:"stringValue"`
+}
+
+// OTLPStatus is the span status: code 0 (UNSET) or 2 (ERROR).
+type OTLPStatus struct {
+	Code    int    `json:"code"`
+	Message string `json:"message,omitempty"`
+}
+
+// OTLP renders one recorded trace as an OTLP-shaped export document for
+// the named service.
+func OTLP(r Recorded, service string) OTLPExport {
+	spans := make([]OTLPSpan, len(r.Spans))
+	for i, sp := range r.Spans {
+		start := sp.Start.UnixNano()
+		o := OTLPSpan{
+			TraceID:      r.TraceID,
+			SpanID:       sp.SpanID,
+			ParentSpanID: sp.Parent,
+			Name:         sp.Name,
+			Kind:         1,
+			StartNanos:   strconv.FormatInt(start, 10),
+			EndNanos:     strconv.FormatInt(start+sp.Duration.Nanoseconds(), 10),
+		}
+		if sp.SpanID == r.RootSpan {
+			o.Kind = 2
+		}
+		for _, a := range sp.Attrs {
+			o.Attributes = append(o.Attributes, OTLPAttr{Key: a.Key, Value: OTLPValue{StringValue: a.Value}})
+		}
+		if sp.Error != "" {
+			o.Status = OTLPStatus{Code: 2, Message: sp.Error}
+		}
+		spans[i] = o
+	}
+	return OTLPExport{ResourceSpans: []OTLPResourceSpans{{
+		Resource: OTLPResource{Attributes: []OTLPAttr{
+			{Key: "service.name", Value: OTLPValue{StringValue: service}},
+		}},
+		ScopeSpans: []OTLPScopeSpans{{
+			Scope: OTLPScope{Name: "blackswan/internal/trace"},
+			Spans: spans,
+		}},
+	}}}
+}

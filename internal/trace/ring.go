@@ -1,0 +1,63 @@
+package trace
+
+import "sync"
+
+// ring is the fixed-capacity store of finished traces: writes overwrite
+// the oldest entry, reads return newest first. Mirrors the serving
+// layer's slow-query ring — a mutex suffices because only kept traces
+// (sampled or forced) ever reach it, off the per-request fast path.
+type ring struct {
+	mu   sync.Mutex
+	buf  []Recorded
+	next int // slot the next entry lands in
+	n    int // entries recorded so far, capped at len(buf)
+}
+
+func newRing(capacity int) *ring {
+	if capacity <= 0 {
+		capacity = DefaultRingSize
+	}
+	return &ring{buf: make([]Recorded, capacity)}
+}
+
+func (r *ring) add(rec Recorded) {
+	r.mu.Lock()
+	r.buf[r.next] = rec
+	r.next = (r.next + 1) % len(r.buf)
+	if r.n < len(r.buf) {
+		r.n++
+	}
+	r.mu.Unlock()
+}
+
+func (r *ring) len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.n
+}
+
+// entries returns a copy of the recorded traces, newest first.
+func (r *ring) entries() []Recorded {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Recorded, 0, r.n)
+	for i := 1; i <= r.n; i++ {
+		idx := (r.next - i + len(r.buf)) % len(r.buf)
+		out = append(out, r.buf[idx])
+	}
+	return out
+}
+
+// get returns the newest recorded trace with the given hex ID. Newest
+// wins on the (pathological) reuse of an incoming trace ID.
+func (r *ring) get(id string) (Recorded, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for i := 1; i <= r.n; i++ {
+		idx := (r.next - i + len(r.buf)) % len(r.buf)
+		if r.buf[idx].TraceID == id {
+			return r.buf[idx], true
+		}
+	}
+	return Recorded{}, false
+}
