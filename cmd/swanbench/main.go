@@ -38,6 +38,12 @@
 //	          through the serving layer, traced (100%% sampling) vs
 //	          untraced, gated on byte-identical rows and identical
 //	          simulated charges; -trace-report writes the JSON report
+//	workload-obs  workload-registry overhead: every scheme and both
+//	          executors through the serving layer, registry on vs off,
+//	          gated on byte-identical rows, identical simulated charges,
+//	          per-fingerprint quantiles within the sketch's ε rank bound,
+//	          and folded per-operator q-error aggregates;
+//	          -workload-obs-report writes the JSON report
 //	sql       generated SQL for both schemes, with union/join counts
 //	gen       write the generated data set as N-Triples to stdout
 //	all       every experiment in paper order
@@ -59,6 +65,7 @@ import (
 
 	"blackswan/internal/bench"
 	"blackswan/internal/bgp"
+	"blackswan/internal/buildinfo"
 	"blackswan/internal/core"
 	"blackswan/internal/datagen"
 	"blackswan/internal/rdf"
@@ -97,12 +104,20 @@ func main() {
 		trcQueries  = flag.Int("trace-queries", 8, "generated BGP queries for the trace experiment")
 		trcReps     = flag.Int("trace-reps", 3, "repetitions per cell for the trace experiment (min host time kept)")
 		trcReport   = flag.String("trace-report", "", "write the trace experiment's JSON report to this file")
+		wobQueries  = flag.Int("workload-obs-queries", 8, "generated BGP queries for the workload-obs experiment")
+		wobReps     = flag.Int("workload-obs-reps", 3, "repetitions per cell for the workload-obs experiment (min host time kept)")
+		wobReport   = flag.String("workload-obs-report", "", "write the workload-obs experiment's JSON report to this file")
+		version     = flag.Bool("version", false, "print the build identity and exit")
 	)
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: swanbench [flags] <experiment>\nexperiments: table1 fig1 table2 table4 table5 fig5 table6 table7 fig6 fig7 parallel workloads serve load stream profile trace sql gen all\nflags:\n")
+		fmt.Fprintf(os.Stderr, "usage: swanbench [flags] <experiment>\nexperiments: table1 fig1 table2 table4 table5 fig5 table6 table7 fig6 fig7 parallel workloads serve load stream profile trace workload-obs sql gen all\nflags:\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
+	if *version {
+		fmt.Println("swanbench", buildinfo.Get())
+		return
+	}
 	if *bgpText != "" {
 		if flag.NArg() != 0 {
 			fmt.Fprintln(os.Stderr, "swanbench: -bgp runs instead of an experiment; drop the experiment argument")
@@ -302,6 +317,25 @@ func main() {
 				fail(os.WriteFile(*trcReport, append(data, '\n'), 0o644))
 				fmt.Fprintf(os.Stderr, "trace report written to %s\n", *trcReport)
 			}
+		case "workload-obs":
+			wseed := *bgpSeed
+			if wseed == 0 {
+				wseed = *seed
+			}
+			section(fmt.Sprintf("Workload-obs: registry overhead through the serving layer, %d generated queries (seed %d)", *wobQueries, wseed))
+			systems, err := bench.BGPSystems(w)
+			fail(err)
+			report, err := bench.RunWorkloadObs(w, systems, bench.WorkloadObsOptions{
+				Queries: *wobQueries, Seed: wseed, Reps: *wobReps,
+			})
+			fail(err)
+			fmt.Print(bench.FormatWorkloadObs(report))
+			if *wobReport != "" {
+				data, err := json.MarshalIndent(report, "", "  ")
+				fail(err)
+				fail(os.WriteFile(*wobReport, append(data, '\n'), 0o644))
+				fmt.Fprintf(os.Stderr, "workload-obs report written to %s\n", *wobReport)
+			}
 		case "sql":
 			section("Generated SQL (triple-store, then vertically-partitioned)")
 			names := make([]string, 0, len(w.Cat.AllProps))
@@ -324,7 +358,7 @@ func main() {
 	}
 
 	if flag.Arg(0) == "all" {
-		for _, name := range []string{"table1", "fig1", "table2", "table4", "table5", "fig5", "table6", "table7", "fig6", "fig7", "parallel", "workloads", "serve", "load", "stream", "profile", "trace"} {
+		for _, name := range []string{"table1", "fig1", "table2", "table4", "table5", "fig5", "table6", "table7", "fig6", "fig7", "parallel", "workloads", "serve", "load", "stream", "profile", "trace", "workload-obs"} {
 			run(name)
 		}
 		return

@@ -22,14 +22,24 @@
 // log line. -log-level tunes verbosity (debug logs every served query).
 // -pprof mounts Go's net/http/pprof handlers under /debug/pprof/.
 //
+// Every served query is also folded into the workload registry under its
+// fingerprint — the hash of the canonical query text, returned in each
+// response — which aggregates counts, rows, latency/queue-wait quantile
+// sketches, per-system splits and (for profiled runs) per-operator
+// est-vs-actual q-errors. Read it at /debug/workload; its totals and top
+// shapes also appear on /metrics as blackswan_workload_* series.
+// -version prints the build identity (also the blackswan_build_info
+// series) and exits.
+//
 // Endpoints (see internal/serve):
 //
 //	GET  /query?q=<bgp text>&system=<name>[&limit=n][&timeout=d][&profile=1]
 //	GET  /systems
 //	GET  /stats
 //	GET  /metrics       Prometheus text exposition
-//	GET  /debug/slow    slow-query log, newest first
-//	GET  /debug/traces  retained traces, newest first
+//	GET  /debug/workload[?by=time|count|qerror][&system=<name>][&limit=n]
+//	GET  /debug/slow[?system=<name>][&limit=n]    slow-query log, newest first
+//	GET  /debug/traces[?system=<name>][&limit=n]  retained traces, newest first
 //	GET  /debug/traces/<id>[?format=otlp]
 //	GET  /debug/pprof/  Go runtime profiles (with -pprof)
 //	POST /reload[?seed=N][&triples=N][&props=N]
@@ -65,6 +75,7 @@ import (
 	"time"
 
 	"blackswan/internal/bench"
+	"blackswan/internal/buildinfo"
 	"blackswan/internal/datagen"
 	"blackswan/internal/ingest"
 	"blackswan/internal/serve"
@@ -89,8 +100,13 @@ func main() {
 		traceRing   = flag.Int("trace-ring", trace.DefaultRingSize, "finished-trace ring capacity (0 disables tracing)")
 		logLevel    = flag.String("log-level", "info", "structured-log level: debug, info, warn, error")
 		pprofOn     = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+		version     = flag.Bool("version", false, "print the build identity and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println("swanserve", buildinfo.Get())
+		return
+	}
 
 	log := newLogger(*logLevel)
 	var tracer *trace.Tracer

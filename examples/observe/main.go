@@ -1,9 +1,11 @@
 // Observability walkthrough: run a profiled query and read its EXPLAIN
 // ANALYZE tree (measured rows and simulated charges beside the planner's
 // estimates), trip the slow-query log, trace a request end to end and
-// walk its span tree, and scrape the Prometheus text exposition — the
-// whole surface swanserve offers at /query?profile=1, /debug/slow,
-// /debug/traces and /metrics, driven here in-process.
+// walk its span tree, read the workload registry's per-fingerprint
+// aggregates and cardinality-drift feedback, and scrape the Prometheus
+// text exposition — the whole surface swanserve offers at
+// /query?profile=1, /debug/slow, /debug/traces, /debug/workload and
+// /metrics, driven here in-process.
 package main
 
 import (
@@ -105,7 +107,30 @@ func main() {
 	fmt.Printf("== trace %s (%d rows, %d spans) ==\n", rec.TraceID, res.Rows.Len(), len(rec.Spans))
 	printSpanTree(rec, rec.RootSpan, 0)
 
-	// 6. The Prometheus scrape — what a monitoring stack would collect from
+	// 6. The workload registry — what /debug/workload serves. Every
+	// execution above was folded in under its fingerprint (the hash of the
+	// canonical query text, echoed in each Result): counts, cache hits,
+	// rows, per-system splits, latency quantiles from the mergeable GK
+	// sketch, and — for profiled runs — per-operator est-vs-actual
+	// q-errors, the cardinality-drift feedback that says which estimates
+	// to distrust.
+	ws := svc.Workload(serve.WorkloadQuery{By: "time"})
+	fmt.Printf("\n== workload registry: %d fingerprints, %d observations (eps %g) ==\n",
+		ws.Fingerprints, ws.Observations, ws.Epsilon)
+	for _, e := range ws.Entries {
+		fmt.Printf("%s  n=%-3d hits=%-3d rows=%-5d p50=%-8v p99=%-8v  %.48s\n",
+			e.Fingerprint, e.Count, e.CacheHits, e.Rows,
+			e.Latency.P50.Round(time.Microsecond), e.Latency.P99.Round(time.Microsecond),
+			e.Query)
+		for _, op := range e.Ops {
+			if op.MaxQError >= 2 { // only the drifted operators
+				fmt.Printf("    drift: %-28s est=%-8.0f actual=%-6d qerr(mean %.1f, max %.1f)\n",
+					op.Op, op.LastEst, op.LastRows, op.MeanQError, op.MaxQError)
+			}
+		}
+	}
+
+	// 7. The Prometheus scrape — what a monitoring stack would collect from
 	// GET /metrics. Shown here filtered to the counters this run moved.
 	var b strings.Builder
 	if err := svc.WriteMetrics(&b); err != nil {
@@ -119,6 +144,9 @@ func main() {
 			strings.HasPrefix(line, "blackswan_system_queries_total") ||
 			strings.HasPrefix(line, "blackswan_plan_cache_misses_total") ||
 			strings.HasPrefix(line, "blackswan_traces_kept_total") ||
+			strings.HasPrefix(line, "blackswan_workload_observations_total") ||
+			strings.HasPrefix(line, "blackswan_workload_latency_seconds{") ||
+			strings.HasPrefix(line, "blackswan_build_info") ||
 			strings.HasPrefix(line, "blackswan_go_goroutines") {
 			fmt.Println(line)
 		}

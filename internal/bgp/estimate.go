@@ -365,7 +365,23 @@ func (c *coster) estimate(n core.Node) nodeEst {
 		card := minf(in.card, float64(x.N))
 		est = scaleEst(in, card/clamp(in.card))
 	default:
-		est = nodeEst{card: defCard, nd: map[string]float64{}}
+		// Unknown node kinds (future plan growth): estimate every input —
+		// so no reachable subtree silently loses its memo entries, which
+		// would make q-error aggregation skip those operators — and pass
+		// the largest input cardinality through.
+		card := 0.0
+		nd := map[string]float64{}
+		for _, ch := range core.Children(n) {
+			in := c.estimate(ch)
+			card = maxf(card, in.card)
+			for v, d := range in.nd {
+				nd[v] = maxf(nd[v], d)
+			}
+		}
+		if card == 0 {
+			card = defCard
+		}
+		est = nodeEst{card: card, nd: nd}
 	}
 	c.memo[n] = est
 	return est

@@ -1,0 +1,82 @@
+package bgp_test
+
+import (
+	"testing"
+
+	"blackswan/internal/bgp"
+	"blackswan/internal/core"
+)
+
+// TestEstimateCardsCoverEveryPlanNode is the estimate-coverage audit: for
+// every node FormatPlan renders — across the paper plans and generated
+// queries forcing the LeftJoin, FilterRange and TopN paths — EstimateCards
+// must hold a memo entry. A missing entry would make EXPLAIN ANALYZE and
+// the workload registry's q-error aggregation silently skip the operator,
+// so estimation drift there would be invisible.
+func TestEstimateCardsCoverEveryPlanNode(t *testing.T) {
+	f := loadFixture(t)
+
+	type job struct {
+		name string
+		root core.Node
+	}
+	var jobs []job
+	for _, q := range core.BenchmarkQueries() {
+		p, err := core.PlanFor(q, f.cat.Consts)
+		if err != nil {
+			t.Fatalf("paper plan %v: %v", q, err)
+		}
+		jobs = append(jobs, job{name: q.String(), root: p.Root})
+	}
+
+	// Generated queries forcing each construct the audit names: OPTIONAL
+	// lowers to LeftJoin, numeric FILTER to FilterRange, ORDER BY [LIMIT]
+	// to TopN. A handful per construct suffices — coverage is structural.
+	force := []struct {
+		name string
+		cfg  bgp.GenConfig
+	}{
+		{"optional", bgp.GenConfig{Seed: 11, OptionalProb: 1}},
+		{"range", bgp.GenConfig{Seed: 12, RangeProb: 1, OptionalProb: -1}},
+		{"topn", bgp.GenConfig{Seed: 13, OrderProb: 1, LimitProb: 1}},
+		{"mixed", bgp.GenConfig{Seed: 14, OptionalProb: 0.5, RangeProb: 0.5, OrderProb: 0.5}},
+	}
+	for _, fc := range force {
+		gen := bgp.NewGenerator(f.ds.Graph, fc.cfg)
+		for i := 0; i < 24; i++ {
+			q, _ := gen.Query(i)
+			compiled, err := bgp.Compile(q, f.ds.Graph.Dict, f.est)
+			if err != nil {
+				t.Fatalf("%s query %d (%s): %v", fc.name, i, q.Text(), err)
+			}
+			jobs = append(jobs, job{name: fc.name + ": " + q.Text(), root: compiled.Root})
+		}
+	}
+
+	sawLeftJoin, sawRange, sawTopN := false, false, false
+	for _, j := range jobs {
+		cards := bgp.EstimateCards(j.root, f.est)
+		core.WalkPlan(j.root, func(n core.Node) {
+			switch n.(type) {
+			case *core.LeftJoin:
+				sawLeftJoin = true
+			case *core.FilterRange:
+				sawRange = true
+			case *core.TopN:
+				sawTopN = true
+			}
+			est, ok := cards[n]
+			if !ok {
+				t.Errorf("%s: node %q has no cardinality estimate", j.name, core.NodeLabel(n, nil))
+				return
+			}
+			if est < 0 {
+				t.Errorf("%s: node %q has negative estimate %g", j.name, core.NodeLabel(n, nil), est)
+			}
+		})
+	}
+	// The corpus must actually have exercised the paths the audit names.
+	if !sawLeftJoin || !sawRange || !sawTopN {
+		t.Fatalf("corpus missed a construct: leftjoin=%v range=%v topn=%v", sawLeftJoin, sawRange, sawTopN)
+	}
+}

@@ -1,0 +1,87 @@
+// Package buildinfo reads the binary's embedded build metadata
+// (runtime/debug.ReadBuildInfo) once and exposes it to the -version
+// flags of the commands and the blackswan_build_info metric — the
+// standard "which build is this dashboard looking at" gauge.
+package buildinfo
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+)
+
+// Info is the build identity of the running binary. Fields the toolchain
+// did not embed (module version outside a released module, VCS data when
+// built outside a checkout) fall back to "unknown".
+type Info struct {
+	// Version is the main module's version ("(devel)" for source builds).
+	Version string
+	// GoVersion is the toolchain that built the binary.
+	GoVersion string
+	// Revision is the VCS commit hash, and Modified reports a dirty
+	// working tree at build time.
+	Revision string
+	Modified bool
+}
+
+var (
+	once sync.Once
+	info Info
+)
+
+// Get returns the process's build info, read once.
+func Get() Info {
+	once.Do(func() {
+		info = read(debug.ReadBuildInfo())
+	})
+	return info
+}
+
+// read derives an Info from a (possibly absent) debug.BuildInfo —
+// separated from Get so tests can exercise the fallbacks.
+func read(bi *debug.BuildInfo, ok bool) Info {
+	out := Info{
+		Version:   "unknown",
+		GoVersion: runtime.Version(),
+		Revision:  "unknown",
+	}
+	if !ok || bi == nil {
+		return out
+	}
+	if bi.Main.Version != "" {
+		out.Version = bi.Main.Version
+	}
+	if bi.GoVersion != "" {
+		out.GoVersion = bi.GoVersion
+	}
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			if s.Value != "" {
+				out.Revision = s.Value
+			}
+		case "vcs.modified":
+			out.Modified = s.Value == "true"
+		}
+	}
+	return out
+}
+
+// Short returns the revision truncated to 12 hex digits, with a "+dirty"
+// suffix when the working tree was modified.
+func (i Info) Short() string {
+	rev := i.Revision
+	if len(rev) > 12 {
+		rev = rev[:12]
+	}
+	if i.Modified {
+		rev += "+dirty"
+	}
+	return rev
+}
+
+// String renders the identity as one -version line.
+func (i Info) String() string {
+	return fmt.Sprintf("version %s, %s, commit %s", i.Version, i.GoVersion, i.Short())
+}

@@ -361,3 +361,29 @@ func (p *Plan) Accesses() []*Access {
 	walk(p.Root)
 	return out
 }
+
+// Children returns n's input nodes in evaluation order — the exported
+// view of children for structural walks outside the package (the
+// estimator's defensive recursion, audits).
+func Children(n Node) []Node { return children(n) }
+
+// WalkPlan visits every node of a plan DAG exactly once, parents before
+// children, in the same order FormatPlan numbers them. It is the exported
+// structural walk the estimate-coverage audit and the workload registry's
+// per-operator keys build on: any node WalkPlan yields is a node the
+// formatters render and the profiler can record.
+func WalkPlan(root Node, fn func(Node)) {
+	seen := map[Node]bool{}
+	var walk func(n Node)
+	walk = func(n Node) {
+		if n == nil || seen[n] {
+			return
+		}
+		seen[n] = true
+		fn(n)
+		for _, c := range children(n) {
+			walk(c)
+		}
+	}
+	walk(root)
+}

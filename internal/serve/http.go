@@ -20,8 +20,9 @@ import (
 //	GET      /systems
 //	GET      /stats
 //	GET      /metrics
-//	GET      /debug/slow
-//	GET      /debug/traces
+//	GET      /debug/slow[?system=<name>][&limit=n]
+//	GET      /debug/workload[?by=time|count|qerror][&system=<name>][&limit=n]
+//	GET      /debug/traces[?system=<name>][&limit=n]
 //	GET      /debug/traces/<traceId>[?format=otlp]
 //
 // /query executes q on the named system (default: the service's first
@@ -40,7 +41,15 @@ import (
 // "canceled", "exec") matching the blackswan_errors_total metric labels.
 //
 // /metrics is the Prometheus text-exposition endpoint (see prom.go) and
-// /debug/slow returns the slow-query log, newest first (see slowlog.go).
+// /debug/slow returns the slow-query log, newest first (see slowlog.go);
+// ?system= keeps only entries for one target and ?limit= caps the count.
+// /debug/workload serves the workload registry (see workload.go): the
+// top fingerprints ordered by summed latency (?by=count and ?by=qerror
+// reorder), each with its canonical text, plan, ε-approximate latency and
+// queue-wait quantiles, per-system splits and — for profiled shapes —
+// per-operator estimate-vs-actual q-error aggregates. /debug/traces
+// accepts the same ?system=/?limit= filters, matching traces whose
+// execute span named the target.
 //
 // When the service has a tracer (Config.Tracer), every /query request is
 // traced: an incoming W3C `traceparent` header is honoured (so blackswan
@@ -174,11 +183,55 @@ func NewHandler(s *Service) http.Handler {
 	})
 	mux.Handle("/metrics", MetricsHandler(s))
 	mux.HandleFunc("/debug/slow", func(w http.ResponseWriter, r *http.Request) {
+		limit, errResp := limitParam(r)
+		if errResp != nil {
+			writeError(w, http.StatusBadRequest, *errResp)
+			return
+		}
 		entries := s.SlowQueries()
+		if system := r.FormValue("system"); system != "" {
+			kept := entries[:0]
+			for _, e := range entries {
+				if e.System == system {
+					kept = append(kept, e)
+				}
+			}
+			entries = kept
+		}
+		if limit >= 0 && len(entries) > limit {
+			entries = entries[:limit]
+		}
 		if entries == nil {
 			entries = []SlowEntry{}
 		}
 		writeJSON(w, http.StatusOK, entries)
+	})
+	mux.HandleFunc("/debug/workload", func(w http.ResponseWriter, r *http.Request) {
+		// Unlike /debug/slow and /debug/traces (absent limit = everything),
+		// an absent limit here means DefaultWorkloadLimit: the endpoint is a
+		// top-K view first.
+		limit := 0
+		if v := r.FormValue("limit"); v != "" {
+			n, err := strconv.Atoi(v)
+			if err != nil {
+				writeError(w, http.StatusBadRequest, ErrorResponse{Error: "bad limit: " + err.Error(), Class: ErrClassParse})
+				return
+			}
+			limit = n
+		}
+		by := r.FormValue("by")
+		switch by {
+		case "", "time", "count", "qerror":
+		default:
+			writeError(w, http.StatusBadRequest, ErrorResponse{Error: "bad by parameter (want time, count or qerror)", Class: ErrClassParse})
+			return
+		}
+		ws := s.Workload(WorkloadQuery{Limit: limit, By: by, System: r.FormValue("system")})
+		if ws == nil {
+			writeError(w, http.StatusNotFound, ErrorResponse{Error: "workload registry disabled"})
+			return
+		}
+		writeJSON(w, http.StatusOK, ws)
 	})
 	mux.HandleFunc("/debug/traces", func(w http.ResponseWriter, r *http.Request) {
 		t := s.Tracer()
@@ -186,7 +239,25 @@ func NewHandler(s *Service) http.Handler {
 			writeError(w, http.StatusNotFound, ErrorResponse{Error: "tracing disabled"})
 			return
 		}
-		writeJSON(w, http.StatusOK, TracesResponse{Stats: t.Stats(), Traces: t.Traces()})
+		limit, errResp := limitParam(r)
+		if errResp != nil {
+			writeError(w, http.StatusBadRequest, *errResp)
+			return
+		}
+		traces := t.Traces()
+		if system := r.FormValue("system"); system != "" {
+			kept := traces[:0]
+			for _, rec := range traces {
+				if traceRanOn(rec, system) {
+					kept = append(kept, rec)
+				}
+			}
+			traces = kept
+		}
+		if limit >= 0 && len(traces) > limit {
+			traces = traces[:limit]
+		}
+		writeJSON(w, http.StatusOK, TracesResponse{Stats: t.Stats(), Traces: traces})
 	})
 	mux.HandleFunc("/debug/traces/", func(w http.ResponseWriter, r *http.Request) {
 		t := s.Tracer()
@@ -245,6 +316,36 @@ func parseQueryRequest(r *http.Request) (QueryRequest, *ErrorResponse) {
 		req.Profile = true
 	}
 	return req, nil
+}
+
+// limitParam reads the ?limit= query parameter shared by the debug
+// endpoints: absent means unbounded (-1), and any parsed value is passed
+// through (negative also meaning unbounded; /debug/workload substitutes
+// its own default for 0).
+func limitParam(r *http.Request) (int, *ErrorResponse) {
+	v := r.FormValue("limit")
+	if v == "" {
+		return -1, nil
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		return 0, &ErrorResponse{Error: "bad limit: " + err.Error(), Class: ErrClassParse}
+	}
+	return n, nil
+}
+
+// traceRanOn reports whether any span of rec carries a system attribute
+// naming the given target — the join between traces and the per-system
+// serving surfaces.
+func traceRanOn(rec trace.Recorded, system string) bool {
+	for _, sp := range rec.Spans {
+		for _, a := range sp.Attrs {
+			if a.Key == "system" && a.Value == system {
+				return true
+			}
+		}
+	}
+	return false
 }
 
 // statusOf maps service errors to HTTP statuses through their class: parse

@@ -9,6 +9,7 @@ import (
 	"strings"
 	"time"
 
+	"blackswan/internal/buildinfo"
 	"blackswan/internal/trace"
 )
 
@@ -36,7 +37,20 @@ type promSnapshot struct {
 	// (absent when tracing is disabled).
 	tr       trace.Stats
 	hasTrace bool
+	// wl is the workload registry's top-by-time reading (nil when the
+	// registry is disabled): its entries become per-fingerprint series.
+	wl *WorkloadSnapshot
+	// build is the binary's identity; hasBuild gates the section so the
+	// golden test pins the rendering with fixed values.
+	build    buildinfo.Info
+	hasBuild bool
 }
+
+// promWorkloadTop bounds the per-fingerprint series on /metrics: labels
+// are top-K by summed latency, not one series per fingerprint, so the
+// exposition's cardinality stays fixed no matter how diverse the
+// workload. The full registry remains at /debug/workload.
+const promWorkloadTop = 5
 
 // runtimeStats is the Go runtime gauge set exposed on /metrics: enough to
 // see whether the process itself — not the query engine — is the problem.
@@ -73,6 +87,9 @@ func (s *Service) WriteMetrics(w io.Writer) error {
 		ps.tr = t.Stats()
 		ps.hasTrace = true
 	}
+	ps.wl = s.Workload(WorkloadQuery{Limit: promWorkloadTop, By: "time"})
+	ps.build = buildinfo.Get()
+	ps.hasBuild = true
 	return writeProm(w, ps)
 }
 
@@ -206,6 +223,37 @@ func writeProm(w io.Writer, ps promSnapshot) error {
 		gaugeF("blackswan_ingest_sim_overlapped_seconds", "Simulated real time of the last bulk ingest under pipelined read-ahead (max(cpu,io)).", in.SimOverlapped.Seconds())
 	}
 
+	// Workload registry: totals plus per-fingerprint series for the top
+	// shapes by summed latency (bounded cardinality — see promWorkloadTop).
+	if wl := ps.wl; wl != nil {
+		gauge("blackswan_workload_fingerprints", "Query fingerprints currently tracked by the workload registry.", int64(wl.Fingerprints))
+		counter("blackswan_workload_evicted_total", "Fingerprint entries evicted from the bounded workload registry.", wl.Evicted)
+		counter("blackswan_workload_observations_total", "Executions folded into the workload registry.", wl.Observations)
+		if len(wl.Entries) > 0 {
+			fmt.Fprintf(b, "# HELP blackswan_workload_queries_total Executions per query fingerprint (top shapes by summed latency).\n# TYPE blackswan_workload_queries_total counter\n")
+			for _, e := range wl.Entries {
+				fmt.Fprintf(b, "blackswan_workload_queries_total{fingerprint=%q} %d\n", e.Fingerprint, e.Count)
+			}
+			fmt.Fprintf(b, "# HELP blackswan_workload_seconds_total Summed latency per query fingerprint.\n# TYPE blackswan_workload_seconds_total counter\n")
+			for _, e := range wl.Entries {
+				fmt.Fprintf(b, "blackswan_workload_seconds_total{fingerprint=%q} %g\n", e.Fingerprint, e.LatencySum.Seconds())
+			}
+			fmt.Fprintf(b, "# HELP blackswan_workload_latency_seconds Latency quantiles per query fingerprint (rank error within the sketch epsilon).\n# TYPE blackswan_workload_latency_seconds gauge\n")
+			for _, e := range wl.Entries {
+				for _, q := range []struct {
+					label string
+					v     time.Duration
+				}{{"0.5", e.Latency.P50}, {"0.9", e.Latency.P90}, {"0.99", e.Latency.P99}} {
+					fmt.Fprintf(b, "blackswan_workload_latency_seconds{fingerprint=%q,quantile=%q} %g\n", e.Fingerprint, q.label, q.v.Seconds())
+				}
+			}
+			fmt.Fprintf(b, "# HELP blackswan_workload_max_qerror Worst per-operator cardinality q-error observed for the fingerprint (0 when never profiled).\n# TYPE blackswan_workload_max_qerror gauge\n")
+			for _, e := range wl.Entries {
+				fmt.Fprintf(b, "blackswan_workload_max_qerror{fingerprint=%q} %g\n", e.Fingerprint, e.MaxQError)
+			}
+		}
+	}
+
 	// Tracing, when a tracer is configured.
 	if ps.hasTrace {
 		counter("blackswan_traces_started_total", "Requests that began a trace.", ps.tr.Started)
@@ -213,6 +261,14 @@ func writeProm(w io.Writer, ps promSnapshot) error {
 		counter("blackswan_traces_forced_total", "Traces kept only by tail capture (slow or errored requests).", ps.tr.Forced)
 		counter("blackswan_traces_dropped_total", "Finished traces not recorded (head decision, no tail force).", ps.tr.Dropped)
 		gauge("blackswan_traces_ring_entries", "Traces currently held in the finished-trace ring.", int64(ps.tr.Ring))
+	}
+
+	// Build identity: the standard constant-1 info gauge whose labels say
+	// which build the dashboard is looking at.
+	if ps.hasBuild {
+		fmt.Fprintf(b, "# HELP blackswan_build_info Build identity of the running binary (value is always 1).\n# TYPE blackswan_build_info gauge\n")
+		fmt.Fprintf(b, "blackswan_build_info{version=%q,goversion=%q,revision=%q} 1\n",
+			ps.build.Version, ps.build.GoVersion, ps.build.Short())
 	}
 
 	// Go runtime health: is the process itself — goroutine leak, heap

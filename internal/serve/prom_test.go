@@ -9,6 +9,7 @@ import (
 	"testing"
 	"time"
 
+	"blackswan/internal/buildinfo"
 	"blackswan/internal/trace"
 )
 
@@ -81,6 +82,46 @@ func TestPromExposition(t *testing.T) {
 		gcCycles:     42,
 	}
 	ps.hasRT = true
+	// Workload registry section with two fixed top-by-time entries; the
+	// live renderer reads these from the registry, the golden pins the
+	// rendering.
+	ps.wl = &WorkloadSnapshot{
+		Fingerprints: 7,
+		Capacity:     512,
+		Evicted:      3,
+		Observations: 140,
+		Epsilon:      0.01,
+		Entries: []WorkloadEntry{
+			{
+				Fingerprint: "00d1e2f300000001",
+				Count:       80,
+				LatencySum:  400 * time.Millisecond,
+				Latency: QuantileSummary{
+					Count: 80,
+					P50:   4 * time.Millisecond,
+					P90:   9 * time.Millisecond,
+					P99:   20 * time.Millisecond,
+					Max:   25 * time.Millisecond,
+				},
+				MaxQError: 3.5,
+			},
+			{
+				Fingerprint: "00d1e2f300000002",
+				Count:       60,
+				LatencySum:  200 * time.Millisecond,
+				Latency: QuantileSummary{
+					Count: 60,
+					P50:   2 * time.Millisecond,
+					P90:   5 * time.Millisecond,
+					P99:   11 * time.Millisecond,
+					Max:   12 * time.Millisecond,
+				},
+			},
+		},
+	}
+	// Build identity with fixed labels (the live renderer asks the binary).
+	ps.build = buildinfo.Info{Version: "v0.9.0", GoVersion: "go1.24.0", Revision: "0123456789abcdef0123", Modified: true}
+	ps.hasBuild = true
 
 	var b strings.Builder
 	if err := writeProm(&b, ps); err != nil {
@@ -138,6 +179,17 @@ func TestPromExposition(t *testing.T) {
 		"blackswan_ingest_statements 100000",
 		`blackswan_ingest_stage_busy_seconds{stage="parse"} 3`,
 		"blackswan_ingest_sim_overlapped_seconds 3.6",
+		"blackswan_workload_fingerprints 7",
+		"blackswan_workload_evicted_total 3",
+		"blackswan_workload_observations_total 140",
+		`blackswan_workload_queries_total{fingerprint="00d1e2f300000001"} 80`,
+		`blackswan_workload_seconds_total{fingerprint="00d1e2f300000001"} 0.4`,
+		`blackswan_workload_latency_seconds{fingerprint="00d1e2f300000001",quantile="0.5"} 0.004`,
+		`blackswan_workload_latency_seconds{fingerprint="00d1e2f300000001",quantile="0.99"} 0.02`,
+		`blackswan_workload_latency_seconds{fingerprint="00d1e2f300000002",quantile="0.9"} 0.005`,
+		`blackswan_workload_max_qerror{fingerprint="00d1e2f300000001"} 3.5`,
+		`blackswan_workload_max_qerror{fingerprint="00d1e2f300000002"} 0`,
+		`blackswan_build_info{version="v0.9.0",goversion="go1.24.0",revision="0123456789ab+dirty"} 1`,
 		"blackswan_traces_started_total 130",
 		"blackswan_traces_kept_total 25",
 		"blackswan_traces_forced_total 5",

@@ -43,10 +43,14 @@
 // counter, the latency histogram and the last bulk load as a
 // dependency-free Prometheus text exposition (prom.go); and queries at or
 // above Config.SlowQueryThreshold land in a bounded newest-first ring with
-// their plan and profile (slowlog.go). The HTTP front-end in http.go
-// exposes all of it over JSON — /query (with profile support), /stats,
-// /metrics, /debug/slow — with positioned parse diagnostics and classified
-// errors for bad queries.
+// their plan and profile (slowlog.go). Every execution is additionally
+// folded into the workload registry (workload.go) under its fingerprint —
+// the hash of the canonical query text — which aggregates counts, rows,
+// latency/queue-wait quantile sketches, per-system splits and per-operator
+// cardinality drift (q-error) for profiled runs. The HTTP front-end in
+// http.go exposes all of it over JSON — /query (with profile support),
+// /stats, /metrics, /debug/slow, /debug/workload — with positioned parse
+// diagnostics and classified errors for bad queries.
 package serve
 
 import (
@@ -102,6 +106,14 @@ type Config struct {
 	// DefaultSlowLogSize. Older entries are overwritten. Setting it (with
 	// a zero threshold) arms the ring for errored executions only.
 	SlowLogSize int
+	// WorkloadCapacity bounds the workload registry (workload.go) in
+	// fingerprint entries: every execution is aggregated per query shape —
+	// counts, rows, latency/queue-wait quantile sketches, per-system
+	// splits, error classes, and per-operator q-error when profiled —
+	// readable at /debug/workload and exported as blackswan_workload_*
+	// metrics. 0 defaults to DefaultWorkloadCapacity; a negative value
+	// disables the registry.
+	WorkloadCapacity int
 	// Tracer enables request-scoped tracing: every request that enters
 	// through TraceStart gets a trace whose spans follow it through
 	// admission, the plan cache, compilation and execution, joined to the
@@ -168,6 +180,7 @@ type Service struct {
 	sem     chan struct{}
 	metrics *Metrics
 	slow    *slowLog
+	wl      *workloadReg
 	log     *slog.Logger
 	ingest  atomic.Pointer[IngestSnapshot]
 
@@ -207,6 +220,11 @@ func New(dict rdf.Dict, est *bgp.Estimator, cfg Config, targets ...Target) (*Ser
 	// it even without a latency threshold.
 	if cfg.SlowQueryThreshold > 0 || cfg.SlowLogSize > 0 {
 		s.slow = newSlowLog(cfg.SlowLogSize)
+	}
+	// The workload registry is on by default; unlike the plan cache it
+	// survives Swap — the workload belongs to the clients, not the dataset.
+	if cfg.WorkloadCapacity >= 0 {
+		s.wl = newWorkloadReg(cfg.WorkloadCapacity)
 	}
 	s.snap.Store(sn)
 	return s, nil
@@ -415,6 +433,10 @@ type Result struct {
 	// traced (see Config.Tracer and TraceStart) — the key that joins this
 	// result with /debug/traces, the slow log and the structured log.
 	TraceID string
+	// Fingerprint is the query's workload fingerprint — the hash of the
+	// canonical query text that keys the workload registry, so a client
+	// can join its response with /debug/workload.
+	Fingerprint string
 
 	// dict decodes this result: the dictionary of the snapshot the query
 	// executed on, immune to concurrent swaps.
@@ -517,30 +539,51 @@ func (s *Service) exec(ctx context.Context, sn *snapshot, p *Prepared, ti int, c
 		Profile:   opt.Profile,
 	})
 	latency := time.Since(start)
+	fp := Fingerprint(p.Text)
 	if err != nil {
 		execSpan.SetError(err)
-		execSpan.End()
 		class := ErrorClass(err)
 		s.metrics.failed(class)
+		var fpCount int64
+		var fpP99 time.Duration
+		if s.wl != nil {
+			s.wl.observe(wlObs{
+				fp:     fp,
+				text:   p.Text,
+				plan:   func() string { return core.FormatPlan(p.Compiled.Root, termFunc(sn.dict)) },
+				system: t.Name, cached: cached,
+				queued: queued, latency: latency,
+				errClass: class,
+			})
+			fpCount, fpP99, _ = s.wl.summary(fp)
+			execSpan.SetAttr(trace.String("fingerprint", fp),
+				trace.Int("fingerprint.count", fpCount),
+				trace.Int("fingerprint.p99Ns", int64(fpP99)))
+		}
+		execSpan.End()
 		// Errored executions land in the slow ring regardless of the
 		// latency threshold: a query that died is at least as interesting
 		// as one that was merely slow.
 		if s.slow != nil {
 			s.slow.add(SlowEntry{
-				When:    time.Now(),
-				Query:   p.Text,
-				System:  t.Name,
-				Cached:  cached,
-				Queued:  queued,
-				Latency: latency,
-				Plan:    core.FormatPlan(p.Compiled.Root, termFunc(sn.dict)),
-				TraceID: traceID,
-				Error:   err.Error(),
-				Class:   class,
+				When:             time.Now(),
+				Query:            p.Text,
+				System:           t.Name,
+				Cached:           cached,
+				Queued:           queued,
+				Latency:          latency,
+				Plan:             core.FormatPlan(p.Compiled.Root, termFunc(sn.dict)),
+				TraceID:          traceID,
+				Fingerprint:      fp,
+				FingerprintCount: fpCount,
+				FingerprintP99:   fpP99,
+				Error:            err.Error(),
+				Class:            class,
 			})
 		}
 		s.log.LogAttrs(ctx, slog.LevelWarn, "query failed",
 			slog.String("traceId", traceID),
+			slog.String("fingerprint", fp),
 			slog.String("system", t.Name),
 			slog.String("class", class),
 			slog.String("error", err.Error()),
@@ -553,6 +596,24 @@ func (s *Service) exec(ctx context.Context, sn *snapshot, p *Prepared, ti int, c
 		prof.AnnotateEstimates(bgp.EstimateCards(p.Compiled.Root, sn.est))
 	}
 	execSpan.SetAttr(trace.Int("rows", int64(out.Len())))
+	var fpCount int64
+	var fpP99 time.Duration
+	if s.wl != nil {
+		s.wl.observe(wlObs{
+			fp:     fp,
+			text:   p.Text,
+			plan:   func() string { return core.FormatPlan(p.Compiled.Root, termFunc(sn.dict)) },
+			system: t.Name, cached: cached,
+			queued: queued, latency: latency,
+			rows:    int64(out.Len()),
+			profile: prof,
+			term:    termFunc(sn.dict),
+		})
+		fpCount, fpP99, _ = s.wl.summary(fp)
+		execSpan.SetAttr(trace.String("fingerprint", fp),
+			trace.Int("fingerprint.count", fpCount),
+			trace.Int("fingerprint.p99Ns", int64(fpP99)))
+	}
 	execSpan.End()
 	// Bridge the per-operator profile into the trace: the executor already
 	// measured every operator, so a profiled, traced request yields a full
@@ -562,33 +623,40 @@ func (s *Service) exec(ctx context.Context, sn *snapshot, p *Prepared, ti int, c
 	}
 	s.metrics.served(t.Name, latency, int64(out.Len()), cached, prof != nil)
 	res := &Result{
-		System:  t.Name,
-		Cols:    p.Compiled.Cols,
-		Rows:    out,
-		Counts:  p.Compiled.Counts,
-		Cached:  cached,
-		Queued:  queued,
-		Latency: latency,
-		Profile: prof,
-		TraceID: traceID,
-		dict:    sn.dict,
+		System:      t.Name,
+		Cols:        p.Compiled.Cols,
+		Rows:        out,
+		Counts:      p.Compiled.Counts,
+		Cached:      cached,
+		Queued:      queued,
+		Latency:     latency,
+		Profile:     prof,
+		TraceID:     traceID,
+		Fingerprint: fp,
+		dict:        sn.dict,
 	}
 	if s.slow != nil && s.cfg.SlowQueryThreshold > 0 && latency >= s.cfg.SlowQueryThreshold {
 		s.metrics.slow()
 		s.slow.add(SlowEntry{
-			When:    time.Now(),
-			Query:   p.Text,
-			System:  t.Name,
-			Rows:    out.Len(),
-			Cached:  cached,
-			Queued:  queued,
-			Latency: latency,
-			Plan:    core.FormatPlan(p.Compiled.Root, termFunc(sn.dict)),
-			Profile: profileJSON(prof, termFunc(sn.dict)),
-			TraceID: traceID,
+			When:             time.Now(),
+			Query:            p.Text,
+			System:           t.Name,
+			Rows:             out.Len(),
+			Cached:           cached,
+			Queued:           queued,
+			Latency:          latency,
+			Plan:             core.FormatPlan(p.Compiled.Root, termFunc(sn.dict)),
+			Profile:          profileJSON(prof, termFunc(sn.dict)),
+			TraceID:          traceID,
+			Fingerprint:      fp,
+			FingerprintCount: fpCount,
+			FingerprintP99:   fpP99,
 		})
 		s.log.LogAttrs(ctx, slog.LevelInfo, "slow query",
 			slog.String("traceId", traceID),
+			slog.String("fingerprint", fp),
+			slog.Int64("fingerprintCount", fpCount),
+			slog.Duration("fingerprintP99", fpP99),
 			slog.String("system", t.Name),
 			slog.Int("rows", out.Len()),
 			slog.Bool("cached", cached),

@@ -36,6 +36,14 @@ type SlowEntry struct {
 	// TraceID joins this entry with /debug/traces and the structured log
 	// when the request was traced.
 	TraceID string `json:"traceId,omitempty"`
+	// Fingerprint keys this query's aggregate in the workload registry
+	// (/debug/workload); FingerprintCount and FingerprintP99 are the
+	// registry's execution count and p99 latency for the shape at record
+	// time — context for whether this slow execution is an outlier or the
+	// shape's norm. Zero values when the registry is disabled.
+	Fingerprint      string        `json:"fingerprint,omitempty"`
+	FingerprintCount int64         `json:"fingerprintCount,omitempty"`
+	FingerprintP99   time.Duration `json:"fingerprintP99Ns,omitempty"`
 	// Error and Class are set on errored executions (the execution failed
 	// after compiling — see ErrorClass for the class vocabulary).
 	Error string `json:"error,omitempty"`

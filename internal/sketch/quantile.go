@@ -1,0 +1,261 @@
+// Package sketch provides the dependency-free streaming summaries behind
+// the serving layer's workload introspection: a mergeable Greenwald-Khanna
+// quantile sketch with a proven ε rank-error bound (the CKMS "uniform"
+// variant), and a bounded SpaceSaving top-K heavy-hitter counter. Both
+// structures hold O(1/ε) resp. O(K) state regardless of stream length, so
+// a registry tracking thousands of query fingerprints stays small, and
+// both admit the merge operation an aggregating registry needs.
+//
+// Neither type is safe for concurrent use; callers (the serve workload
+// registry) serialize access.
+package sketch
+
+import (
+	"math"
+	"sort"
+)
+
+// DefaultEpsilon is the quantile sketch's rank-error bound when
+// NewQuantile is given a non-positive ε: quantile answers are within ±1%
+// of the requested rank.
+const DefaultEpsilon = 0.01
+
+// sample is one GK tuple: a retained value v, the number of observations
+// collapsed into it since the previous retained value (g), and the
+// uncertainty of its rank (delta). For every tuple the GK invariant
+// g + delta <= 2εn holds, which is what bounds the query error.
+type sample struct {
+	v     float64
+	g     int64
+	delta int64
+}
+
+// Quantile is a streaming ε-approximate quantile summary (Greenwald &
+// Khanna 2001, with the uniform-error invariant of Cormode, Korn,
+// Muthukrishnan & Srivastava 2005). After n Add calls, Query(q) returns
+// an observed value whose rank r in the sorted stream satisfies
+// |r - q·n| <= ε·n. Space is O((1/ε)·log(ε·n)) tuples.
+//
+// Merge folds another sketch in; the merged summary's rank error is
+// bounded by the sum of the two sketches' ε (2ε when both use the same
+// bound) — the standard bound for merging GK summaries.
+type Quantile struct {
+	eps     float64
+	samples []sample // sorted ascending by v
+	n       int64
+	min     float64 // exact extremes: Query(0)/Query(1) are error-free
+	max     float64
+	buf     []float64 // unsorted insertion buffer, flushed at bufCap
+	bufCap  int
+}
+
+// NewQuantile returns an empty sketch with rank-error bound eps
+// (DefaultEpsilon when eps <= 0).
+func NewQuantile(eps float64) *Quantile {
+	if eps <= 0 {
+		eps = DefaultEpsilon
+	}
+	cap := int(1 / (2 * eps))
+	if cap < 8 {
+		cap = 8
+	}
+	return &Quantile{eps: eps, bufCap: cap, min: math.Inf(1), max: math.Inf(-1)}
+}
+
+// Epsilon returns the sketch's rank-error bound.
+func (s *Quantile) Epsilon() float64 { return s.eps }
+
+// Count returns the number of observations added (including buffered
+// ones and merged-in sketches' counts).
+func (s *Quantile) Count() int64 { return s.n + int64(len(s.buf)) }
+
+// Min and Max are the exact observed extremes (0 on an empty sketch).
+func (s *Quantile) Min() float64 {
+	if s.Count() == 0 {
+		return 0
+	}
+	return s.min
+}
+
+func (s *Quantile) Max() float64 {
+	if s.Count() == 0 {
+		return 0
+	}
+	return s.max
+}
+
+// Add inserts one observation. Amortized O(log(1/ε)) — observations land
+// in a buffer merged into the summary every ~1/(2ε) insertions.
+func (s *Quantile) Add(v float64) {
+	if v < s.min {
+		s.min = v
+	}
+	if v > s.max {
+		s.max = v
+	}
+	s.buf = append(s.buf, v)
+	if len(s.buf) >= s.bufCap {
+		s.flush()
+	}
+}
+
+// flush merges the sorted buffer into the tuple list and compresses.
+func (s *Quantile) flush() {
+	if len(s.buf) == 0 {
+		return
+	}
+	sort.Float64s(s.buf)
+	// Merge the sorted buffer with the sorted samples in one pass. New
+	// tuples get g=1 and delta = floor(2εn)-1 (0 at the extremes), the GK
+	// insertion rule that preserves the invariant.
+	merged := make([]sample, 0, len(s.samples)+len(s.buf))
+	i, j := 0, 0
+	for i < len(s.samples) || j < len(s.buf) {
+		if j >= len(s.buf) || (i < len(s.samples) && s.samples[i].v <= s.buf[j]) {
+			merged = append(merged, s.samples[i])
+			i++
+			continue
+		}
+		v := s.buf[j]
+		j++
+		s.n++
+		var delta int64
+		// Interior insertions carry rank uncertainty inherited from the
+		// invariant; insertions at the extremes are exact.
+		if len(merged) > 0 && (i < len(s.samples) || j < len(s.buf)) {
+			delta = s.threshold() - 1
+			if delta < 0 {
+				delta = 0
+			}
+		}
+		merged = append(merged, sample{v: v, g: 1, delta: delta})
+	}
+	s.samples = merged
+	s.buf = s.buf[:0]
+	s.compress()
+}
+
+// threshold is the GK invariant bound 2εn (at least 1).
+func (s *Quantile) threshold() int64 {
+	t := int64(2 * s.eps * float64(s.n))
+	if t < 1 {
+		t = 1
+	}
+	return t
+}
+
+// compress merges adjacent tuples whose combined weight stays within the
+// invariant, keeping the summary at O((1/ε)·log(εn)) tuples.
+func (s *Quantile) compress() {
+	if len(s.samples) < 3 {
+		return
+	}
+	t := s.threshold()
+	out := s.samples[:1] // the minimum tuple is never merged away
+	for i := 1; i < len(s.samples); i++ {
+		cur := s.samples[i]
+		last := &out[len(out)-1]
+		// Merge last into cur when allowed; never merge into the final
+		// (maximum) tuple's predecessor in a way that violates the bound.
+		if len(out) > 1 && last.g+cur.g+cur.delta <= t {
+			cur.g += last.g
+			out[len(out)-1] = cur
+		} else {
+			out = append(out, cur)
+		}
+	}
+	s.samples = out
+}
+
+// Query returns an observed value whose rank is within ε·n of q·n
+// (q clamped to [0, 1]). An empty sketch returns 0.
+func (s *Quantile) Query(q float64) float64 {
+	s.flush()
+	if s.n == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return s.min
+	}
+	if q >= 1 {
+		return s.max
+	}
+	// Target rank plus half the allowed uncertainty: the first tuple whose
+	// maximum possible rank exceeds the target is one step past the
+	// answer (the classic GK query rule).
+	target := q*float64(s.n) + s.eps*float64(s.n)
+	var rmin int64
+	for i := range s.samples {
+		rmin += s.samples[i].g
+		var nxt sample
+		if i+1 < len(s.samples) {
+			nxt = s.samples[i+1]
+		}
+		if float64(rmin+nxt.g+nxt.delta) > target {
+			return s.samples[i].v
+		}
+	}
+	return s.samples[len(s.samples)-1].v
+}
+
+// Merge folds o into s. Both sketches' counts, extremes and tuples
+// combine; the merged summary answers queries within ε_s + ε_o of the
+// requested rank (the proven bound for concatenating GK summaries — for
+// two sketches built with the same ε, the merged error is 2ε). o is left
+// unchanged.
+func (s *Quantile) Merge(o *Quantile) {
+	if o == nil || o.Count() == 0 {
+		return
+	}
+	o.flush()
+	s.flush()
+	if o.min < s.min {
+		s.min = o.min
+	}
+	if o.max > s.max {
+		s.max = o.max
+	}
+	// Merge the sorted tuple lists. A tuple's rank in the combined stream
+	// is its rank in its own summary plus its rank in the other; prefix
+	// g-sums over the interleaved list provide exactly that for the lower
+	// bound, but the tuple's delta only covers its own summary's
+	// uncertainty. The other summary's local spread at the crossing point
+	// — its next tuple's g + delta - 1 — is folded into the delta (the
+	// standard GK merge rule), so merged rank intervals stay sound and
+	// the summed-ε bound is provable rather than heuristic.
+	merged := make([]sample, 0, len(s.samples)+len(o.samples))
+	i, j := 0, 0
+	spread := func(list []sample, k int) int64 {
+		if k >= len(list) {
+			return 0 // past the other summary's maximum: its rank is exact
+		}
+		sp := list[k].g + list[k].delta - 1
+		if sp < 0 {
+			sp = 0
+		}
+		return sp
+	}
+	for i < len(s.samples) || j < len(o.samples) {
+		if j >= len(o.samples) || (i < len(s.samples) && s.samples[i].v <= o.samples[j].v) {
+			cur := s.samples[i]
+			cur.delta += spread(o.samples, j)
+			merged = append(merged, cur)
+			i++
+		} else {
+			cur := o.samples[j]
+			cur.delta += spread(s.samples, i)
+			merged = append(merged, cur)
+			j++
+		}
+	}
+	s.samples = merged
+	s.n += o.n
+	s.compress()
+}
+
+// Samples returns the number of retained tuples — the sketch's size,
+// exposed so tests can assert the space bound.
+func (s *Quantile) Samples() int {
+	s.flush()
+	return len(s.samples)
+}

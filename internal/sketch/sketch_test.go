@@ -1,0 +1,292 @@
+package sketch
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// distributions is the adversarial input battery for the quantile
+// property tests: orderings and shapes known to stress GK summaries
+// (sorted runs keep tuples from compressing uniformly, constant streams
+// stress tie handling, heavy-tailed draws stress the high quantiles).
+var distributions = []struct {
+	name string
+	gen  func(r *rand.Rand, n int) []float64
+}{
+	{"uniform", func(r *rand.Rand, n int) []float64 {
+		out := make([]float64, n)
+		for i := range out {
+			out[i] = r.Float64() * 1e6
+		}
+		return out
+	}},
+	{"ascending", func(r *rand.Rand, n int) []float64 {
+		out := make([]float64, n)
+		for i := range out {
+			out[i] = float64(i)
+		}
+		return out
+	}},
+	{"descending", func(r *rand.Rand, n int) []float64 {
+		out := make([]float64, n)
+		for i := range out {
+			out[i] = float64(n - i)
+		}
+		return out
+	}},
+	{"constant", func(r *rand.Rand, n int) []float64 {
+		out := make([]float64, n)
+		for i := range out {
+			out[i] = 42
+		}
+		return out
+	}},
+	{"two-point", func(r *rand.Rand, n int) []float64 {
+		out := make([]float64, n)
+		for i := range out {
+			if r.Intn(10) == 0 {
+				out[i] = 1e9
+			} else {
+				out[i] = 1
+			}
+		}
+		return out
+	}},
+	{"heavy-tail", func(r *rand.Rand, n int) []float64 {
+		out := make([]float64, n)
+		for i := range out {
+			// Pareto-ish: most values small, a long tail — the shape of
+			// serving latencies.
+			out[i] = math.Pow(1/(1-r.Float64()), 2)
+		}
+		return out
+	}},
+	{"sawtooth", func(r *rand.Rand, n int) []float64 {
+		out := make([]float64, n)
+		for i := range out {
+			out[i] = float64(i % 100)
+		}
+		return out
+	}},
+}
+
+// checkQuantiles asserts that every queried quantile of s lands within
+// slack rank error of the exact quantile over values.
+func checkQuantiles(t *testing.T, name string, s *Quantile, values []float64, slack float64) {
+	t.Helper()
+	sorted := append([]float64(nil), values...)
+	sort.Float64s(sorted)
+	n := float64(len(sorted))
+	for _, q := range []float64{0, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1} {
+		got := s.Query(q)
+		// Rank interval of got in the sorted stream (1-based, inclusive).
+		lo := sort.SearchFloat64s(sorted, got) + 1
+		hi := sort.Search(len(sorted), func(i int) bool { return sorted[i] > got }) // last index of got
+		if lo > hi {
+			t.Fatalf("%s: Query(%g) = %g, not an observed value", name, q, got)
+		}
+		target := q * n
+		bound := slack*n + 1 // +1 absorbs rank-rounding at tiny n
+		if float64(lo)-target > bound || target-float64(hi) > bound {
+			t.Errorf("%s: Query(%g) = %g has rank in [%d,%d], want within %.1f of %.1f (n=%d)",
+				name, q, got, lo, hi, bound, target, len(sorted))
+		}
+	}
+}
+
+// TestQuantileEpsilonBound is the core property test: on every adversarial
+// distribution, every quantile answer is within the promised ε rank error
+// of the exact answer.
+func TestQuantileEpsilonBound(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for _, eps := range []float64{0.05, 0.01} {
+		for _, n := range []int{1, 7, 100, 5000, 60000} {
+			for _, d := range distributions {
+				values := d.gen(r, n)
+				s := NewQuantile(eps)
+				for _, v := range values {
+					s.Add(v)
+				}
+				if s.Count() != int64(n) {
+					t.Fatalf("%s: Count = %d, want %d", d.name, s.Count(), n)
+				}
+				checkQuantiles(t, d.name, s, values, eps)
+			}
+		}
+	}
+}
+
+// TestQuantileSpaceBound: the summary stays sublinear — far below the
+// stream length for large n (the O((1/ε)·log(εn)) bound with slack).
+func TestQuantileSpaceBound(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	const n = 200000
+	const eps = 0.01
+	for _, d := range distributions {
+		s := NewQuantile(eps)
+		for _, v := range d.gen(r, n) {
+			s.Add(v)
+		}
+		// Generous constant: ~ (1/ε)·log2(εn) with headroom. What matters
+		// is that adversarial orderings cannot make the sketch linear.
+		limit := int(8 / eps)
+		if got := s.Samples(); got > limit {
+			t.Errorf("%s: %d retained tuples for n=%d, want <= %d", d.name, got, n, limit)
+		}
+	}
+}
+
+// TestQuantileMerge: merging sketches built over disjoint halves answers
+// within the summed error bound (2ε for equal ε) of the exact quantiles
+// over the union, and counts/extremes combine exactly.
+func TestQuantileMerge(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	const eps = 0.02
+	for _, d := range distributions {
+		for _, other := range distributions {
+			a := d.gen(r, 4000)
+			b := other.gen(r, 7000)
+			sa, sb := NewQuantile(eps), NewQuantile(eps)
+			for _, v := range a {
+				sa.Add(v)
+			}
+			for _, v := range b {
+				sb.Add(v)
+			}
+			sa.Merge(sb)
+			all := append(append([]float64(nil), a...), b...)
+			if sa.Count() != int64(len(all)) {
+				t.Fatalf("%s+%s: merged Count = %d, want %d", d.name, other.name, sa.Count(), len(all))
+			}
+			sorted := append([]float64(nil), all...)
+			sort.Float64s(sorted)
+			if sa.Min() != sorted[0] || sa.Max() != sorted[len(sorted)-1] {
+				t.Fatalf("%s+%s: merged extremes [%g,%g], want [%g,%g]",
+					d.name, other.name, sa.Min(), sa.Max(), sorted[0], sorted[len(sorted)-1])
+			}
+			checkQuantiles(t, d.name+"+"+other.name, sa, all, 2*eps)
+			// The donor must be unchanged.
+			if sb.Count() != int64(len(b)) {
+				t.Fatalf("%s: donor count changed to %d", other.name, sb.Count())
+			}
+			checkQuantiles(t, other.name+" (donor)", sb, b, eps)
+		}
+	}
+}
+
+// TestQuantileEmpty: zero-value behaviour of an empty sketch.
+func TestQuantileEmpty(t *testing.T) {
+	s := NewQuantile(0)
+	if s.Epsilon() != DefaultEpsilon {
+		t.Fatalf("Epsilon = %g, want default %g", s.Epsilon(), DefaultEpsilon)
+	}
+	if s.Count() != 0 || s.Query(0.5) != 0 || s.Min() != 0 || s.Max() != 0 {
+		t.Fatalf("empty sketch not zero-valued: count=%d q=%g min=%g max=%g",
+			s.Count(), s.Query(0.5), s.Min(), s.Max())
+	}
+}
+
+// TestTopKExact: below capacity, counts are exact with zero error.
+func TestTopKExact(t *testing.T) {
+	tk := NewTopK(8)
+	for i := 0; i < 5; i++ {
+		tk.Observe("a", 1)
+	}
+	tk.Observe("b", 3)
+	tk.Observe("c", 10)
+	es := tk.Entries()
+	want := []Entry{{Key: "c", Count: 10}, {Key: "a", Count: 5}, {Key: "b", Count: 3}}
+	if len(es) != len(want) {
+		t.Fatalf("Entries = %v, want %v", es, want)
+	}
+	for i := range want {
+		if es[i] != want[i] {
+			t.Fatalf("Entries[%d] = %v, want %v", i, es[i], want[i])
+		}
+	}
+	if tk.Total() != 18 {
+		t.Fatalf("Total = %d, want 18", tk.Total())
+	}
+}
+
+// TestTopKGuarantees: under eviction pressure on a Zipf stream, every
+// tracked count brackets the true count (count-err <= true <= count) and
+// every key heavier than Total/K is tracked.
+func TestTopKGuarantees(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	zipf := rand.NewZipf(r, 1.3, 1, 5000)
+	const k = 16
+	tk := NewTopK(k)
+	truth := map[string]int64{}
+	for i := 0; i < 100000; i++ {
+		key := string(rune('A' + zipf.Uint64()%26))
+		key += string(rune('a' + zipf.Uint64()%26))
+		w := int64(1 + r.Intn(3))
+		truth[key] += w
+		tk.Observe(key, w)
+	}
+	var total int64
+	for _, c := range truth {
+		total += c
+	}
+	if tk.Total() != total {
+		t.Fatalf("Total = %d, want %d", tk.Total(), total)
+	}
+	for _, e := range tk.Entries() {
+		tw := truth[e.Key]
+		if e.Count < tw || e.Count-e.Err > tw {
+			t.Errorf("key %q: count=%d err=%d does not bracket true %d", e.Key, e.Count, e.Err, tw)
+		}
+	}
+	for key, tw := range truth {
+		if tw > total/int64(k) {
+			if _, _, ok := tk.Count(key); !ok {
+				t.Errorf("heavy hitter %q (weight %d > %d) not tracked", key, tw, total/int64(k))
+			}
+		}
+	}
+}
+
+// TestTopKMerge: merging two counters preserves the bracketing guarantee
+// against the combined truth.
+func TestTopKMerge(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	truth := map[string]int64{}
+	mk := func(n int, shift byte) *TopK {
+		tk := NewTopK(12)
+		for i := 0; i < n; i++ {
+			key := string(rune('a' + byte(r.Intn(30)) + shift))
+			truth[key]++
+			tk.Observe(key, 1)
+		}
+		return tk
+	}
+	a, b := mk(20000, 0), mk(15000, 5)
+	a.Merge(b)
+	var total int64
+	for _, c := range truth {
+		total += c
+	}
+	if a.Total() != total {
+		t.Fatalf("merged Total = %d, want %d", a.Total(), total)
+	}
+	for _, e := range a.Entries() {
+		tw := truth[e.Key]
+		if e.Count < tw || e.Count-e.Err > tw {
+			t.Errorf("merged key %q: count=%d err=%d does not bracket true %d", e.Key, e.Count, e.Err, tw)
+		}
+	}
+}
+
+// TestTopKCapacity: the counter never tracks more than K keys.
+func TestTopKCapacity(t *testing.T) {
+	tk := NewTopK(4)
+	for i := 0; i < 1000; i++ {
+		tk.Observe(string(rune(i)), 1)
+	}
+	if got := len(tk.Entries()); got > 4 {
+		t.Fatalf("tracking %d keys, capacity 4", got)
+	}
+}

@@ -1,0 +1,142 @@
+package sketch
+
+import (
+	"container/heap"
+	"sort"
+)
+
+// TopK is a bounded heavy-hitter counter (the SpaceSaving algorithm,
+// Metwally, Agrawal & El Abbadi 2005) over string keys with non-negative
+// integer weights. It tracks at most K keys; when a new key arrives at a
+// full counter, it replaces the key with the smallest tracked weight and
+// inherits that weight as its overestimation error. Guarantees, with W
+// the total weight observed:
+//
+//   - for every tracked key, count - err <= true weight <= count;
+//   - every key whose true weight exceeds W/K is tracked (no heavy
+//     hitter is ever silently dropped).
+//
+// Merge folds another counter in keyed-wise (counts and errors add,
+// untracked keys inherit the donor's minimum as usual), preserving both
+// guarantees with K = min of the two capacities.
+type TopK struct {
+	k     int
+	items map[string]*tkItem
+	heap  tkHeap // min-heap by count: the replacement victim is the root
+	total int64
+}
+
+// tkItem is one tracked key with its heap position.
+type tkItem struct {
+	key   string
+	count int64
+	err   int64
+	idx   int
+}
+
+// NewTopK returns a counter tracking at most k keys (minimum 1).
+func NewTopK(k int) *TopK {
+	if k < 1 {
+		k = 1
+	}
+	return &TopK{k: k, items: make(map[string]*tkItem, k)}
+}
+
+// K returns the counter's capacity.
+func (t *TopK) K() int { return t.k }
+
+// Total returns the total weight observed.
+func (t *TopK) Total() int64 { return t.total }
+
+// Observe adds weight w (negative weights are ignored) to key.
+func (t *TopK) Observe(key string, w int64) {
+	if w <= 0 {
+		return
+	}
+	t.total += w
+	if it, ok := t.items[key]; ok {
+		it.count += w
+		heap.Fix(&t.heap, it.idx)
+		return
+	}
+	if len(t.items) < t.k {
+		it := &tkItem{key: key, count: w}
+		t.items[key] = it
+		heap.Push(&t.heap, it)
+		return
+	}
+	// Replace the minimum: the newcomer inherits its count as error.
+	it := t.heap[0]
+	delete(t.items, it.key)
+	it.err = it.count
+	it.count += w
+	it.key = key
+	t.items[key] = it
+	heap.Fix(&t.heap, 0)
+}
+
+// Entry is one tracked key: Count overestimates the true weight by at
+// most Err (Count - Err is a guaranteed lower bound).
+type Entry struct {
+	Key   string `json:"key"`
+	Count int64  `json:"count"`
+	Err   int64  `json:"err,omitempty"`
+}
+
+// Entries returns the tracked keys sorted by descending count (ties by
+// key for determinism).
+func (t *TopK) Entries() []Entry {
+	out := make([]Entry, 0, len(t.items))
+	for _, it := range t.items {
+		out = append(out, Entry{Key: it.key, Count: it.count, Err: it.err})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Key < out[j].Key
+	})
+	return out
+}
+
+// Count returns key's tracked count and error, or (0, 0, false) when the
+// key is not tracked.
+func (t *TopK) Count(key string) (count, err int64, ok bool) {
+	it, ok := t.items[key]
+	if !ok {
+		return 0, 0, false
+	}
+	return it.count, it.err, true
+}
+
+// Merge folds o into t: tracked keys' counts and errors add; keys only o
+// tracks are observed with their count (inheriting the usual replacement
+// error when t is full). o is left unchanged.
+func (t *TopK) Merge(o *TopK) {
+	if o == nil {
+		return
+	}
+	for _, e := range o.Entries() {
+		if it, ok := t.items[e.Key]; ok {
+			it.count += e.Count
+			it.err += e.Err
+			t.total += e.Count
+			heap.Fix(&t.heap, it.idx)
+			continue
+		}
+		t.Observe(e.Key, e.Count)
+		if it, ok := t.items[e.Key]; ok && e.Err > 0 {
+			it.err += e.Err
+			heap.Fix(&t.heap, it.idx)
+		}
+	}
+}
+
+// tkHeap is a min-heap of tracked items by count.
+type tkHeap []*tkItem
+
+func (h tkHeap) Len() int           { return len(h) }
+func (h tkHeap) Less(i, j int) bool { return h[i].count < h[j].count }
+func (h tkHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i]; h[i].idx = i; h[j].idx = j }
+func (h *tkHeap) Push(x any)        { it := x.(*tkItem); it.idx = len(*h); *h = append(*h, it) }
+func (h *tkHeap) Pop() any          { old := *h; n := len(old); it := old[n-1]; *h = old[:n-1]; return it }
