@@ -44,6 +44,12 @@
 //	          per-fingerprint quantiles within the sketch's ε rank bound,
 //	          and folded per-operator q-error aggregates;
 //	          -workload-obs-report writes the JSON report
+//	mutate    live mutation: concurrent INSERT DATA / DELETE DATA writers
+//	          and version-tagged readers through the HTTP front-end, the
+//	          recorded history checked against snapshot isolation, the
+//	          final state byte-compared with a from-scratch rebuild, and a
+//	          fault-injection pass proving the checker catches stale
+//	          snapshots; -mutate-report writes the JSON report
 //	sql       generated SQL for both schemes, with union/join counts
 //	gen       write the generated data set as N-Triples to stdout
 //	all       every experiment in paper order
@@ -107,10 +113,17 @@ func main() {
 		wobQueries  = flag.Int("workload-obs-queries", 8, "generated BGP queries for the workload-obs experiment")
 		wobReps     = flag.Int("workload-obs-reps", 3, "repetitions per cell for the workload-obs experiment (min host time kept)")
 		wobReport   = flag.String("workload-obs-report", "", "write the workload-obs experiment's JSON report to this file")
+		mutWriters  = flag.Int("mutate-writers", 4, "concurrent writer clients for the mutate experiment")
+		mutOps      = flag.Int("mutate-ops", 75, "commits per writer for the mutate experiment")
+		mutReaders  = flag.Int("mutate-readers", 4, "concurrent reader clients for the mutate experiment")
+		mutReadOps  = flag.Int("mutate-read-ops", 200, "reads per reader for the mutate experiment")
+		mutCompact  = flag.Int("mutate-compact", 50, "delta entries that trigger compaction in the mutate experiment (-1 never compacts)")
+		mutGuard    = flag.Int("mutate-guard", 12, "generated queries for the mutate experiment's byte-identity guard")
+		mutReport   = flag.String("mutate-report", "", "write the mutate experiment's JSON report to this file")
 		version     = flag.Bool("version", false, "print the build identity and exit")
 	)
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: swanbench [flags] <experiment>\nexperiments: table1 fig1 table2 table4 table5 fig5 table6 table7 fig6 fig7 parallel workloads serve load stream profile trace workload-obs sql gen all\nflags:\n")
+		fmt.Fprintf(os.Stderr, "usage: swanbench [flags] <experiment>\nexperiments: table1 fig1 table2 table4 table5 fig5 table6 table7 fig6 fig7 parallel workloads serve load stream profile trace workload-obs mutate sql gen all\nflags:\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -336,6 +349,26 @@ func main() {
 				fail(os.WriteFile(*wobReport, append(data, '\n'), 0o644))
 				fmt.Fprintf(os.Stderr, "workload-obs report written to %s\n", *wobReport)
 			}
+		case "mutate":
+			wseed := *bgpSeed
+			if wseed == 0 {
+				wseed = *seed
+			}
+			section(fmt.Sprintf("Mutate: %d writers × %d commits, %d readers × %d reads through HTTP (seed %d)", *mutWriters, *mutOps, *mutReaders, *mutReadOps, wseed))
+			report, err := bench.RunMutate(w, bench.MutateOptions{
+				Writers: *mutWriters, Ops: *mutOps,
+				Readers: *mutReaders, ReadOps: *mutReadOps,
+				CompactEvery: *mutCompact, GuardQueries: *mutGuard,
+				Seed: wseed,
+			})
+			fail(err)
+			fmt.Print(bench.FormatMutate(report))
+			if *mutReport != "" {
+				data, err := json.MarshalIndent(report, "", "  ")
+				fail(err)
+				fail(os.WriteFile(*mutReport, append(data, '\n'), 0o644))
+				fmt.Fprintf(os.Stderr, "mutate report written to %s\n", *mutReport)
+			}
 		case "sql":
 			section("Generated SQL (triple-store, then vertically-partitioned)")
 			names := make([]string, 0, len(w.Cat.AllProps))
@@ -358,7 +391,7 @@ func main() {
 	}
 
 	if flag.Arg(0) == "all" {
-		for _, name := range []string{"table1", "fig1", "table2", "table4", "table5", "fig5", "table6", "table7", "fig6", "fig7", "parallel", "workloads", "serve", "load", "stream", "profile", "trace", "workload-obs"} {
+		for _, name := range []string{"table1", "fig1", "table2", "table4", "table5", "fig5", "table6", "table7", "fig6", "fig7", "parallel", "workloads", "serve", "load", "stream", "profile", "trace", "workload-obs", "mutate"} {
 			run(name)
 		}
 		return

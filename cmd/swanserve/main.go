@@ -31,6 +31,15 @@
 // -version prints the build identity (also the blackswan_build_info
 // series) and exits.
 //
+// The write path is on by default (-writes=false disables it): POST
+// /update applies one INSERT DATA / DELETE DATA request transactionally
+// and installs a new immutable dataset version — readers keep their
+// snapshot, responses carry the version, and /metrics exports it as
+// blackswan_dataset_version. Once the delta reaches -compact-every
+// entries the commit instead folds base and delta into a full rebuild of
+// all four schemes (recomputing statistics and the cardinality
+// estimator). /debug/versions lists the version history, newest first.
+//
 // Endpoints (see internal/serve):
 //
 //	GET  /query?q=<bgp text>&system=<name>[&limit=n][&timeout=d][&profile=1]
@@ -42,13 +51,17 @@
 //	GET  /debug/traces[?system=<name>][&limit=n]  retained traces, newest first
 //	GET  /debug/traces/<id>[?format=otlp]
 //	GET  /debug/pprof/  Go runtime profiles (with -pprof)
+//	GET  /debug/versions[?limit=n]                dataset version history
+//	POST /update        u=<INSERT DATA { ... } | DELETE DATA { ... }>
 //	POST /reload[?seed=N][&triples=N][&props=N]
 //
 // /reload regenerates the dataset with the given parameters (defaulting
 // to the process flags), loads it into all four schemes, and atomically
 // swaps it in under live traffic: in-flight queries finish on the old
 // snapshot, new requests see the new data, and the plan cache restarts
-// empty. Reloads serialize; queries never block on one.
+// empty. Reloads serialize; queries never block on one. With writes
+// enabled the reload rebases the mutator, so it also bumps the dataset
+// version.
 //
 // Example:
 //
@@ -100,6 +113,8 @@ func main() {
 		traceRing   = flag.Int("trace-ring", trace.DefaultRingSize, "finished-trace ring capacity (0 disables tracing)")
 		logLevel    = flag.String("log-level", "info", "structured-log level: debug, info, warn, error")
 		pprofOn     = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+		writes      = flag.Bool("writes", true, "enable the write path (POST /update with INSERT DATA / DELETE DATA)")
+		compactEvry = flag.Int("compact-every", 50, "delta entries that trigger a compacting rebuild of all four schemes (-1 never compacts)")
 		version     = flag.Bool("version", false, "print the build identity and exit")
 	)
 	flag.Parse()
@@ -141,6 +156,11 @@ func main() {
 	if ingestSnap != nil {
 		svc.RecordIngest(*ingestSnap)
 	}
+	var mut *serve.Mutator
+	if *writes {
+		mut, err = bench.NewMutator(svc, w, systems, *compactEvry)
+		fail(err)
+	}
 
 	mux := http.NewServeMux()
 	mux.Handle("/", serve.NewHandler(svc))
@@ -174,7 +194,14 @@ func main() {
 			if nsys, err = bench.BGPSystems(nw); err == nil {
 				var targets []serve.Target
 				if targets, err = bench.ServeTargets(nsys); err == nil {
-					err = svc.Swap(nw.DS.Graph.Dict, nw.Estimator(), targets...)
+					// With the write path on, the reload goes through the
+					// mutator so its delta state rebases onto the new
+					// dataset; both paths install one new version.
+					if mut != nil {
+						err = mut.Rebase(nw.DS.Graph, nw.Cat, nw.Estimator(), targets)
+					} else {
+						err = svc.Swap(nw.DS.Graph.Dict, nw.Estimator(), targets...)
+					}
 				}
 			}
 		}
@@ -198,7 +225,8 @@ func main() {
 	log.Info("serving",
 		"systems", fmt.Sprint(svc.Systems()), "addr", *addr,
 		"cache", *cacheSize, "admission", *maxConc, "workers", *workers,
-		"traceSample", *traceRate, "pprof", *pprofOn)
+		"traceSample", *traceRate, "pprof", *pprofOn,
+		"writes", *writes, "compactEvery", *compactEvry)
 	fail(http.ListenAndServe(*addr, mux))
 }
 

@@ -1,0 +1,101 @@
+package bench
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestRunMutateSmoke drives the full mutation experiment at small scale:
+// concurrent writers and readers through real HTTP, a clean
+// snapshot-isolation verdict, the byte-identity guard, and the
+// fault-injection proof — then round-trips the report through JSON (the
+// BENCH_mutate artifact format).
+func TestRunMutateSmoke(t *testing.T) {
+	w := testWorkload(t)
+	opt := MutateOptions{
+		Writers: 2, Ops: 10, Readers: 2, ReadOps: 20,
+		// Writers mostly delete their own delta additions, so the delta
+		// grows at roughly a fifth of the commit rate: a low threshold is
+		// needed to see a compaction inside a 20-commit run.
+		CompactEvery: 4, GuardQueries: 6, Seed: 5,
+	}
+	report, err := RunMutate(w, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Violations != 0 {
+		t.Fatalf("clean phase reported %d violations", report.Violations)
+	}
+	wantOps := opt.Writers*opt.Ops + opt.Readers*opt.ReadOps
+	if report.HistoryOps != wantOps {
+		t.Fatalf("history ops = %d, want %d", report.HistoryOps, wantOps)
+	}
+	// Sentinel + writer commits land before the counters are read; the
+	// fault phase commits after, so it must not be in Commits' lower bound
+	// check but FinalVersion grows past it.
+	if report.Commits < int64(1+opt.Writers*opt.Ops) {
+		t.Fatalf("commits = %d, want >= %d", report.Commits, 1+opt.Writers*opt.Ops)
+	}
+	if report.FinalVersion < uint64(report.Commits) {
+		t.Fatalf("final version %d < commits %d", report.FinalVersion, report.Commits)
+	}
+	if report.Compactions < 1 {
+		t.Fatalf("compactions = %d, want >= 1 with CompactEvery=%d and %d commits",
+			report.Compactions, opt.CompactEvery, report.Commits)
+	}
+	if !report.ByteIdentical || report.GuardChecked == 0 {
+		t.Fatalf("byte-identity guard: identical=%v over %d queries",
+			report.ByteIdentical, report.GuardChecked)
+	}
+	if !report.FaultInjected || !report.FaultDetected || report.FaultViolation == "" {
+		t.Fatalf("fault injection: injected=%v detected=%v violation=%q",
+			report.FaultInjected, report.FaultDetected, report.FaultViolation)
+	}
+	if report.CommitsPerSec <= 0 || report.CommitP95Ms < report.CommitP50Ms {
+		t.Fatalf("commit stats: %.1f/s p50=%.3f p95=%.3f",
+			report.CommitsPerSec, report.CommitP50Ms, report.CommitP95Ms)
+	}
+	if report.ReadP99Ms < report.ReadP95Ms || report.ReadP95Ms < report.ReadP50Ms {
+		t.Fatalf("non-monotone read percentiles %f/%f/%f",
+			report.ReadP50Ms, report.ReadP95Ms, report.ReadP99Ms)
+	}
+	want := map[string]bool{
+		"DBX triple PSO": true, "DBX vert SO": true,
+		"MonetDB triple PSO": true, "MonetDB vert SO": true,
+	}
+	total := 0
+	for _, s := range report.PerSystem {
+		if !want[s.System] {
+			t.Fatalf("unexpected system %q in per-system reads", s.System)
+		}
+		delete(want, s.System)
+		total += s.Reads
+	}
+	if len(want) != 0 {
+		t.Fatalf("schemes missing from per-system reads: %v", want)
+	}
+	if total != opt.Readers*opt.ReadOps {
+		t.Fatalf("per-system reads sum to %d, want %d", total, opt.Readers*opt.ReadOps)
+	}
+
+	out := FormatMutate(report)
+	for _, s := range []string{"history:", "byte-identity guard", "fault injection: detected true"} {
+		if !strings.Contains(out, s) {
+			t.Fatalf("FormatMutate lacks %q:\n%s", s, out)
+		}
+	}
+
+	data, err := json.Marshal(report)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back MutateReport
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.HistoryOps != report.HistoryOps || back.FaultViolation != report.FaultViolation ||
+		len(back.PerSystem) != len(report.PerSystem) {
+		t.Fatal("JSON round trip lost fields")
+	}
+}

@@ -61,14 +61,17 @@ func loadFixture(t *testing.T) *fixture {
 	return fx
 }
 
-func catalogOf(ds *datagen.Dataset) (core.Catalog, error) {
+func constsOf(ds *datagen.Dataset) core.Constants {
 	v := ds.Vocab
-	consts := core.Constants{
+	return core.Constants{
 		Type: v.Type, Records: v.Records, Origin: v.Origin, Language: v.Language,
 		Point: v.Point, Encoding: v.Encoding, Text: v.Text, DLC: v.DLC,
 		French: v.French, End: v.End, Conferences: v.Conferences,
 	}
-	return core.CatalogFromGraph(ds.Graph, consts, ds.Interesting)
+}
+
+func catalogOf(ds *datagen.Dataset) (core.Catalog, error) {
+	return core.CatalogFromGraph(ds.Graph, constsOf(ds), ds.Interesting)
 }
 
 // loadSchemes loads the four storage schemes as physical sources.

@@ -84,7 +84,7 @@ type parser struct {
 // lex splits the input into tokens: variables (?x), IRIs (<...>), literals
 // ("..." with N-Triples escapes), numbers (123, 3.14, -5), keywords/
 // identifiers, the comparison operators != < <= > >=, and the punctuation
-// { } ( ) . *.
+// { } ( ) . * ; (the semicolon separates update operations).
 func (p *parser) lex(s string) error {
 	i := 0
 	for i < len(s) {
@@ -92,7 +92,7 @@ func (p *parser) lex(s string) error {
 		switch {
 		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
 			i++
-		case c == '{' || c == '}' || c == '(' || c == ')' || c == '.' || c == '*':
+		case c == '{' || c == '}' || c == '(' || c == ')' || c == '.' || c == '*' || c == ';':
 			p.toks = append(p.toks, token{string(c), i})
 			i++
 		case c == '>':

@@ -1,0 +1,129 @@
+package bgp
+
+import "blackswan/internal/rdf"
+
+// This file parses the write half of the query language: SPARQL-Update's
+// ground-data forms
+//
+//	INSERT DATA { <s> <p> <o> . <s> <p> "lit" }
+//	DELETE DATA { <s> <p> <o> } ; INSERT DATA { ... }
+//
+// reusing the query lexer (same tokens, same positioned errors). Only
+// ground triples are allowed — no variables, no WHERE clauses — which is
+// exactly the fragment whose transactional semantics the delta-overlay
+// write path implements. Multiple operations separated by ';' form one
+// update request, applied atomically by the serving layer.
+
+// GroundTriple is one fully-constant triple of an update: subject and
+// property are IRIs, the object is an IRI or a literal.
+type GroundTriple struct {
+	S, P, O rdf.Term
+}
+
+// UpdateOp is one INSERT DATA or DELETE DATA block.
+type UpdateOp struct {
+	// Insert distinguishes INSERT DATA (true) from DELETE DATA.
+	Insert bool
+	// Triples are the block's ground triples, in source order.
+	Triples []GroundTriple
+}
+
+// ParseUpdate reads one update request: INSERT/DELETE DATA blocks
+// separated by ';' (a trailing ';' is allowed). Syntax errors are
+// *ParseError values carrying the line, column and byte offset of the
+// offending token, exactly like Parse.
+func ParseUpdate(text string) ([]UpdateOp, error) {
+	p := &parser{src: text}
+	if err := p.lex(text); err != nil {
+		return nil, err
+	}
+	var ops []UpdateOp
+	for {
+		op, err := p.parseUpdateOp()
+		if err != nil {
+			return nil, err
+		}
+		ops = append(ops, op)
+		if p.peek() != ";" {
+			break
+		}
+		p.next()
+		if p.eof() {
+			break // trailing separator
+		}
+	}
+	if !p.eof() {
+		return nil, p.errHere("trailing input at %q", p.peek())
+	}
+	return ops, nil
+}
+
+func (p *parser) parseUpdateOp() (UpdateOp, error) {
+	var op UpdateOp
+	switch {
+	case p.kw("INSERT"):
+		op.Insert = true
+	case p.kw("DELETE"):
+	default:
+		return op, p.errHere("expected INSERT or DELETE, got %q", p.peek())
+	}
+	if err := p.expect("DATA"); err != nil {
+		return op, err
+	}
+	if err := p.expect("{"); err != nil {
+		return op, err
+	}
+	for {
+		if p.peek() == "}" {
+			off := p.here()
+			p.next()
+			if len(op.Triples) == 0 {
+				return op, errAt(p.src, off, "empty update block")
+			}
+			return op, nil
+		}
+		if p.eof() {
+			return op, p.errHere("unterminated update block")
+		}
+		t, err := p.parseGroundTriple()
+		if err != nil {
+			return op, err
+		}
+		op.Triples = append(op.Triples, t)
+		if p.peek() == "." {
+			p.next()
+		}
+	}
+}
+
+// parseGroundTriple reads three constant terms, enforcing the positional
+// kind rules of the data language.
+func (p *parser) parseGroundTriple() (GroundTriple, error) {
+	var gt GroundTriple
+	for i := 0; i < 3; i++ {
+		off := p.here()
+		t, err := p.parseTerm()
+		if err != nil {
+			return gt, err
+		}
+		if t.IsVar() {
+			return gt, errAt(p.src, off, "update data must be ground, got variable ?%s", t.Var)
+		}
+		term := rdf.Term{Value: t.Value, Kind: t.Kind}
+		switch i {
+		case 0:
+			if term.Kind == rdf.Literal {
+				return gt, errAt(p.src, off, "subject must be an IRI, got literal %q", term.Value)
+			}
+			gt.S = term
+		case 1:
+			if term.Kind == rdf.Literal {
+				return gt, errAt(p.src, off, "property must be an IRI, got literal %q", term.Value)
+			}
+			gt.P = term
+		default:
+			gt.O = term
+		}
+	}
+	return gt, nil
+}

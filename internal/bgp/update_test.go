@@ -1,0 +1,107 @@
+package bgp
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"blackswan/internal/rdf"
+)
+
+func TestParseUpdateInsert(t *testing.T) {
+	ops, err := ParseUpdate(`INSERT DATA { <s1> <p1> <o1> . <s1> <p2> "v" }`)
+	if err != nil {
+		t.Fatalf("ParseUpdate: %v", err)
+	}
+	if len(ops) != 1 || !ops[0].Insert || len(ops[0].Triples) != 2 {
+		t.Fatalf("got %+v", ops)
+	}
+	want := GroundTriple{S: rdf.NewIRI("s1"), P: rdf.NewIRI("p2"), O: rdf.NewLiteral("v")}
+	if ops[0].Triples[1] != want {
+		t.Fatalf("triple %+v, want %+v", ops[0].Triples[1], want)
+	}
+}
+
+func TestParseUpdateMixedOps(t *testing.T) {
+	ops, err := ParseUpdate(`
+		DELETE DATA { <s> <p> "old" } ;
+		INSERT DATA { <s> <p> "new" . <s> <q> <o> } ;
+	`)
+	if err != nil {
+		t.Fatalf("ParseUpdate: %v", err)
+	}
+	if len(ops) != 2 {
+		t.Fatalf("got %d ops", len(ops))
+	}
+	if ops[0].Insert || !ops[1].Insert {
+		t.Fatalf("op kinds wrong: %+v", ops)
+	}
+	if len(ops[0].Triples) != 1 || len(ops[1].Triples) != 2 {
+		t.Fatalf("triple counts wrong: %+v", ops)
+	}
+}
+
+// TestParseUpdateSeparatorOptionalDot mirrors the query grammar: '.' after
+// the last triple of a block is optional, as is one trailing ';'.
+func TestParseUpdateSeparatorOptionalDot(t *testing.T) {
+	a, err := ParseUpdate(`INSERT DATA { <s> <p> <o> . }`)
+	if err != nil {
+		t.Fatalf("with dot: %v", err)
+	}
+	b, err := ParseUpdate(`INSERT DATA { <s> <p> <o> }`)
+	if err != nil {
+		t.Fatalf("without dot: %v", err)
+	}
+	if len(a[0].Triples) != 1 || len(b[0].Triples) != 1 {
+		t.Fatalf("got %+v / %+v", a, b)
+	}
+}
+
+func TestParseUpdateErrors(t *testing.T) {
+	cases := []struct {
+		text string
+		want string
+	}{
+		{``, "expected INSERT or DELETE"},
+		{`SELECT DATA { <s> <p> <o> }`, "expected INSERT or DELETE"},
+		{`INSERT { <s> <p> <o> }`, `expected "DATA"`},
+		{`INSERT DATA { }`, "empty update block"},
+		{`INSERT DATA { <s> <p> }`, "expected term"},
+		{`INSERT DATA { <s> <p> ?o }`, "must be ground"},
+		{`INSERT DATA { "lit" <p> <o> }`, "subject must be an IRI"},
+		{`INSERT DATA { <s> "lit" <o> }`, "property must be an IRI"},
+		{`INSERT DATA { <s> <p> <o>`, "unterminated update block"},
+		{`INSERT DATA { <s> <p> <o> } garbage`, "trailing input"},
+		{`INSERT DATA { <s> <p> <o> } ; ; INSERT DATA { <s> <p> <o2> }`, "expected INSERT or DELETE"},
+	}
+	for _, c := range cases {
+		_, err := ParseUpdate(c.text)
+		if err == nil {
+			t.Errorf("%q: no error", c.text)
+			continue
+		}
+		var pe *ParseError
+		if !errors.As(err, &pe) {
+			t.Errorf("%q: error %T is not a ParseError", c.text, err)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%q: error %q does not mention %q", c.text, err, c.want)
+		}
+		if pe.Line < 1 || pe.Col < 1 || pe.Offset < 0 || pe.Offset > len(c.text) {
+			t.Errorf("%q: bad position %+v", c.text, pe)
+		}
+	}
+}
+
+// TestSemicolonDoesNotDisturbQueries: the lexer change that admits ';'
+// must leave query parsing and cache canonicalization intact.
+func TestSemicolonDoesNotDisturbQueries(t *testing.T) {
+	if _, err := Parse(`SELECT ?s WHERE { ?s <p> ?o } ;`); err == nil {
+		t.Fatal("query with trailing ';' parsed")
+	}
+	got := CanonicalText("INSERT  DATA{<s> <p> <o>};")
+	if want := "INSERT DATA { <s> <p> <o> } ;"; got != want {
+		t.Fatalf("canonical %q, want %q", got, want)
+	}
+}

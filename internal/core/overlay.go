@@ -1,0 +1,547 @@
+package core
+
+import (
+	"fmt"
+
+	"blackswan/internal/rdf"
+	"blackswan/internal/rel"
+)
+
+// This file is the delta-overlay layer of live mutation: an immutable set
+// of added and deleted triples (Delta) stacked over any loaded scheme
+// (DeltaOverlay), so a commit installs a new logical snapshot without
+// rebuilding the physical tables. Scans merge the base minus tombstones
+// with the additions; per-property results keep the (s, o)-lexicographic
+// order the SO-clustered schemes guarantee, so merge joins still fire on
+// the overlay. Periodic compaction (driven by the serving layer) folds an
+// overlay back into freshly built tables through the bulk-ingest pipeline.
+
+// Delta is one immutable edit set over a base snapshot: triples added and
+// triples deleted (tombstones). Construction fixes the merged catalog, so
+// an edit that would invalidate it — deleting every triple of a special or
+// interesting property — is rejected before anything is installed.
+//
+// Invariants the caller must uphold (the serving layer's mutator does):
+// adds ∩ base = ∅, dels ⊆ base, adds ∩ dels = ∅. Identifiers must come
+// from the base dictionary, which grows append-only, so an overlay and its
+// base share one Dict.
+type Delta struct {
+	// adds is sorted PSO, so the slice decomposes into per-property runs
+	// that are (s, o)-lexicographic — ready to merge into ordered scans.
+	adds     []rdf.Triple
+	addRange map[rdf.ID][2]int
+	dels     map[rdf.Triple]struct{}
+	// cat is the merged catalog: AllProps is the frequency-ranked roster
+	// of (base ∪ adds ∖ dels), exactly what CatalogFromGraph would compute
+	// over the folded graph.
+	cat  Catalog
+	live map[rdf.ID]bool
+}
+
+// NewDelta builds the edit set and the merged catalog. baseFreq is the
+// per-property triple count of the base snapshot (rdf.Stats.PropFreq);
+// baseCat supplies the constants and the interesting selection, which are
+// held fixed across mutation. It fails — and the commit must be abandoned
+// — when the merged catalog does not validate.
+func NewDelta(baseCat Catalog, baseFreq map[rdf.ID]int, adds, dels []rdf.Triple) (*Delta, error) {
+	d := &Delta{
+		adds: append([]rdf.Triple(nil), adds...),
+		dels: make(map[rdf.Triple]struct{}, len(dels)),
+	}
+	rdf.PSO.Sort(d.adds)
+	d.adds = rdf.Dedup(d.adds)
+	d.addRange = make(map[rdf.ID][2]int)
+	for i := 0; i < len(d.adds); {
+		j := i
+		for j < len(d.adds) && d.adds[j].P == d.adds[i].P {
+			j++
+		}
+		d.addRange[d.adds[i].P] = [2]int{i, j}
+		i = j
+	}
+	for _, t := range dels {
+		d.dels[t] = struct{}{}
+	}
+
+	merged := make(map[rdf.ID]int, len(baseFreq))
+	for p, n := range baseFreq {
+		merged[p] = n
+	}
+	for _, t := range d.adds {
+		merged[t.P]++
+	}
+	for t := range d.dels {
+		merged[t.P]--
+	}
+	for p, n := range merged {
+		if n <= 0 {
+			delete(merged, p)
+		}
+	}
+	d.cat = Catalog{
+		Consts:      baseCat.Consts,
+		AllProps:    rdf.TopK(merged, len(merged)),
+		Interesting: baseCat.Interesting,
+	}
+	if err := d.cat.Validate(); err != nil {
+		return nil, fmt.Errorf("core: delta rejected: %w", err)
+	}
+	d.live = make(map[rdf.ID]bool, len(d.cat.AllProps))
+	for _, p := range d.cat.AllProps {
+		d.live[p] = true
+	}
+	return d, nil
+}
+
+// Adds returns the additions, sorted PSO. Callers must not mutate it.
+func (d *Delta) Adds() []rdf.Triple { return d.adds }
+
+// Dels returns the tombstones in unspecified order.
+func (d *Delta) Dels() []rdf.Triple {
+	out := make([]rdf.Triple, 0, len(d.dels))
+	for t := range d.dels {
+		out = append(out, t)
+	}
+	rdf.SPO.Sort(out)
+	return out
+}
+
+// Size returns the number of additions and tombstones.
+func (d *Delta) Size() (adds, dels int) { return len(d.adds), len(d.dels) }
+
+// Catalog returns the merged catalog of (base ∪ adds ∖ dels).
+func (d *Delta) Catalog() Catalog { return d.cat }
+
+// deleted reports whether t is tombstoned.
+func (d *Delta) deleted(t rdf.Triple) bool {
+	_, ok := d.dels[t]
+	return ok
+}
+
+// maskMode captures how a base scheme applies the projection-pushdown
+// mask, so an overlay's merged rows are byte-identical to the rows a
+// from-scratch rebuild of the same scheme would emit. Row stores read
+// whole tuples and never mask; the column triple-store zeroes every
+// undemanded column; the column vertical scheme materializes the property
+// from its table roster, so P stays real while S and O honour the mask.
+type maskMode uint8
+
+const (
+	maskNone maskMode = iota
+	maskSPO           // *ColTriple: every column honours the mask
+	maskSO            // *ColVert: P is always real, S and O honour the mask
+)
+
+func maskModeOf(src PhysicalSource) maskMode {
+	switch src.(type) {
+	case *ColTriple:
+		return maskSPO
+	case *ColVert:
+		return maskSO
+	default:
+		return maskNone
+	}
+}
+
+// DeltaOverlay layers a Delta over a loaded scheme, implementing the same
+// physical interfaces (PhysicalSource and StreamSource) so the executor —
+// and the serving layer's snapshot targets — cannot tell an overlay from a
+// rebuilt scheme. Reads are wait-free: both halves are immutable.
+type DeltaOverlay struct {
+	base PhysicalSource
+	d    *Delta
+	mask maskMode
+}
+
+// NewDeltaOverlay wraps base with the edit set d. Overlays do not stack:
+// the serving layer folds successive commits into one Delta over the same
+// physical base until compaction.
+func NewDeltaOverlay(base PhysicalSource, d *Delta) *DeltaOverlay {
+	return &DeltaOverlay{base: base, d: d, mask: maskModeOf(base)}
+}
+
+// Base returns the wrapped scheme.
+func (o *DeltaOverlay) Base() PhysicalSource { return o.base }
+
+// Delta returns the edit set.
+func (o *DeltaOverlay) Delta() *Delta { return o.d }
+
+// Label identifies the overlay for diagnostics.
+func (o *DeltaOverlay) Label() string {
+	type labeled interface{ Label() string }
+	if l, ok := o.base.(labeled); ok {
+		return l.Label() + "+delta"
+	}
+	return "overlay+delta"
+}
+
+// Cat implements PhysicalSource with the merged catalog.
+func (o *DeltaOverlay) Cat() Catalog { return o.d.cat }
+
+// Props implements PhysicalSource: the merged frequency-ranked roster.
+func (o *DeltaOverlay) Props() []rdf.ID { return o.d.cat.AllProps }
+
+// PropOrdered implements PhysicalSource: merging preserves the base's
+// (s, o)-lexicographic per-property order, so the guarantee carries over.
+func (o *DeltaOverlay) PropOrdered() bool { return o.base.PropOrdered() }
+
+// Partitioned implements PhysicalSource.
+func (o *DeltaOverlay) Partitioned() bool { return o.base.Partitioned() }
+
+// RestrictProps implements PhysicalSource. The interesting selection is
+// fixed across mutation, so the base's filter is the merged filter.
+func (o *DeltaOverlay) RestrictProps(rows *rel.Rel, pCol int) *rel.Rel {
+	return o.base.RestrictProps(rows, pCol)
+}
+
+// Ops implements PhysicalSource.
+func (o *DeltaOverlay) Ops() PhysicalOps { return o.base.Ops() }
+
+// addsForProp collects the additions under p matching the bounds, as
+// (s, o) pairs in (s, o)-lexicographic order.
+func (o *DeltaOverlay) addsForProp(p, s, obj rdf.ID) [][2]uint64 {
+	r, ok := o.d.addRange[p]
+	if !ok {
+		return nil
+	}
+	var out [][2]uint64
+	for _, t := range o.d.adds[r[0]:r[1]] {
+		if (s == rdf.NoID || t.S == s) && (obj == rdf.NoID || t.O == obj) {
+			out = append(out, [2]uint64{uint64(t.S), uint64(t.O)})
+		}
+	}
+	return out
+}
+
+// scanPropMerged returns the real-valued (s, o) rows under p: base rows
+// minus tombstones, linearly merged with the additions so a base whose
+// ScanProp arrives (s, o)-ordered (all four schemes, under every bound
+// combination) stays ordered — the invariant merge joins rely on.
+func (o *DeltaOverlay) scanPropMerged(p, s, obj rdf.ID) (*rel.Rel, error) {
+	if !o.d.live[p] && o.base.Partitioned() {
+		// A property with no surviving triples has no table in a rebuilt
+		// partitioned scheme; answer the same way.
+		return nil, fmt.Errorf("core: property %d not loaded in %s", p, o.Label())
+	}
+	adds := o.addsForProp(p, s, obj)
+	base, err := o.base.ScanProp(p, s, obj, AllScanCols())
+	if err != nil {
+		// Delta-only property: the base has no table yet. The additions
+		// alone are the scan.
+		base = rel.New(2)
+	}
+	out := rel.NewCap(2, base.Len()+len(adds))
+	bi, ai, bn := 0, 0, base.Len()
+	for bi < bn || ai < len(adds) {
+		if bi < bn {
+			row := base.Row(bi)
+			if o.d.deleted(rdf.Triple{S: rdf.ID(row[0]), P: p, O: rdf.ID(row[1])}) {
+				bi++
+				continue
+			}
+			if ai >= len(adds) || row[0] < adds[ai][0] ||
+				(row[0] == adds[ai][0] && row[1] < adds[ai][1]) {
+				out.Data = append(out.Data, row[0], row[1])
+				bi++
+				continue
+			}
+		}
+		out.Data = append(out.Data, adds[ai][0], adds[ai][1])
+		ai++
+	}
+	return out, nil
+}
+
+// scanTriplesMerged returns the real-valued (s, p, o) rows matching the
+// bounds: base minus tombstones with the additions appended. No consumer
+// depends on ScanTriples order (PropOrdered speaks only for ScanProp), so
+// a plain concatenation suffices.
+func (o *DeltaOverlay) scanTriplesMerged(s, obj rdf.ID) *rel.Rel {
+	base := o.base.ScanTriples(s, obj, AllScanCols())
+	out := rel.NewCap(3, base.Len()+len(o.d.adds))
+	for i, n := 0, base.Len(); i < n; i++ {
+		row := base.Row(i)
+		if o.d.deleted(rdf.Triple{S: rdf.ID(row[0]), P: rdf.ID(row[1]), O: rdf.ID(row[2])}) {
+			continue
+		}
+		out.Data = append(out.Data, row[0], row[1], row[2])
+	}
+	for _, t := range o.d.adds {
+		if (s == rdf.NoID || t.S == s) && (obj == rdf.NoID || t.O == obj) {
+			out.Data = append(out.Data, uint64(t.S), uint64(t.P), uint64(t.O))
+		}
+	}
+	return out
+}
+
+// maskSORows zeroes the undemanded columns of a width-2 (s, o) relation in
+// place, matching what a rebuilt column scheme would have materialized.
+func (o *DeltaOverlay) maskSORows(r *rel.Rel, need ScanCols) *rel.Rel {
+	if o.mask == maskNone || (need.S && need.O) {
+		return r
+	}
+	for i, n := 0, r.Len(); i < n; i++ {
+		row := r.Row(i)
+		if !need.S {
+			row[0] = 0
+		}
+		if !need.O {
+			row[1] = 0
+		}
+	}
+	return r
+}
+
+// maskTripleRows zeroes the undemanded columns of a width-3 (s, p, o)
+// relation in place per the base's masking mode.
+func (o *DeltaOverlay) maskTripleRows(r *rel.Rel, need ScanCols) *rel.Rel {
+	if o.mask == maskNone {
+		return r
+	}
+	zp := o.mask == maskSPO && !need.P
+	if need.S && need.O && !zp {
+		return r
+	}
+	for i, n := 0, r.Len(); i < n; i++ {
+		row := r.Row(i)
+		if !need.S {
+			row[0] = 0
+		}
+		if zp {
+			row[1] = 0
+		}
+		if !need.O {
+			row[2] = 0
+		}
+	}
+	return r
+}
+
+// ScanProp implements PhysicalSource over the merged data, honouring the
+// base engine's projection-pushdown behaviour.
+func (o *DeltaOverlay) ScanProp(p, s, obj rdf.ID, need ScanCols) (*rel.Rel, error) {
+	r, err := o.scanPropMerged(p, s, obj)
+	if err != nil {
+		return nil, err
+	}
+	return o.maskSORows(r, need), nil
+}
+
+// ScanTriples implements PhysicalSource over the merged data.
+func (o *DeltaOverlay) ScanTriples(s, obj rdf.ID, need ScanCols) *rel.Rel {
+	return o.maskTripleRows(o.scanTriplesMerged(s, obj), need)
+}
+
+// Match implements TripleSource with fully materialized values.
+func (o *DeltaOverlay) Match(s, p, obj rdf.ID) *rel.Rel {
+	if p == rdf.NoID {
+		return o.scanTriplesMerged(s, obj)
+	}
+	so, err := o.scanPropMerged(p, s, obj)
+	if err != nil {
+		return rel.New(3)
+	}
+	out := rel.NewCap(3, so.Len())
+	for i, n := 0, so.Len(); i < n; i++ {
+		row := so.Row(i)
+		out.Data = append(out.Data, row[0], uint64(p), row[1])
+	}
+	return out
+}
+
+// ---- streaming ----
+
+// baseStreamProp returns the base's pull iterator for p with all columns
+// real, falling back to a materialize-then-chunk wrapper when the base
+// does not implement StreamSource.
+func (o *DeltaOverlay) baseStreamProp(p, s, obj rdf.ID, batch int) (RelIter, error) {
+	if ss, ok := o.base.(StreamSource); ok {
+		return ss.StreamProp(p, s, obj, AllScanCols(), batch)
+	}
+	r, err := o.base.ScanProp(p, s, obj, AllScanCols())
+	if err != nil {
+		return nil, err
+	}
+	return &chunkRelIter{rel: r, batch: batch}, nil
+}
+
+// StreamProp implements StreamSource: the same merged, masked rows as
+// ScanProp, delivered batch by batch. The base iterator is pulled lazily,
+// so early termination (TopN, LIMIT) stops the underlying scan.
+func (o *DeltaOverlay) StreamProp(p, s, obj rdf.ID, need ScanCols, batchRows int) (RelIter, error) {
+	if batchRows <= 0 {
+		batchRows = DefaultBatchRows
+	}
+	if !o.d.live[p] && o.base.Partitioned() {
+		return nil, fmt.Errorf("core: property %d not loaded in %s", p, o.Label())
+	}
+	adds := o.addsForProp(p, s, obj)
+	base, err := o.baseStreamProp(p, s, obj, batchRows)
+	if err != nil {
+		base = &chunkRelIter{rel: rel.New(2), batch: batchRows}
+	}
+	return &overlayPropIter{o: o, p: p, base: base, adds: adds, need: need, batch: batchRows}, nil
+}
+
+// StreamTriples implements StreamSource: the base stream minus tombstones,
+// then the additions, masked per the base's mode.
+func (o *DeltaOverlay) StreamTriples(s, obj rdf.ID, need ScanCols, batchRows int) RelIter {
+	if batchRows <= 0 {
+		batchRows = DefaultBatchRows
+	}
+	var base RelIter
+	if ss, ok := o.base.(StreamSource); ok {
+		base = ss.StreamTriples(s, obj, AllScanCols(), batchRows)
+	} else {
+		base = &chunkRelIter{rel: o.base.ScanTriples(s, obj, AllScanCols()), batch: batchRows}
+	}
+	var adds *rel.Rel
+	if len(o.d.adds) > 0 {
+		adds = rel.New(3)
+		for _, t := range o.d.adds {
+			if (s == rdf.NoID || t.S == s) && (obj == rdf.NoID || t.O == obj) {
+				adds.Data = append(adds.Data, uint64(t.S), uint64(t.P), uint64(t.O))
+			}
+		}
+	}
+	return &overlayTripleIter{o: o, base: base, adds: adds, need: need, batch: batchRows}
+}
+
+// overlayPropIter merges a tombstone-filtered base property stream with
+// the (already (s, o)-ordered) additions, one batch at a time.
+type overlayPropIter struct {
+	o     *DeltaOverlay
+	p     rdf.ID
+	base  RelIter
+	buf   *rel.Rel // current base batch (real values)
+	bi    int
+	done  bool // base exhausted
+	adds  [][2]uint64
+	ai    int
+	need  ScanCols
+	batch int
+}
+
+// nextBase returns the next live (non-tombstoned) base row, pulling new
+// batches as needed; ok is false once the base is exhausted.
+func (it *overlayPropIter) nextBase() (row [2]uint64, ok bool, err error) {
+	for {
+		if it.buf == nil || it.bi >= it.buf.Len() {
+			if it.done {
+				return row, false, nil
+			}
+			b, err := it.base.Next()
+			if err != nil {
+				return row, false, err
+			}
+			if b == nil || b.Len() == 0 {
+				it.done = b == nil
+				if b == nil {
+					return row, false, nil
+				}
+				continue
+			}
+			it.buf, it.bi = b, 0
+		}
+		r := it.buf.Row(it.bi)
+		it.bi++
+		if !it.o.d.deleted(rdf.Triple{S: rdf.ID(r[0]), P: it.p, O: rdf.ID(r[1])}) {
+			return [2]uint64{r[0], r[1]}, true, nil
+		}
+	}
+}
+
+func (it *overlayPropIter) Next() (*rel.Rel, error) {
+	out := rel.NewCap(2, it.batch)
+	// peeked holds a base row pulled but not yet emitted across the
+	// batch-fill loop.
+	var peeked *[2]uint64
+	for out.Len() < it.batch {
+		if peeked == nil {
+			r, ok, err := it.nextBase()
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				peeked = &r
+			}
+		}
+		if peeked == nil && it.ai >= len(it.adds) {
+			break
+		}
+		if peeked != nil && (it.ai >= len(it.adds) || peeked[0] < it.adds[it.ai][0] ||
+			(peeked[0] == it.adds[it.ai][0] && peeked[1] < it.adds[it.ai][1])) {
+			out.Data = append(out.Data, peeked[0], peeked[1])
+			peeked = nil
+			continue
+		}
+		out.Data = append(out.Data, it.adds[it.ai][0], it.adds[it.ai][1])
+		it.ai++
+	}
+	if peeked != nil {
+		// Push the unconsumed base row back for the next batch.
+		rest := rel.NewCap(2, 1+it.buf.Len()-it.bi)
+		rest.Data = append(rest.Data, peeked[0], peeked[1])
+		if it.buf != nil {
+			rest.Data = append(rest.Data, it.buf.Data[it.bi*2:]...)
+		}
+		it.buf, it.bi = rest, 0
+	}
+	if out.Len() == 0 {
+		return nil, nil
+	}
+	return it.o.maskSORows(out, it.need), nil
+}
+
+func (it *overlayPropIter) Close() { it.base.Close() }
+
+// overlayTripleIter filters tombstones out of the base triple stream and
+// appends the additions once the base is exhausted.
+type overlayTripleIter struct {
+	o     *DeltaOverlay
+	base  RelIter
+	done  bool
+	adds  *rel.Rel // nil when no additions match
+	tail  *chunkRelIter
+	need  ScanCols
+	batch int
+}
+
+func (it *overlayTripleIter) Next() (*rel.Rel, error) {
+	for !it.done {
+		b, err := it.base.Next()
+		if err != nil {
+			return nil, err
+		}
+		if b == nil {
+			it.done = true
+			break
+		}
+		out := rel.NewCap(3, b.Len())
+		for i, n := 0, b.Len(); i < n; i++ {
+			row := b.Row(i)
+			if it.o.d.deleted(rdf.Triple{S: rdf.ID(row[0]), P: rdf.ID(row[1]), O: rdf.ID(row[2])}) {
+				continue
+			}
+			out.Data = append(out.Data, row[0], row[1], row[2])
+		}
+		if out.Len() > 0 {
+			return it.o.maskTripleRows(out, it.need), nil
+		}
+	}
+	if it.adds != nil && it.tail == nil {
+		it.tail = &chunkRelIter{rel: it.adds, batch: it.batch}
+	}
+	if it.tail != nil {
+		b, err := it.tail.Next()
+		if err != nil || b == nil {
+			return nil, err
+		}
+		// Copy before masking: the chunk aliases the shared adds slice.
+		out := &rel.Rel{W: 3, Data: append([]uint64(nil), b.Data...)}
+		return it.o.maskTripleRows(out, it.need), nil
+	}
+	return nil, nil
+}
+
+func (it *overlayTripleIter) Close() { it.base.Close() }

@@ -1,0 +1,346 @@
+package serve_test
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"blackswan/internal/bench"
+	"blackswan/internal/serve"
+	"blackswan/internal/trace"
+	"blackswan/internal/verify"
+)
+
+// The concurrent hammer: interleaved INSERT/DELETE commits from several
+// writers, a mid-run reload (Rebase over the materialized state — the
+// same dictionary, as a disk reload of the live dataset would be), and a
+// steady stream of plain, profiled and traced reads across all four
+// schemes. Run under -race this is the data-race probe of the whole
+// mutation path; the assertions are the liveness half: zero failed
+// queries, every commit exactly one version bump, and the recorded
+// history passing the snapshot-isolation checker.
+
+const (
+	hammerWriters   = 3
+	hammerOpsPerWav = 10 // write ops per writer per wave (two waves)
+	hammerReaders   = 4
+	hammerReadCap   = 300 // per-reader iteration bound
+)
+
+// hammerKey renders writer wi's key k the way the dictionary will: the
+// bracketed IRI form, which is also what a decoded result cell holds.
+func hammerKey(wi, k int) string { return fmt.Sprintf("<hammer/w%d/k%d>", wi, k) }
+
+func TestMutationHammerRace(t *testing.T) {
+	svc, m, _ := mutableService(t, serve.Config{
+		Tracer: trace.New(trace.Config{SampleRate: 1, Seed: 7}),
+	}, 25)
+	ctx := context.Background()
+
+	// The sentinel keeps <hammer/flag> alive however the deletes land: a
+	// fully-deleted property has no table on the partitioned schemes, and
+	// the flag query must stay answerable all run.
+	seed, err := m.ApplyUpdate(ctx, `INSERT DATA { <hammer/seed> <hammer/flag> "live" }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := verify.NewRecorder(seed.Version, []string{"<hammer/seed>"})
+
+	systems := svc.Systems()
+	texts := queryTexts(t, 6)
+	const flagQ = `SELECT ?s ?o WHERE { ?s <hammer/flag> ?o }`
+	var failed atomic.Int64
+
+	// Readers run through everything — writer waves and the reloads
+	// between them — rotating scheme and execution flavour.
+	done := make(chan struct{})
+	var readers sync.WaitGroup
+	for r := 0; r < hammerReaders; r++ {
+		readers.Add(1)
+		go func(r int) {
+			defer readers.Done()
+			client := fmt.Sprintf("r%d", r)
+			seq := 0
+			for i := r; i < hammerReadCap; i++ {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				system := systems[i%len(systems)]
+				switch i % 3 {
+				case 0:
+					// The recorded read: the flag query returns the whole
+					// live keyspace, a complete read transaction at the
+					// version the result claims.
+					res, err := svc.ExecText(ctx, flagQ, system)
+					if err != nil {
+						failed.Add(1)
+						t.Errorf("reader %d: %s: %v", r, system, err)
+						return
+					}
+					rows := svc.DecodeRows(res, -1)
+					present := make([]string, 0, len(rows))
+					for _, row := range rows {
+						present = append(present, row[0])
+					}
+					rec.Read(verify.ReadTxn{
+						Client: client, Seq: seq,
+						Version: res.Version, Present: present, Complete: true,
+					})
+					seq++
+				case 1:
+					if _, err := svc.ExecTextOpts(ctx, texts[i%len(texts)], system,
+						serve.ExecOpts{Profile: true}); err != nil {
+						failed.Add(1)
+						t.Errorf("reader %d profiled: %s: %v", r, system, err)
+						return
+					}
+				default:
+					ectx, _, finish := svc.TraceStart(ctx, "query", "")
+					_, err := svc.ExecText(ectx, texts[i%len(texts)], system)
+					finish(err)
+					if err != nil {
+						failed.Add(1)
+						t.Errorf("reader %d traced: %s: %v", r, system, err)
+						return
+					}
+				}
+			}
+		}(r)
+	}
+
+	// One writer wave: each writer grows and shrinks its own disjoint key
+	// range, recording every commit as the response reported it.
+	commits := atomic.Int64{}
+	wave := func(waveNo int) {
+		var writers sync.WaitGroup
+		for wi := 0; wi < hammerWriters; wi++ {
+			writers.Add(1)
+			go func(wi int) {
+				defer writers.Done()
+				rng := rand.New(rand.NewSource(int64(100*waveNo + wi)))
+				client := fmt.Sprintf("w%d", wi)
+				var live []int
+				next := waveNo * hammerOpsPerWav
+				for j := 0; j < hammerOpsPerWav; j++ {
+					seq := waveNo*hammerOpsPerWav + j
+					if len(live) == 0 || rng.Intn(100) < 60 {
+						k := next
+						next++
+						text := fmt.Sprintf(`INSERT DATA { <hammer/w%d/k%d> <hammer/flag> "v" }`, wi, k)
+						res, err := m.ApplyUpdate(ctx, text)
+						if err != nil {
+							failed.Add(1)
+							t.Errorf("writer %d insert: %v", wi, err)
+							return
+						}
+						rec.Write(verify.WriteTxn{
+							Client: client, Seq: seq,
+							Base: res.BaseVersion, Version: res.Version,
+							Put: []string{hammerKey(wi, k)},
+						})
+						live = append(live, k)
+					} else {
+						pick := rng.Intn(len(live))
+						k := live[pick]
+						live = append(live[:pick], live[pick+1:]...)
+						text := fmt.Sprintf(`DELETE DATA { <hammer/w%d/k%d> <hammer/flag> "v" }`, wi, k)
+						res, err := m.ApplyUpdate(ctx, text)
+						if err != nil {
+							failed.Add(1)
+							t.Errorf("writer %d delete: %v", wi, err)
+							return
+						}
+						rec.Write(verify.WriteTxn{
+							Client: client, Seq: seq,
+							Base: res.BaseVersion, Version: res.Version,
+							Del: []string{hammerKey(wi, k)},
+						})
+					}
+					commits.Add(1)
+				}
+			}(wi)
+		}
+		writers.Wait()
+	}
+
+	// reload materializes the current state and rebases onto freshly
+	// loaded schemes — same dictionary, logically unchanged state, one
+	// version bump. Writers are quiescent (waves joined), readers are not.
+	reloads := 0
+	reload := func(seq int) {
+		before := svc.Version()
+		g, cat, err := m.Materialize()
+		if err != nil {
+			t.Fatal(err)
+		}
+		est, targets, err := bench.RebuildTargets(hammerWorkload(t), g, cat)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Rebase(g, cat, est, targets); err != nil {
+			t.Fatal(err)
+		}
+		after := svc.Version()
+		if after != before+1 {
+			t.Fatalf("reload: version %d -> %d, want one bump", before, after)
+		}
+		rec.Write(verify.WriteTxn{Client: "reload", Seq: seq, Base: before, Version: after})
+		reloads++
+	}
+
+	wave(0)
+	reload(0)
+	wave(1)
+	reload(1)
+
+	close(done)
+	readers.Wait()
+
+	if n := failed.Load(); n != 0 {
+		t.Fatalf("%d failed queries", n)
+	}
+	// Every commit was exactly one version bump: seed snapshot (1), the
+	// sentinel insert, every writer commit, every reload.
+	wantVersion := uint64(1 + 1 + int(commits.Load()) + reloads)
+	if got := svc.Version(); got != wantVersion {
+		t.Fatalf("final version %d, want %d", got, wantVersion)
+	}
+	// The version ring is strictly newest-first — monotone installs.
+	entries := svc.Versions()
+	for i := 1; i < len(entries); i++ {
+		if entries[i-1].Version <= entries[i].Version {
+			t.Fatalf("version ring not strictly decreasing at %d: %d then %d",
+				i, entries[i-1].Version, entries[i].Version)
+		}
+	}
+	h := rec.History()
+	if len(h.Reads) == 0 {
+		t.Fatal("no complete reads recorded — the history check is vacuous")
+	}
+	if vs := verify.Check(h); len(vs) != 0 {
+		for _, v := range vs {
+			t.Errorf("violation: %s", v)
+		}
+		t.Fatalf("%d snapshot-isolation violations in %d writes / %d reads",
+			len(vs), len(h.Writes), len(h.Reads))
+	}
+	t.Logf("hammer: %d commits, %d reloads, %d reads checked, final version %d",
+		commits.Load(), reloads, len(h.Reads), svc.Version())
+}
+
+// hammerWorkload exposes the shared fixture workload for the reload
+// rebuild (the fixture tuple is already memoized; this is just access).
+func hammerWorkload(t *testing.T) *bench.Workload {
+	t.Helper()
+	w, _, _ := fixture(t)
+	return w
+}
+
+// TestEstimatorDriftAcrossCompaction is the stats-staleness probe: an
+// overlay commit leaves the base estimator blind to the delta, so a
+// profiled query over a freshly inserted property records a large
+// q-error in the workload registry; compaction recomputes the estimator
+// from the folded graph, after which the same shape records a small one.
+// The registry is read the way an operator would: /debug/workload
+// ordered by q-error.
+func TestEstimatorDriftAcrossCompaction(t *testing.T) {
+	const compactEvery = 30
+	svc, m, _ := mutableService(t, serve.Config{}, compactEvery)
+	ctx := context.Background()
+
+	// 25 triples of a property the base never saw: below the compaction
+	// threshold, so the commit is an overlay and the estimator stays the
+	// base one — off by the full 25 rows on this scan.
+	var b1 []string
+	for i := 0; i < 25; i++ {
+		b1 = append(b1, fmt.Sprintf(`<drift/s%d> <drift/p> "d%d"`, i, i))
+	}
+	up, err := m.ApplyUpdate(ctx, "INSERT DATA { "+joinDots(b1)+" }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if up.Compacted {
+		t.Fatal("first commit compacted — threshold too low for the drift probe")
+	}
+
+	const staleQ = `SELECT ?s ?o WHERE { ?s <drift/p> ?o }`
+	system := svc.DefaultSystem()
+	res, err := svc.ExecTextOpts(ctx, staleQ, system, serve.ExecOpts{Profile: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows.Len() != 25 {
+		t.Fatalf("stale query returned %d rows, want 25", res.Rows.Len())
+	}
+	staleFP := res.Fingerprint
+
+	wl := svc.Workload(serve.WorkloadQuery{By: "qerror"})
+	if len(wl.Entries) == 0 {
+		t.Fatal("empty workload registry")
+	}
+	if wl.Entries[0].Fingerprint != staleFP {
+		t.Fatalf("q-error ordering: top entry %q, want the stale-estimate query %q",
+			wl.Entries[0].Fingerprint, staleFP)
+	}
+	staleQE := wl.Entries[0].MaxQError
+	if staleQE < 5 {
+		t.Fatalf("stale-estimator q-error %.2f, want the drift to register (>=5)", staleQE)
+	}
+
+	// Push the delta past the threshold: this commit compacts, and the
+	// rebuild recomputes the estimator from the folded graph.
+	var b2 []string
+	for i := 25; i < 25+compactEvery; i++ {
+		b2 = append(b2, fmt.Sprintf(`<drift/s%d> <drift/p> "d%d"`, i, i))
+	}
+	up2, err := m.ApplyUpdate(ctx, "INSERT DATA { "+joinDots(b2)+" }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !up2.Compacted {
+		t.Fatal("second commit did not compact")
+	}
+
+	// A distinct query shape (its own fingerprint — the registry keeps
+	// per-fingerprint maxima forever) over the same property: the
+	// recomputed estimator knows all 55 rows now.
+	const freshQ = `SELECT DISTINCT ?s WHERE { ?s <drift/p> ?o }`
+	res2, err := svc.ExecTextOpts(ctx, freshQ, system, serve.ExecOpts{Profile: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Rows.Len() != 55 {
+		t.Fatalf("fresh query returned %d rows, want 55", res2.Rows.Len())
+	}
+	wl = svc.Workload(serve.WorkloadQuery{By: "qerror", Limit: -1})
+	var freshQE float64 = -1
+	for _, e := range wl.Entries {
+		if e.Fingerprint == res2.Fingerprint {
+			freshQE = e.MaxQError
+		}
+	}
+	if freshQE < 0 {
+		t.Fatal("fresh query missing from the workload registry")
+	}
+	if freshQE > 2 {
+		t.Fatalf("post-compaction q-error %.2f, want <=2 (estimator not recomputed?)", freshQE)
+	}
+	t.Logf("drift: stale maxQError %.1f, post-compaction %.2f", staleQE, freshQE)
+}
+
+// joinDots joins ground-triple texts with the update grammar's separator.
+func joinDots(parts []string) string {
+	out := ""
+	for i, p := range parts {
+		if i > 0 {
+			out += " . "
+		}
+		out += p
+	}
+	return out
+}

@@ -17,6 +17,7 @@ import (
 // The HTTP front-end: a minimal JSON API over a Service.
 //
 //	GET|POST /query?q=<text>&system=<name>[&limit=n][&timeout=d][&profile=1]
+//	POST     /update?u=<text>
 //	GET      /systems
 //	GET      /stats
 //	GET      /metrics
@@ -24,6 +25,7 @@ import (
 //	GET      /debug/workload[?by=time|count|qerror][&system=<name>][&limit=n]
 //	GET      /debug/traces[?system=<name>][&limit=n]
 //	GET      /debug/traces/<traceId>[?format=otlp]
+//	GET      /debug/versions
 //
 // /query executes q on the named system (default: the service's first
 // target) and returns the decoded rows. POST also accepts a JSON body
@@ -39,6 +41,16 @@ import (
 // offset), unknown systems as 404, cancelled or expired requests as 504;
 // every error response names its class ("parse", "unknown_system",
 // "canceled", "exec") matching the blackswan_errors_total metric labels.
+//
+// /update is the write path: u is an INSERT DATA / DELETE DATA request
+// (';'-separated blocks, applied as one transaction — see bgp.ParseUpdate
+// and the Mutator). The response reports the installed dataset version and
+// the version the commit was applied against, the snapshot-isolation
+// observables the verify package checks. 501 when the service is read-only
+// (no Mutator installed), 400 with the parse position for bad update text.
+// /debug/versions lists recent dataset versions, newest first, with the
+// live one marked; every /query response carries the version its rows came
+// from.
 //
 // /metrics is the Prometheus text-exposition endpoint (see prom.go) and
 // /debug/slow returns the slow-query log, newest first (see slowlog.go);
@@ -74,7 +86,10 @@ type QueryRequest struct {
 // unbound variable — the OPTIONAL construct's NULL — distinct from every
 // decoded term (even the empty literal, which decodes to "\"\"").
 type QueryResponse struct {
-	System    string       `json:"system"`
+	System string `json:"system"`
+	// Version is the dataset version the rows came from — the read half of
+	// the snapshot-isolation contract (see /update and /debug/versions).
+	Version   uint64       `json:"version"`
 	Columns   []string     `json:"columns"`
 	Rows      [][]*string  `json:"rows"`
 	RowCount  int          `json:"rowCount"`
@@ -164,6 +179,7 @@ func NewHandler(s *Service) http.Handler {
 		rows := s.DecodeRowsNull(res, limit)
 		writeJSON(w, http.StatusOK, QueryResponse{
 			System:    res.System,
+			Version:   res.Version,
 			Columns:   res.Cols,
 			Rows:      rows,
 			RowCount:  res.Rows.Len(),
@@ -174,6 +190,38 @@ func NewHandler(s *Service) http.Handler {
 			Profile:   profileJSON(res.Profile, termFunc(res.dict)),
 			TraceID:   traceID,
 		})
+	})
+	mux.HandleFunc("/update", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			writeError(w, http.StatusMethodNotAllowed, ErrorResponse{Error: "use POST"})
+			return
+		}
+		m := s.Mutator()
+		if m == nil {
+			writeError(w, http.StatusNotImplemented, ErrorResponse{Error: "mutation disabled: service is read-only"})
+			return
+		}
+		text, errResp := parseUpdateRequest(r)
+		if errResp != nil {
+			writeError(w, http.StatusBadRequest, *errResp)
+			return
+		}
+		if text == "" {
+			writeError(w, http.StatusBadRequest, ErrorResponse{Error: "missing u parameter", Class: ErrClassParse})
+			return
+		}
+		res, err := m.ApplyUpdate(r.Context(), text)
+		if err != nil {
+			writeError(w, statusOf(err), errorResponseOf(err))
+			return
+		}
+		writeJSON(w, http.StatusOK, UpdateResponse{
+			UpdateResult: *res,
+			LatencyMs:    float64(res.Latency.Microseconds()) / 1e3,
+		})
+	})
+	mux.HandleFunc("/debug/versions", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.Versions())
 	})
 	mux.HandleFunc("/systems", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, s.Systems())
@@ -285,6 +333,37 @@ func NewHandler(s *Service) http.Handler {
 type TracesResponse struct {
 	Stats  trace.Stats      `json:"stats"`
 	Traces []trace.Recorded `json:"traces"`
+}
+
+// UpdateRequest is the JSON body POST /update accepts as an alternative to
+// the u form parameter.
+type UpdateRequest struct {
+	U string `json:"u"`
+}
+
+// UpdateResponse is the /update success payload: the committed result plus
+// the latency in the same milliseconds convention /query uses.
+type UpdateResponse struct {
+	UpdateResult
+	LatencyMs float64 `json:"latencyMs"`
+}
+
+// parseUpdateRequest extracts the update text from a JSON body (POST with
+// Content-Type application/json) or the u form parameter.
+func parseUpdateRequest(r *http.Request) (string, *ErrorResponse) {
+	ct := r.Header.Get("Content-Type")
+	if strings.HasPrefix(ct, "application/json") {
+		body, err := io.ReadAll(http.MaxBytesReader(nil, r.Body, 1<<20))
+		if err != nil {
+			return "", &ErrorResponse{Error: "reading body: " + err.Error(), Class: ErrClassParse}
+		}
+		var req UpdateRequest
+		if err := json.Unmarshal(body, &req); err != nil {
+			return "", &ErrorResponse{Error: "bad JSON body: " + err.Error(), Class: ErrClassParse}
+		}
+		return req.U, nil
+	}
+	return r.FormValue("u"), nil
 }
 
 // parseQueryRequest extracts the query parameters from either a JSON body

@@ -66,6 +66,8 @@ type Metrics struct {
 	queueNs  atomic.Int64 // summed admission wait ns of admitted executions
 	latSum   atomic.Int64 // summed latency ns of served executions
 	swaps    atomic.Int64 // dataset snapshots installed via Swap
+	commits  atomic.Int64 // write transactions committed (Mutator.ApplyUpdate)
+	compacts atomic.Int64 // commits whose delta was folded into a rebuild
 	slowQ    atomic.Int64 // served executions recorded in the slow-query log
 	profiled atomic.Int64 // served executions that carried a profile
 	lat      [64]atomic.Int64
@@ -95,6 +97,9 @@ type systemCounters struct {
 }
 
 func (m *Metrics) swapped() { m.swaps.Add(1) }
+
+func (m *Metrics) committed() { m.commits.Add(1) }
+func (m *Metrics) compacted() { m.compacts.Add(1) }
 
 func (m *Metrics) admitted(queued time.Duration) {
 	if ns := queued.Nanoseconds(); ns > 0 {
@@ -178,14 +183,20 @@ type Snapshot struct {
 	Waiting     int64            `json:"admissionWaiting"`
 	QueuedSum   time.Duration    `json:"queuedSumNs"`
 	Swaps       int64            `json:"swaps"`
-	SlowQueries int64            `json:"slowQueries"`
-	MeanLatency time.Duration    `json:"meanLatencyNs"`
-	P50         time.Duration    `json:"p50Ns"`
-	P95         time.Duration    `json:"p95Ns"`
-	P99         time.Duration    `json:"p99Ns"`
-	LatencySum  time.Duration    `json:"latencySumNs"`
-	Systems     []SystemSnapshot `json:"perSystem,omitempty"`
-	Cache       CacheStats       `json:"cache"`
+	Commits     int64            `json:"commits"`
+	Compactions int64            `json:"compactions"`
+	// DatasetVersion is the version of the snapshot currently serving new
+	// requests, filled by Service.Stats (it lives on the snapshot, not in
+	// the counters).
+	DatasetVersion uint64           `json:"datasetVersion"`
+	SlowQueries    int64            `json:"slowQueries"`
+	MeanLatency    time.Duration    `json:"meanLatencyNs"`
+	P50            time.Duration    `json:"p50Ns"`
+	P95            time.Duration    `json:"p95Ns"`
+	P99            time.Duration    `json:"p99Ns"`
+	LatencySum     time.Duration    `json:"latencySumNs"`
+	Systems        []SystemSnapshot `json:"perSystem,omitempty"`
+	Cache          CacheStats       `json:"cache"`
 }
 
 // SystemSnapshot is one target's served-traffic counters, sorted by name in
@@ -220,6 +231,8 @@ func (m *Metrics) snapshot() Snapshot {
 		Waiting:     m.waiting.Load(),
 		QueuedSum:   time.Duration(m.queueNs.Load()),
 		Swaps:       m.swaps.Load(),
+		Commits:     m.commits.Load(),
+		Compactions: m.compacts.Load(),
 		SlowQueries: m.slowQ.Load(),
 		LatencySum:  time.Duration(m.latSum.Load()),
 		ErrorsBy: map[string]int64{

@@ -121,6 +121,9 @@ func writeProm(w io.Writer, ps promSnapshot) error {
 	counter("blackswan_profiled_executions_total", "Served executions that carried an EXPLAIN ANALYZE profile.", sn.Profiled)
 	counter("blackswan_slow_queries_total", "Served executions recorded in the slow-query log.", sn.SlowQueries)
 	counter("blackswan_dataset_swaps_total", "Dataset snapshots installed via Swap.", sn.Swaps)
+	counter("blackswan_commits_total", "Write transactions committed through the mutation path.", sn.Commits)
+	counter("blackswan_dataset_compactions_total", "Commits whose delta overlay was folded into a full rebuild.", sn.Compactions)
+	gauge("blackswan_dataset_version", "Version of the dataset snapshot currently serving new requests.", int64(sn.DatasetVersion))
 
 	// Errors: one total plus a by-class breakdown with stable label order.
 	fmt.Fprintf(b, "# HELP blackswan_errors_total Failed requests by error class.\n# TYPE blackswan_errors_total counter\n")

@@ -59,6 +59,7 @@ import (
 	"log/slog"
 	"runtime"
 	"sort"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -141,6 +142,12 @@ type snapshot struct {
 	byName  map[string]int
 	names   []string // target names, sorted once at construction
 	cache   *planCache
+	// version is the dataset version this snapshot serves: strictly
+	// increasing across installs, stamped by installSnapshot, and carried by
+	// every result executed on the snapshot. Clients use it to correlate
+	// reads with commits — the observable total order the verify package's
+	// snapshot-isolation checker is built on.
+	version uint64
 }
 
 func newSnapshot(dict rdf.Dict, est *bgp.Estimator, cacheSize int, targets []Target) (*snapshot, error) {
@@ -184,6 +191,14 @@ type Service struct {
 	log     *slog.Logger
 	ingest  atomic.Pointer[IngestSnapshot]
 
+	// version issues dataset versions: the last value handed out, bumped by
+	// installSnapshot. The versions ring remembers recent installs for
+	// /debug/versions; mutator, when set, is the service's write path.
+	version  atomic.Uint64
+	verMu    sync.Mutex
+	versions []VersionEntry
+	mutator  atomic.Pointer[Mutator]
+
 	// compileHook, when set (tests only), runs inside the singleflight
 	// leader immediately before compilation — it widens the window in
 	// which concurrent first touches must coalesce.
@@ -226,9 +241,96 @@ func New(dict rdf.Dict, est *bgp.Estimator, cfg Config, targets ...Target) (*Ser
 	if cfg.WorkloadCapacity >= 0 {
 		s.wl = newWorkloadReg(cfg.WorkloadCapacity)
 	}
+	sn.version = 1
+	s.version.Store(1)
+	s.recordVersion(VersionEntry{Version: 1, Kind: VersionInitial, When: time.Now()})
 	s.snap.Store(sn)
 	return s, nil
 }
+
+// Version kinds as reported by Versions and /debug/versions.
+const (
+	// VersionInitial is the seed snapshot New installed.
+	VersionInitial = "initial"
+	// VersionReload is a full dataset replacement (Swap or Mutator.Rebase).
+	VersionReload = "reload"
+	// VersionCommit is a delta-overlay write commit (Mutator.ApplyUpdate).
+	VersionCommit = "commit"
+	// VersionCompaction is a commit whose delta was folded into a full
+	// rebuild — the dataset contents equal the overlay it replaced.
+	VersionCompaction = "compaction"
+)
+
+// DefaultVersionRing bounds the version history kept for /debug/versions.
+const DefaultVersionRing = 64
+
+// VersionEntry describes one installed dataset snapshot.
+type VersionEntry struct {
+	Version uint64    `json:"version"`
+	Kind    string    `json:"kind"`
+	When    time.Time `json:"when"`
+	// Triples is the dataset size at install when known (0 otherwise);
+	// DeltaAdds and DeltaDels size the overlay of a commit.
+	Triples   int `json:"triples,omitempty"`
+	DeltaAdds int `json:"deltaAdds,omitempty"`
+	DeltaDels int `json:"deltaDels,omitempty"`
+	// Live marks the snapshot currently serving new requests. Older entries
+	// may still be pinned by in-flight executions and Prepared handles.
+	Live bool `json:"live"`
+}
+
+// installSnapshot stamps sn with the next dataset version, publishes it and
+// records the install in the version ring. It returns the version of the
+// snapshot that was current immediately before the install (the base the
+// install applied on) and the new version. Writers serialize installs (the
+// Mutator holds its commit lock across this call); concurrent Swap calls
+// still get unique, increasing versions.
+func (s *Service) installSnapshot(sn *snapshot, e VersionEntry) (base, version uint64) {
+	base = s.snap.Load().version
+	version = s.version.Add(1)
+	sn.version = version
+	e.Version = version
+	if e.When.IsZero() {
+		e.When = time.Now()
+	}
+	s.recordVersion(e)
+	s.snap.Store(sn)
+	return base, version
+}
+
+func (s *Service) recordVersion(e VersionEntry) {
+	s.verMu.Lock()
+	s.versions = append(s.versions, e)
+	if len(s.versions) > DefaultVersionRing {
+		s.versions = s.versions[len(s.versions)-DefaultVersionRing:]
+	}
+	s.verMu.Unlock()
+}
+
+// Versions returns the recent install history, newest first, with the
+// currently served snapshot marked Live.
+func (s *Service) Versions() []VersionEntry {
+	live := s.snap.Load().version
+	s.verMu.Lock()
+	out := make([]VersionEntry, len(s.versions))
+	for i, e := range s.versions {
+		e.Live = e.Version == live
+		out[len(s.versions)-1-i] = e
+	}
+	s.verMu.Unlock()
+	return out
+}
+
+// Version returns the dataset version currently serving new requests.
+func (s *Service) Version() uint64 { return s.snap.Load().version }
+
+// SetMutator installs the service's write path (see mutate.go); the HTTP
+// front-end routes POST /update to it.
+func (s *Service) SetMutator(m *Mutator) { s.mutator.Store(m) }
+
+// Mutator returns the installed write path, nil when the service is
+// read-only.
+func (s *Service) Mutator() *Mutator { return s.mutator.Load() }
 
 // IngestSnapshot describes the most recent bulk load behind the served
 // data, recorded by the loader (swanserve's ingest path) so /metrics can
@@ -278,10 +380,11 @@ func (s *Service) Swap(dict rdf.Dict, est *bgp.Estimator, targets ...Target) err
 	if err != nil {
 		return err
 	}
-	s.snap.Store(sn)
+	_, v := s.installSnapshot(sn, VersionEntry{Kind: VersionReload})
 	s.metrics.swapped()
 	s.log.LogAttrs(context.Background(), slog.LevelInfo, "dataset swapped",
-		slog.Int("targets", len(targets)))
+		slog.Int("targets", len(targets)),
+		slog.Uint64("version", v))
 	return nil
 }
 
@@ -324,6 +427,15 @@ func (s *Service) TraceStart(ctx context.Context, name, traceparent string) (con
 // Systems returns the current snapshot's target names, sorted.
 func (s *Service) Systems() []string {
 	return append([]string(nil), s.snap.Load().names...)
+}
+
+// Targets returns the current snapshot's serving targets — the name and
+// physical source of each scheme as this instant's readers see them
+// (overlays after a commit, rebuilt tables after a compaction or reload).
+// The mutation benchmark's byte-identity guard runs one compiled plan
+// directly against these and against schemes rebuilt from scratch.
+func (s *Service) Targets() []Target {
+	return append([]Target(nil), s.snap.Load().targets...)
 }
 
 // DefaultSystem returns the first target's name (declaration order) in the
@@ -437,6 +549,10 @@ type Result struct {
 	// canonical query text that keys the workload registry, so a client
 	// can join its response with /debug/workload.
 	Fingerprint string
+	// Version is the dataset version of the snapshot the query executed on
+	// — the read half of the snapshot-isolation contract: rows are exactly
+	// the state this version's commit installed.
+	Version uint64
 
 	// dict decodes this result: the dictionary of the snapshot the query
 	// executed on, immune to concurrent swaps.
@@ -532,7 +648,8 @@ func (s *Service) exec(ctx context.Context, sn *snapshot, p *Prepared, ti int, c
 		<-s.sem
 	}()
 	execCtx, execSpan := trace.StartSpan(ctx, "execute")
-	execSpan.SetAttr(trace.String("system", t.Name), trace.Bool("streaming", !s.cfg.Materialize))
+	execSpan.SetAttr(trace.String("system", t.Name), trace.Bool("streaming", !s.cfg.Materialize),
+		trace.Int("version", int64(sn.version)))
 	out, _, tr, err := core.ExecutePlanCtx(execCtx, t.Src, p.Compiled.Root, core.ExecOptions{
 		Workers:   s.cfg.ExecWorkers,
 		Streaming: !s.cfg.Materialize,
@@ -554,6 +671,7 @@ func (s *Service) exec(ctx context.Context, sn *snapshot, p *Prepared, ti int, c
 				system: t.Name, cached: cached,
 				queued: queued, latency: latency,
 				errClass: class,
+				version:  sn.version,
 			})
 			fpCount, fpP99, _ = s.wl.summary(fp)
 			execSpan.SetAttr(trace.String("fingerprint", fp),
@@ -608,6 +726,7 @@ func (s *Service) exec(ctx context.Context, sn *snapshot, p *Prepared, ti int, c
 			rows:    int64(out.Len()),
 			profile: prof,
 			term:    termFunc(sn.dict),
+			version: sn.version,
 		})
 		fpCount, fpP99, _ = s.wl.summary(fp)
 		execSpan.SetAttr(trace.String("fingerprint", fp),
@@ -633,6 +752,7 @@ func (s *Service) exec(ctx context.Context, sn *snapshot, p *Prepared, ti int, c
 		Profile:     prof,
 		TraceID:     traceID,
 		Fingerprint: fp,
+		Version:     sn.version,
 		dict:        sn.dict,
 	}
 	if s.slow != nil && s.cfg.SlowQueryThreshold > 0 && latency >= s.cfg.SlowQueryThreshold {
@@ -759,6 +879,8 @@ func (s *Service) DecodeRowsNull(r *Result, limit int) [][]*string {
 // counters into one snapshot.
 func (s *Service) Stats() Snapshot {
 	snap := s.metrics.snapshot()
-	snap.Cache = s.snap.Load().cache.stats()
+	sn := s.snap.Load()
+	snap.Cache = sn.cache.stats()
+	snap.DatasetVersion = sn.version
 	return snap
 }

@@ -72,6 +72,7 @@ type wlObs struct {
 	errClass string // "" on success
 	profile  *core.OpProfile
 	term     func(rdf.ID) string
+	version  uint64 // dataset version the execution ran on
 }
 
 // wlEntry is one fingerprint's aggregate.
@@ -91,6 +92,11 @@ type wlEntry struct {
 	queued    *sketch.Quantile
 	systems   map[string]*wlSystem
 	ops       map[string]*wlOp
+	// lastVersion is the dataset version of the shape's latest execution —
+	// the join between the workload registry and the mutation path, so
+	// per-shape drift (q-error) can be read against the version that
+	// produced it.
+	lastVersion uint64
 }
 
 // wlSystem is one fingerprint's per-target split.
@@ -171,6 +177,9 @@ func (w *workloadReg) observe(obs wlObs) {
 	}
 	e.count++
 	e.lastSeen = now
+	if obs.version > 0 {
+		e.lastVersion = obs.version
+	}
 	if obs.cached {
 		e.cacheHits++
 	}
@@ -348,6 +357,7 @@ type WorkloadEntry struct {
 	Profiled    int64            `json:"profiled,omitempty"`
 	FirstSeen   time.Time        `json:"firstSeen"`
 	LastSeen    time.Time        `json:"lastSeen"`
+	LastVersion uint64           `json:"lastVersion,omitempty"`
 	LatencySum  time.Duration    `json:"latencySumNs"`
 	Latency     QuantileSummary  `json:"latency"`
 	Queued      QuantileSummary  `json:"queued"`
@@ -432,6 +442,7 @@ func (e *wlEntry) render(fp string) WorkloadEntry {
 		Profiled:    e.profiled,
 		FirstSeen:   e.firstSeen,
 		LastSeen:    e.lastSeen,
+		LastVersion: e.lastVersion,
 		LatencySum:  time.Duration(e.latSumNs),
 		Latency:     quantileSummary(e.lat),
 		Queued:      quantileSummary(e.queued),

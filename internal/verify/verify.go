@@ -1,0 +1,371 @@
+// Package verify checks recorded client histories against snapshot
+// isolation, black-box style: it sees only what clients saw — the dataset
+// version each response carried and the keys each read returned — never
+// the server's internals. It is the write path's counterpart of the
+// query layer's EvalBGP oracle, in the spirit of Huang et al.'s
+// polynomial-time black-box SI checking (arxiv 2301.07313).
+//
+// General SI checking from reads and writes alone is NP-hard; Huang et
+// al. obtain polynomial time by restricting the history class. This
+// checker works in the same restricted fragment, which the system under
+// test actually provides:
+//
+//   - writes expose an observable total commit order — every commit
+//     returns the unique, strictly increasing dataset version it
+//     installed, so no write-ordering has to be inferred;
+//   - reads are complete snapshots of the keyspace slice under test and
+//     carry the version they claim to have observed.
+//
+// Within that fragment the checker is exact, not heuristic: it replays
+// the unique state at every version and demands that each read match the
+// state of the version it claims (snapshot consistency), that versions
+// never repeat or regress (total write order), that each client's
+// observed versions are monotone in session order (session guarantee,
+// which subsumes read-your-writes for version-tagged reads), and that no
+// two write transactions with overlapping write sets interleave as
+// base-overtaking commits (first-committer-wins, the absence of lost
+// updates).
+//
+// Complexity: with W writes, R reads and K distinct keys, building the
+// per-key change lists is O(W·w̄ + K) (w̄ = mean write-set size), each
+// read check is O(K·log W), and the lost-update scan is O(W²·w̄) in the
+// worst case — polynomial throughout, linear in practice for the
+// disjoint write sets the hammer produces.
+package verify
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// WriteTxn is one committed write transaction as its client observed it.
+type WriteTxn struct {
+	// Client identifies the session; Seq orders operations within it.
+	Client string
+	Seq    int
+	// Base is the snapshot version the transaction read from — for the
+	// serialized commit path, the version the commit was applied against,
+	// as reported in the update response. Version is the version the
+	// commit installed. Under SI, Version > Base, and no transaction with
+	// an overlapping write set commits in the open interval
+	// (Base, Version) — first-committer-wins.
+	Base    uint64
+	Version uint64
+	// Put lists keys the transaction inserted; Del keys it deleted. A
+	// transaction with neither is a version bump with unchanged state —
+	// how reloads and compactions appear to clients.
+	Put []string
+	Del []string
+}
+
+// ReadTxn is one read-only transaction: a query whose response carried a
+// dataset version and a set of keys.
+type ReadTxn struct {
+	Client string
+	Seq    int
+	// Version is the dataset version the response claimed.
+	Version uint64
+	// Present lists the keys the read returned. With Complete set, it is
+	// the entire keyspace slice visible at the claimed version, and the
+	// checker demands exact equality with the replayed state.
+	Present []string
+	// Absent lists keys the client specifically observed as missing.
+	Absent []string
+	// Complete marks Present as exhaustive.
+	Complete bool
+}
+
+// History is a recorded run: the initial state and every operation.
+type History struct {
+	// InitialVersion is the dataset version of the seed snapshot;
+	// Initial lists the keys alive in it.
+	InitialVersion uint64
+	Initial        []string
+	Writes         []WriteTxn
+	Reads          []ReadTxn
+}
+
+// Violation is one way a history fails snapshot isolation.
+type Violation struct {
+	// Kind is one of duplicate-version, non-monotonic-version,
+	// unknown-version, non-monotonic-session, lost-update, stale-read,
+	// fractured-read.
+	Kind    string
+	Client  string
+	Version uint64
+	Key     string
+	Detail  string
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("%s: client=%s version=%d key=%q: %s", v.Kind, v.Client, v.Version, v.Key, v.Detail)
+}
+
+// Recorder accumulates a history under concurrent clients.
+type Recorder struct {
+	mu sync.Mutex
+	h  History
+}
+
+// NewRecorder starts a history at the seed snapshot.
+func NewRecorder(initialVersion uint64, initial []string) *Recorder {
+	return &Recorder{h: History{
+		InitialVersion: initialVersion,
+		Initial:        append([]string(nil), initial...),
+	}}
+}
+
+// Write records one committed write transaction.
+func (r *Recorder) Write(t WriteTxn) {
+	r.mu.Lock()
+	r.h.Writes = append(r.h.Writes, t)
+	r.mu.Unlock()
+}
+
+// Read records one read transaction.
+func (r *Recorder) Read(t ReadTxn) {
+	r.mu.Lock()
+	r.h.Reads = append(r.h.Reads, t)
+	r.mu.Unlock()
+}
+
+// History returns a copy of everything recorded so far.
+func (r *Recorder) History() History {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return History{
+		InitialVersion: r.h.InitialVersion,
+		Initial:        append([]string(nil), r.h.Initial...),
+		Writes:         append([]WriteTxn(nil), r.h.Writes...),
+		Reads:          append([]ReadTxn(nil), r.h.Reads...),
+	}
+}
+
+// changePoint is one state transition of a key: at version v the key
+// became alive or dead.
+type changePoint struct {
+	version uint64
+	alive   bool
+}
+
+// Check verifies the history against snapshot isolation and returns every
+// violation found (nil for a clean history).
+func Check(h History) []Violation {
+	var out []Violation
+
+	// Total write order: versions unique and strictly above their base.
+	writes := append([]WriteTxn(nil), h.Writes...)
+	sort.Slice(writes, func(i, j int) bool { return writes[i].Version < writes[j].Version })
+	versions := map[uint64]bool{h.InitialVersion: true}
+	for i, w := range writes {
+		if w.Version <= w.Base {
+			out = append(out, Violation{
+				Kind: "non-monotonic-version", Client: w.Client, Version: w.Version,
+				Detail: fmt.Sprintf("commit version %d not above its base %d", w.Version, w.Base),
+			})
+		}
+		if i > 0 && writes[i-1].Version == w.Version {
+			out = append(out, Violation{
+				Kind: "duplicate-version", Client: w.Client, Version: w.Version,
+				Detail: fmt.Sprintf("clients %s and %s both installed version %d",
+					writes[i-1].Client, w.Client, w.Version),
+			})
+		}
+		versions[w.Version] = true
+	}
+
+	// Per-key change lists, replayed in commit order from the initial
+	// state. Keys never written keep their single initial point.
+	changes := make(map[string][]changePoint)
+	for _, k := range h.Initial {
+		changes[k] = []changePoint{{h.InitialVersion, true}}
+	}
+	for _, w := range writes {
+		for _, k := range w.Del {
+			changes[k] = append(changes[k], changePoint{w.Version, false})
+		}
+		for _, k := range w.Put {
+			changes[k] = append(changes[k], changePoint{w.Version, true})
+		}
+	}
+	aliveAt := func(k string, v uint64) bool {
+		cps := changes[k]
+		// Last change point at or before v.
+		i := sort.Search(len(cps), func(i int) bool { return cps[i].version > v })
+		if i == 0 {
+			return false
+		}
+		return cps[i-1].alive
+	}
+	stateAt := func(v uint64) map[string]bool {
+		st := make(map[string]bool)
+		for k := range changes {
+			if aliveAt(k, v) {
+				st[k] = true
+			}
+		}
+		return st
+	}
+
+	// Lost updates: first-committer-wins demands that no other write with
+	// an overlapping write set commit inside (Base, Version).
+	keySets := make([]map[string]bool, len(writes))
+	for i, w := range writes {
+		ks := make(map[string]bool, len(w.Put)+len(w.Del))
+		for _, k := range w.Put {
+			ks[k] = true
+		}
+		for _, k := range w.Del {
+			ks[k] = true
+		}
+		keySets[i] = ks
+	}
+	for i, w := range writes {
+		for j, other := range writes {
+			if i == j || other.Version <= w.Base || other.Version >= w.Version {
+				continue
+			}
+			for k := range keySets[j] {
+				if keySets[i][k] {
+					out = append(out, Violation{
+						Kind: "lost-update", Client: w.Client, Version: w.Version, Key: k,
+						Detail: fmt.Sprintf("%s committed %d inside (%d, %d) touching the same key",
+							other.Client, other.Version, w.Base, w.Version),
+					})
+					break
+				}
+			}
+		}
+	}
+
+	// Session order: each client's observed versions are monotone in Seq.
+	type sessionOp struct {
+		seq     int
+		version uint64
+	}
+	sessions := make(map[string][]sessionOp)
+	for _, w := range h.Writes {
+		sessions[w.Client] = append(sessions[w.Client], sessionOp{w.Seq, w.Version})
+	}
+	for _, r := range h.Reads {
+		sessions[r.Client] = append(sessions[r.Client], sessionOp{r.Seq, r.Version})
+	}
+	for client, ops := range sessions {
+		sort.Slice(ops, func(i, j int) bool { return ops[i].seq < ops[j].seq })
+		for i := 1; i < len(ops); i++ {
+			if ops[i].version < ops[i-1].version {
+				out = append(out, Violation{
+					Kind: "non-monotonic-session", Client: client, Version: ops[i].version,
+					Detail: fmt.Sprintf("op %d observed version %d after op %d observed %d",
+						ops[i].seq, ops[i].version, ops[i-1].seq, ops[i-1].version),
+				})
+			}
+		}
+	}
+
+	// Snapshot consistency of reads.
+	for _, r := range h.Reads {
+		if !versions[r.Version] {
+			out = append(out, Violation{
+				Kind: "unknown-version", Client: r.Client, Version: r.Version,
+				Detail: "read observed a version no commit installed",
+			})
+			continue
+		}
+		bad := false
+		for _, k := range r.Absent {
+			if aliveAt(k, r.Version) {
+				out = append(out, Violation{
+					Kind: "stale-read", Client: r.Client, Version: r.Version, Key: k,
+					Detail: fmt.Sprintf("key alive at version %d but read as absent", r.Version),
+				})
+				bad = true
+			}
+		}
+		if !r.Complete {
+			for _, k := range r.Present {
+				if !aliveAt(k, r.Version) {
+					out = append(out, Violation{
+						Kind: "stale-read", Client: r.Client, Version: r.Version, Key: k,
+						Detail: fmt.Sprintf("key dead at version %d but read as present", r.Version),
+					})
+				}
+			}
+			continue
+		}
+		got := make(map[string]bool, len(r.Present))
+		for _, k := range r.Present {
+			got[k] = true
+		}
+		want := stateAt(r.Version)
+		if bad || !sameSet(got, want) {
+			// Diagnose: does the read match the snapshot of some *other*
+			// version (a stale or future overlay served under the wrong
+			// label), or no version at all (a fractured read)?
+			if v, ok := matchingVersion(got, h.InitialVersion, writes, stateAt); ok {
+				out = append(out, Violation{
+					Kind: "stale-read", Client: r.Client, Version: r.Version,
+					Key: firstDiff(got, want),
+					Detail: fmt.Sprintf("read claims version %d but returned the state of version %d",
+						r.Version, v),
+				})
+			} else if !bad {
+				out = append(out, Violation{
+					Kind: "fractured-read", Client: r.Client, Version: r.Version,
+					Key:    firstDiff(got, want),
+					Detail: "read matches the snapshot of no committed version",
+				})
+			}
+		}
+	}
+	return out
+}
+
+func sameSet(a, b map[string]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// firstDiff names one key present on exactly one side, smallest first for
+// determinism.
+func firstDiff(got, want map[string]bool) string {
+	var keys []string
+	for k := range got {
+		if !want[k] {
+			keys = append(keys, k)
+		}
+	}
+	for k := range want {
+		if !got[k] {
+			keys = append(keys, k)
+		}
+	}
+	if len(keys) == 0 {
+		return ""
+	}
+	sort.Strings(keys)
+	return keys[0]
+}
+
+// matchingVersion scans every committed version for one whose state equals
+// got, excluding none — the caller already knows the claimed version does
+// not match.
+func matchingVersion(got map[string]bool, initial uint64, writes []WriteTxn, stateAt func(uint64) map[string]bool) (uint64, bool) {
+	if sameSet(got, stateAt(initial)) {
+		return initial, true
+	}
+	for _, w := range writes {
+		if sameSet(got, stateAt(w.Version)) {
+			return w.Version, true
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,294 @@
+package verify
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+)
+
+// kinds collects the violation kinds of a check result.
+func kinds(vs []Violation) map[string]int {
+	m := map[string]int{}
+	for _, v := range vs {
+		m[v.Kind]++
+	}
+	return m
+}
+
+// replayState computes the expected key set after applying writes[0..i]
+// in order — the test's own tiny model, independent of the checker's.
+func replayState(initial []string, writes []WriteTxn) map[string]bool {
+	st := map[string]bool{}
+	for _, k := range initial {
+		st[k] = true
+	}
+	for _, w := range writes {
+		for _, k := range w.Del {
+			delete(st, k)
+		}
+		for _, k := range w.Put {
+			st[k] = true
+		}
+	}
+	return st
+}
+
+func keysOf(st map[string]bool) []string {
+	out := make([]string, 0, len(st))
+	for k := range st {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TestCleanHistoriesPass generates random serializable histories —
+// sequential commits, reads taken from genuine snapshots — and demands a
+// clean bill. A checker that fires on correct histories is as broken as
+// one that never fires.
+func TestCleanHistoriesPass(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		initial := []string{"a", "b", "c"}
+		h := History{InitialVersion: 1, Initial: initial}
+		version := uint64(1)
+		var writes []WriteTxn
+		states := map[uint64][]string{1: keysOf(replayState(initial, nil))}
+		clientSeq := map[string]int{}
+		lastSeen := map[string]uint64{}
+		for op := 0; op < 60; op++ {
+			client := fmt.Sprintf("c%d", rng.Intn(4))
+			clientSeq[client]++
+			if rng.Intn(2) == 0 {
+				// A write applied against the latest committed state — the
+				// serialized-commit semantics of the live server, where Base
+				// is the snapshot the commit actually read.
+				base := version
+				version++
+				w := WriteTxn{Client: client, Seq: clientSeq[client], Base: base, Version: version}
+				cur := replayState(initial, writes)
+				if len(cur) > 0 && rng.Intn(3) == 0 {
+					ks := keysOf(cur)
+					w.Del = []string{ks[rng.Intn(len(ks))]}
+				} else {
+					w.Put = []string{fmt.Sprintf("k%d", op)}
+				}
+				writes = append(writes, w)
+				h.Writes = append(h.Writes, w)
+				states[version] = keysOf(replayState(initial, writes))
+				lastSeen[client] = version
+			} else {
+				// A read from any version at or above the client's last.
+				vs := make([]uint64, 0, len(states))
+				for v := range states {
+					if v >= lastSeen[client] {
+						vs = append(vs, v)
+					}
+				}
+				sort.Slice(vs, func(i, j int) bool { return vs[i] < vs[j] })
+				v := vs[rng.Intn(len(vs))]
+				h.Reads = append(h.Reads, ReadTxn{
+					Client: client, Seq: clientSeq[client], Version: v,
+					Present: states[v], Complete: true,
+				})
+				lastSeen[client] = v
+			}
+		}
+		if vs := Check(h); len(vs) != 0 {
+			t.Fatalf("seed %d: clean history rejected: %v", seed, vs)
+		}
+	}
+}
+
+// TestLostUpdate: two transactions read the same base and both commit
+// writes to the same key — the second committer must have been aborted
+// under SI's first-committer-wins, so the checker must object.
+func TestLostUpdate(t *testing.T) {
+	h := History{
+		InitialVersion: 1,
+		Writes: []WriteTxn{
+			{Client: "w1", Seq: 1, Base: 1, Version: 2, Put: []string{"x"}},
+			{Client: "w2", Seq: 1, Base: 1, Version: 3, Put: []string{"x"}},
+		},
+	}
+	vs := Check(h)
+	if kinds(vs)["lost-update"] == 0 {
+		t.Fatalf("lost update not detected: %v", vs)
+	}
+}
+
+// TestLongFork: two readers see the two writes in incompatible orders —
+// one observes x without y, the other y without x — impossible under any
+// total commit order.
+func TestLongFork(t *testing.T) {
+	h := History{
+		InitialVersion: 1,
+		Writes: []WriteTxn{
+			{Client: "w1", Seq: 1, Base: 1, Version: 2, Put: []string{"x"}},
+			{Client: "w2", Seq: 1, Base: 2, Version: 3, Put: []string{"y"}},
+		},
+		Reads: []ReadTxn{
+			{Client: "r1", Seq: 1, Version: 2, Present: []string{"x"}, Complete: true},
+			{Client: "r2", Seq: 1, Version: 3, Present: []string{"y"}, Complete: true},
+		},
+	}
+	vs := Check(h)
+	if kinds(vs)["fractured-read"] == 0 {
+		t.Fatalf("long fork not detected: %v", vs)
+	}
+}
+
+// TestReadSkew: one transaction deleted a and inserted b atomically; a
+// read returning both a and b saw a state that never existed.
+func TestReadSkew(t *testing.T) {
+	h := History{
+		InitialVersion: 1,
+		Initial:        []string{"a"},
+		Writes: []WriteTxn{
+			{Client: "w1", Seq: 1, Base: 1, Version: 2, Put: []string{"b"}, Del: []string{"a"}},
+		},
+		Reads: []ReadTxn{
+			{Client: "r1", Seq: 1, Version: 2, Present: []string{"a", "b"}, Complete: true},
+		},
+	}
+	vs := Check(h)
+	if kinds(vs)["fractured-read"] == 0 {
+		t.Fatalf("read skew not detected: %v", vs)
+	}
+}
+
+// TestStaleRead: the response claims the new version but carries the old
+// snapshot's rows — the fault-injection mode of the hammer, and the
+// failure a stale overlay would produce. The checker must name the
+// version actually served.
+func TestStaleRead(t *testing.T) {
+	h := History{
+		InitialVersion: 1,
+		Initial:        []string{"a"},
+		Writes: []WriteTxn{
+			{Client: "w1", Seq: 1, Base: 1, Version: 2, Put: []string{"b"}},
+		},
+		Reads: []ReadTxn{
+			{Client: "r1", Seq: 1, Version: 2, Present: []string{"a"}, Complete: true},
+		},
+	}
+	vs := Check(h)
+	if kinds(vs)["stale-read"] == 0 {
+		t.Fatalf("stale read not detected: %v", vs)
+	}
+	found := false
+	for _, v := range vs {
+		if v.Kind == "stale-read" && v.Detail == "read claims version 2 but returned the state of version 1" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("stale read not diagnosed with the served version: %v", vs)
+	}
+}
+
+// TestAbsentKeyChecked: a read that specifically observed a key as missing
+// while the snapshot had it alive is stale even without completeness.
+func TestAbsentKeyChecked(t *testing.T) {
+	h := History{
+		InitialVersion: 1,
+		Initial:        []string{"a"},
+		Reads: []ReadTxn{
+			{Client: "r1", Seq: 1, Version: 1, Absent: []string{"a"}},
+		},
+	}
+	if vs := Check(h); kinds(vs)["stale-read"] == 0 {
+		t.Fatalf("stale absent read not detected: %v", vs)
+	}
+}
+
+func TestVersionOrderViolations(t *testing.T) {
+	h := History{
+		InitialVersion: 1,
+		Writes: []WriteTxn{
+			{Client: "w1", Seq: 1, Base: 1, Version: 2, Put: []string{"x"}},
+			{Client: "w2", Seq: 1, Base: 1, Version: 2, Put: []string{"y"}},
+			{Client: "w3", Seq: 1, Base: 5, Version: 4, Put: []string{"z"}},
+		},
+	}
+	ks := kinds(Check(h))
+	if ks["duplicate-version"] == 0 {
+		t.Fatalf("duplicate version not detected: %v", ks)
+	}
+	if ks["non-monotonic-version"] == 0 {
+		t.Fatalf("version below base not detected: %v", ks)
+	}
+}
+
+func TestSessionMonotonicity(t *testing.T) {
+	h := History{
+		InitialVersion: 1,
+		Writes: []WriteTxn{
+			{Client: "w1", Seq: 1, Base: 1, Version: 2, Put: []string{"x"}},
+		},
+		Reads: []ReadTxn{
+			{Client: "c", Seq: 1, Version: 2, Present: []string{"x"}, Complete: true},
+			{Client: "c", Seq: 2, Version: 1, Present: []string{}, Complete: true},
+		},
+	}
+	if vs := Check(h); kinds(vs)["non-monotonic-session"] == 0 {
+		t.Fatalf("session regression not detected: %v", vs)
+	}
+}
+
+func TestUnknownVersion(t *testing.T) {
+	h := History{
+		InitialVersion: 1,
+		Reads: []ReadTxn{
+			{Client: "r", Seq: 1, Version: 9, Complete: true},
+		},
+	}
+	if vs := Check(h); kinds(vs)["unknown-version"] == 0 {
+		t.Fatalf("unknown version not detected: %v", vs)
+	}
+}
+
+// TestEmptyWriteTxn: reloads and compactions appear as version bumps with
+// unchanged state; they must be accepted and readable.
+func TestEmptyWriteTxn(t *testing.T) {
+	h := History{
+		InitialVersion: 1,
+		Initial:        []string{"a"},
+		Writes: []WriteTxn{
+			{Client: "sys", Seq: 1, Base: 1, Version: 2},
+		},
+		Reads: []ReadTxn{
+			{Client: "r", Seq: 1, Version: 2, Present: []string{"a"}, Complete: true},
+		},
+	}
+	if vs := Check(h); len(vs) != 0 {
+		t.Fatalf("empty write txn rejected: %v", vs)
+	}
+}
+
+// TestRecorderConcurrent exercises the recorder under parallel clients;
+// run with -race in CI.
+func TestRecorderConcurrent(t *testing.T) {
+	rec := NewRecorder(1, []string{"a"})
+	var wg sync.WaitGroup
+	for c := 0; c < 8; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				if c%2 == 0 {
+					rec.Write(WriteTxn{Client: fmt.Sprintf("w%d", c), Seq: i, Base: 1, Version: uint64(2 + c*100 + i)})
+				} else {
+					rec.Read(ReadTxn{Client: fmt.Sprintf("r%d", c), Seq: i, Version: 1, Present: []string{"a"}, Complete: true})
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	h := rec.History()
+	if len(h.Writes) != 400 || len(h.Reads) != 400 {
+		t.Fatalf("recorded %d writes, %d reads", len(h.Writes), len(h.Reads))
+	}
+}
